@@ -1,0 +1,63 @@
+#include "bench/bench_common.h"
+
+#include <iostream>
+#include <numeric>
+
+#include "core/planner.h"
+
+namespace rjoin::bench {
+
+workload::ExperimentConfig PaperBaseConfig(uint64_t seed) {
+  workload::ExperimentConfig cfg;
+  cfg.num_nodes = 1000;
+  cfg.num_queries = 20000;
+  cfg.num_tuples = 400;
+  cfg.way = 4;
+  cfg.workload.num_relations = 10;
+  cfg.workload.num_attributes = 10;
+  cfg.workload.num_values = 100;
+  cfg.workload.zipf_theta = 0.9;
+  cfg.policy = core::PlannerPolicy::kRic;
+  cfg.seed = seed;
+  cfg.ApplyScale(AppliedScale());
+  return cfg;
+}
+
+double AppliedScale() { return workload::ScaleFromEnv(0.25); }
+
+size_t ScaledCount(size_t paper_count) {
+  return std::max<size_t>(
+      10, static_cast<size_t>(static_cast<double>(paper_count) *
+                              AppliedScale()));
+}
+
+std::vector<size_t> ScaledCounts(std::vector<size_t> paper_counts) {
+  for (auto& c : paper_counts) c = ScaledCount(c);
+  return paper_counts;
+}
+
+void PrintHeader(const std::string& figure,
+                 const workload::ExperimentConfig& cfg) {
+  std::cout << "#### " << figure << " ####\n"
+            << "# nodes=" << cfg.num_nodes << " queries=" << cfg.num_queries
+            << " tuples=" << cfg.num_tuples << " way=" << cfg.way
+            << " theta=" << cfg.workload.zipf_theta
+            << " scale=" << AppliedScale()
+            << " (RJOIN_SCALE=paper for full size)\n";
+}
+
+uint64_t SumLoads(const std::vector<uint64_t>& loads) {
+  return std::accumulate(loads.begin(), loads.end(), uint64_t{0});
+}
+
+double PerNode(const std::vector<uint64_t>& loads) {
+  if (loads.empty()) return 0.0;
+  return static_cast<double>(SumLoads(loads)) /
+         static_cast<double>(loads.size());
+}
+
+stats::RankedDistribution Ranked(const std::vector<uint64_t>& loads) {
+  return stats::MakeRanked(loads);
+}
+
+}  // namespace rjoin::bench

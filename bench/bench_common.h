@@ -1,0 +1,45 @@
+#ifndef RJOIN_BENCH_BENCH_COMMON_H_
+#define RJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/distribution.h"
+#include "workload/experiment.h"
+
+namespace rjoin::bench {
+
+/// The paper's Section 8 base setup (10^3 nodes, 2*10^4 4-way joins,
+/// theta = 0.9), scaled by RJOIN_SCALE (default 0.25 so the whole bench
+/// suite runs in minutes; RJOIN_SCALE=paper for full size).
+workload::ExperimentConfig PaperBaseConfig(uint64_t seed = 1);
+
+/// The scale factor applied, for the printed header.
+double AppliedScale();
+
+/// Scales a paper-sized count (tuples, window sizes, checkpoints) by
+/// RJOIN_SCALE. Continuous joins without windows accumulate state
+/// quadratically in the tuple count, so the tuple axis must shrink together
+/// with the query/node axes to keep scaled runs proportionate.
+size_t ScaledCount(size_t paper_count);
+
+/// ScaledCount over a whole axis.
+std::vector<size_t> ScaledCounts(std::vector<size_t> paper_counts);
+
+/// Prints a standard header naming the figure and the effective setup.
+void PrintHeader(const std::string& figure,
+                 const workload::ExperimentConfig& cfg);
+
+/// Sum of a per-node load vector.
+uint64_t SumLoads(const std::vector<uint64_t>& loads);
+
+/// Average per node.
+double PerNode(const std::vector<uint64_t>& loads);
+
+/// Ranked distribution of one snapshot metric.
+stats::RankedDistribution Ranked(const std::vector<uint64_t>& loads);
+
+}  // namespace rjoin::bench
+
+#endif  // RJOIN_BENCH_BENCH_COMMON_H_

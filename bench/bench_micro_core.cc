@@ -1,0 +1,150 @@
+// Micro-benchmarks for the building blocks: SHA-1 hashing, identifier
+// arithmetic, Chord lookup/routing, SQL parsing, the rewrite step, and the
+// Zipf sampler. Uses google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "core/key.h"
+#include "core/planner.h"
+#include "core/residual.h"
+#include "dht/chord_network.h"
+#include "sql/parser.h"
+#include "sql/rewriter.h"
+#include "util/random.h"
+#include "util/sha1.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace rjoin;
+
+void BM_Sha1Short(benchmark::State& state) {
+  const std::string key = "R0|A3|42";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1(key));
+  }
+}
+BENCHMARK(BM_Sha1Short);
+
+void BM_Sha1Block(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Block)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_NodeIdArithmetic(benchmark::State& state) {
+  const dht::NodeId a = dht::NodeId::FromKey("a");
+  const dht::NodeId b = dht::NodeId::FromKey("b");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Add(b).Subtract(b));
+  }
+}
+BENCHMARK(BM_NodeIdArithmetic);
+
+void BM_ChordSuccessor(benchmark::State& state) {
+  auto net = dht::ChordNetwork::Create(static_cast<size_t>(state.range(0)),
+                                       1);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net->SuccessorOf(dht::NodeId::FromUint64(rng.Next())));
+  }
+}
+BENCHMARK(BM_ChordSuccessor)->Arg(256)->Arg(1024);
+
+void BM_ChordRoute(benchmark::State& state) {
+  auto net = dht::ChordNetwork::Create(static_cast<size_t>(state.range(0)),
+                                       1);
+  const auto alive = net->AliveNodes();
+  Rng rng(11);
+  for (auto _ : state) {
+    const auto src = alive[rng.NextBounded(alive.size())];
+    benchmark::DoNotOptimize(
+        net->RouteHops(src, dht::NodeId::FromUint64(rng.Next())));
+  }
+}
+BENCHMARK(BM_ChordRoute)->Arg(256)->Arg(1024);
+
+void BM_ParseQuery(benchmark::State& state) {
+  const std::string text =
+      "SELECT R.B, S.B FROM R, S, P, M "
+      "WHERE R.A=S.A AND S.B=P.B AND P.C=M.C WINDOW 100 TUPLES";
+  for (auto _ : state) {
+    auto q = sql::Parser::Parse(text);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+sql::Catalog MicroCatalog() {
+  sql::Catalog c;
+  (void)c.AddRelation(sql::Schema("R", {"A", "B", "C"}));
+  (void)c.AddRelation(sql::Schema("S", {"A", "B", "C"}));
+  (void)c.AddRelation(sql::Schema("P", {"A", "B", "C"}));
+  return c;
+}
+
+void BM_ReferenceRewrite(benchmark::State& state) {
+  sql::Catalog catalog = MicroCatalog();
+  auto q = sql::Parser::Parse(
+      "SELECT R.B, S.B FROM R,S,P WHERE R.A=S.A AND S.B=P.B");
+  sql::Rewriter rewriter(&catalog);
+  auto t = sql::MakeTuple(
+      "R", {sql::Value::Int(3), sql::Value::Int(5), sql::Value::Int(7)}, 1,
+      1, 1);
+  for (auto _ : state) {
+    auto out = rewriter.Rewrite(*q, *t);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ReferenceRewrite);
+
+void BM_ResidualBind(benchmark::State& state) {
+  sql::Catalog catalog = MicroCatalog();
+  auto spec = sql::Parser::Parse(
+      "SELECT R.B, S.B FROM R,S,P WHERE R.A=S.A AND S.B=P.B");
+  auto iq = core::InputQuery::Create(1, 0, 0, *spec, &catalog);
+  core::Residual r0(*iq);
+  auto t = sql::MakeTuple(
+      "R", {sql::Value::Int(3), sql::Value::Int(5), sql::Value::Int(7)}, 1,
+      1, 1);
+  for (auto _ : state) {
+    if (r0.Matches(0, *t)) {
+      benchmark::DoNotOptimize(r0.Bind(0, t));
+    }
+  }
+}
+BENCHMARK(BM_ResidualBind);
+
+void BM_IndexingCandidates(benchmark::State& state) {
+  sql::Catalog catalog = MicroCatalog();
+  auto spec = sql::Parser::Parse(
+      "SELECT R.B, S.B FROM R,S,P WHERE R.A=S.A AND S.B=P.B");
+  auto iq = core::InputQuery::Create(1, 0, 0, *spec, &catalog);
+  auto t = sql::MakeTuple(
+      "R", {sql::Value::Int(3), sql::Value::Int(5), sql::Value::Int(7)}, 1,
+      1, 1);
+  core::Residual r = core::Residual(*iq).Bind(0, t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::IndexingCandidates(
+        r, core::RewriteIndexLevels::kIncludeAttribute));
+  }
+}
+BENCHMARK(BM_IndexingCandidates);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution z(static_cast<uint64_t>(state.range(0)), 0.9);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

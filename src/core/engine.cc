@@ -1,0 +1,602 @@
+#include "core/engine.h"
+
+#include "sql/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rjoin::core {
+
+RJoinEngine::RJoinEngine(EngineConfig config, const sql::Catalog* catalog,
+                         dht::ChordNetwork* network, dht::Transport* transport,
+                         sim::Simulator* simulator,
+                         stats::MetricsRegistry* metrics)
+    : config_(config),
+      catalog_(catalog),
+      network_(network),
+      transport_(transport),
+      simulator_(simulator),
+      metrics_(metrics),
+      rng_(config.seed) {
+  metrics_->Resize(network_->num_total());
+  states_.reserve(network_->num_total());
+  for (size_t i = 0; i < network_->num_total(); ++i) {
+    states_.push_back(std::make_unique<NodeState>(config_.ric_epoch));
+  }
+  transport_->set_handler(this);
+
+  if (config_.altt_delta != 0) {
+    altt_delta_ = config_.altt_delta;
+  } else {
+    // Section 4: overestimate the time for any message to cross the network
+    // — O(log N) hops, each bounded by delta — from a locally estimated
+    // network size. Factor 4 is the safety margin ("overestimate").
+    const double est = network_->EstimateSize(network_->AliveNodes().front());
+    const double hops = std::max(1.0, std::log2(std::max(2.0, est)));
+    // The latency bound per hop is not visible here; transports in this
+    // repo use single-digit tick hops, so bound a hop by 16 ticks.
+    altt_delta_ = static_cast<uint64_t>(4.0 * hops * 16.0);
+  }
+}
+
+StatusOr<uint64_t> RJoinEngine::SubmitQuery(dht::NodeIndex owner,
+                                            sql::Query spec) {
+  auto compiled = InputQuery::Create(next_query_id_, owner, simulator_->Now(),
+                                     std::move(spec), catalog_);
+  if (!compiled.ok()) return compiled.status();
+  const uint64_t id = next_query_id_++;
+  queries_.emplace(id, *compiled);
+
+  const sql::WindowSpec& w = (*compiled)->spec().window;
+  if (w.use_windows) {
+    ++num_windowed_queries_;
+    max_window_span_ = std::max(max_window_span_, w.size);
+  } else {
+    ++num_unwindowed_queries_;
+  }
+
+  IndexResidual(owner, Residual(*compiled));
+  return id;
+}
+
+StatusOr<uint64_t> RJoinEngine::SubmitOneTimeQuery(dht::NodeIndex owner,
+                                                   sql::Query spec) {
+  if (spec.window.use_windows) {
+    return Status::InvalidArgument(
+        "one-time queries take a snapshot; window clauses do not apply");
+  }
+  auto compiled = InputQuery::Create(next_query_id_, owner, simulator_->Now(),
+                                     std::move(spec), catalog_,
+                                     /*one_time=*/true);
+  if (!compiled.ok()) return compiled.status();
+  const uint64_t id = next_query_id_++;
+  queries_.emplace(id, *compiled);
+  IndexResidual(owner, Residual(*compiled));
+  return id;
+}
+
+StatusOr<uint64_t> RJoinEngine::SubmitQuerySql(dht::NodeIndex owner,
+                                               std::string_view sql_text) {
+  auto parsed = sql::Parser::Parse(sql_text);
+  if (!parsed.ok()) return parsed.status();
+  return SubmitQuery(owner, std::move(*parsed));
+}
+
+StatusOr<sql::TuplePtr> RJoinEngine::PublishTuple(
+    dht::NodeIndex publisher, const std::string& relation,
+    std::vector<sql::Value> values) {
+  const sql::Schema* schema = catalog_->Find(relation);
+  if (schema == nullptr) {
+    return Status::NotFound("unknown relation " + relation);
+  }
+  if (schema->arity() != values.size()) {
+    return Status::InvalidArgument("tuple arity mismatch for " + relation);
+  }
+  sql::TuplePtr t =
+      sql::MakeTuple(relation, std::move(values), simulator_->Now(),
+                     ++global_seq_, next_tuple_id_++);
+  if (config_.keep_history) history_.push_back(t);
+
+  // Procedure 1: index the tuple under 2k keys — one attribute-level and
+  // one value-level key per attribute — with one multiSend.
+  std::vector<std::pair<dht::NodeId, dht::MessagePtr>> batch;
+  batch.reserve(2 * schema->arity());
+  // Under attribute-level replication ([18]), each tuple's attribute-level
+  // copy goes to exactly one shard of the replica set.
+  const uint32_t shard =
+      config_.attr_replication > 1
+          ? static_cast<uint32_t>(t->seq_no % config_.attr_replication)
+          : 0;
+  for (size_t i = 0; i < schema->arity(); ++i) {
+    auto attr_msg = std::make_unique<NewTupleMsg>();
+    attr_msg->tuple = t;
+    attr_msg->key =
+        WithShard(AttributeKey(relation, schema->attributes()[i]), shard);
+    attr_msg->publisher = publisher;
+    batch.emplace_back(KeyId(attr_msg->key), std::move(attr_msg));
+
+    auto value_msg = std::make_unique<NewTupleMsg>();
+    value_msg->tuple = t;
+    value_msg->key = ValueKey(relation, schema->attributes()[i], t->values[i]);
+    value_msg->publisher = publisher;
+    batch.emplace_back(KeyId(value_msg->key), std::move(value_msg));
+  }
+  transport_->MultiSend(publisher, std::move(batch));
+  return t;
+}
+
+Status RJoinEngine::ObserveStreamHistory(
+    const std::string& relation, const std::vector<sql::Value>& values) {
+  const sql::Schema* schema = catalog_->Find(relation);
+  if (schema == nullptr) {
+    return Status::NotFound("unknown relation " + relation);
+  }
+  if (schema->arity() != values.size()) {
+    return Status::InvalidArgument("tuple arity mismatch for " + relation);
+  }
+  const uint64_t now = simulator_->Now();
+  for (size_t i = 0; i < schema->arity(); ++i) {
+    const IndexKey ak = AttributeKey(relation, schema->attributes()[i]);
+    state(network_->SuccessorOf(KeyId(ak))).rates.Record(ak.text, now);
+    const IndexKey vk = ValueKey(relation, schema->attributes()[i], values[i]);
+    state(network_->SuccessorOf(KeyId(vk))).rates.Record(vk.text, now);
+  }
+  return Status::Ok();
+}
+
+void RJoinEngine::HandleMessage(dht::NodeIndex self, dht::MessagePtr msg) {
+  if (auto* nt = dynamic_cast<NewTupleMsg*>(msg.get())) {
+    OnNewTuple(self, *nt);
+  } else if (auto* ev = dynamic_cast<EvalMsg*>(msg.get())) {
+    OnEval(self, *ev);
+  } else if (auto* an = dynamic_cast<AnswerMsg*>(msg.get())) {
+    OnAnswer(self, *an);
+  } else {
+    RJOIN_CHECK(false) << "unknown message type";
+  }
+}
+
+bool RJoinEngine::IsExpired(const Residual& r) const {
+  if (r.IsInputQuery()) return false;  // Continuous queries never expire.
+  const sql::WindowSpec& w = r.origin()->spec().window;
+  if (!w.use_windows || w.size == 0) return false;
+  const uint64_t next_pos = w.unit == sql::WindowSpec::Unit::kTime
+                                ? simulator_->Now()
+                                : global_seq_ + 1;
+  if (w.kind == sql::WindowSpec::Kind::kSliding) {
+    return next_pos > r.window_min() &&
+           next_pos - r.window_min() + 1 > w.size;
+  }
+  return next_pos / w.size > r.window_min() / w.size;  // Tumbling epoch.
+}
+
+bool RJoinEngine::WindowClosedByTuple(const Residual& r,
+                                      const sql::Tuple& t) const {
+  if (r.IsInputQuery()) return false;
+  const sql::WindowSpec& w = r.origin()->spec().window;
+  if (!w.use_windows || w.size == 0) return false;
+  const uint64_t pos =
+      w.unit == sql::WindowSpec::Unit::kTime ? t.pub_time : t.seq_no;
+  if (pos <= r.window_min()) return false;  // Older tuple: window still open.
+  if (w.kind == sql::WindowSpec::Kind::kSliding) {
+    return pos - r.window_min() + 1 > w.size;
+  }
+  return pos / w.size > r.window_min() / w.size;
+}
+
+void RJoinEngine::DropStoredQuery(dht::NodeIndex self, const IndexKey& key,
+                                  std::vector<StoredQuery>& bucket,
+                                  size_t i) {
+  if (bucket[i].residual.origin()->spec().distinct) {
+    state(self).distinct_fingerprints.erase(
+        key.text + bucket[i].residual.ContentFingerprint());
+  }
+  metrics_->RemoveStore(self);
+  bucket[i] = std::move(bucket.back());
+  bucket.pop_back();
+}
+
+void RJoinEngine::TryTrigger(dht::NodeIndex self, StoredQuery& sq,
+                             const IndexKey& key, const sql::TuplePtr& t) {
+  Residual& r = sq.residual;
+  const int rel = r.origin()->RelIndex(t->relation);
+  if (rel < 0 || r.IsBound(rel)) return;
+  if (r.origin()->one_time()) {
+    // One-time semantics: a snapshot over what existed at submission.
+    if (t->pub_time > r.origin()->ins_time()) return;
+  } else {
+    // Temporal condition of Definition 1 / Procedure 2: pubT(t) >= insT(q).
+    if (t->pub_time < r.origin()->ins_time()) return;
+  }
+  if (!r.WindowAdmits(rel, *t)) return;
+  if (!r.Matches(rel, *t)) return;
+
+  // DISTINCT rule of Section 4: a new tuple triggers this stored query only
+  // if its projection over the referenced attributes is new.
+  if (r.origin()->spec().distinct && key.level == Level::kValue) {
+    std::string proj;
+    for (int attr : r.origin()->projection_attrs(rel)) {
+      proj += t->values[static_cast<size_t>(attr)].ToKeyString();
+      proj += '|';
+    }
+    if (sq.seen_projections == nullptr) {
+      sq.seen_projections =
+          std::make_unique<std::unordered_set<std::string>>();
+    }
+    if (!sq.seen_projections->insert(proj).second) return;
+  }
+
+  CompleteOrForward(self, r.Bind(rel, t));
+}
+
+void RJoinEngine::CompleteOrForward(dht::NodeIndex self, Residual next) {
+  if (next.IsComplete()) {
+    auto msg = std::make_unique<AnswerMsg>();
+    msg->query_id = next.origin()->query_id();
+    msg->row = next.ExtractAnswer();
+    msg->completed_at = simulator_->Now();
+    transport_->SendDirect(self, next.origin()->owner(), std::move(msg));
+    return;
+  }
+  IndexResidual(self, std::move(next));
+}
+
+void RJoinEngine::OnNewTuple(dht::NodeIndex self, NewTupleMsg& msg) {
+  metrics_->AddQpl(self);
+  NodeState& st = state(self);
+  st.rates.Record(msg.key.text, simulator_->Now());
+
+  auto it = st.queries.find(msg.key.text);
+  if (it != st.queries.end()) {
+    auto& bucket = it->second;
+    for (size_t i = 0; i < bucket.size();) {
+      // Section 5: a triggering tuple that falls beyond the residual's
+      // window proves the window closed — the residual is deleted.
+      if (WindowClosedByTuple(bucket[i].residual, *msg.tuple)) {
+        DropStoredQuery(self, msg.key, bucket, i);
+        continue;  // Swap-erase: re-examine index i.
+      }
+      TryTrigger(self, bucket[i], msg.key, msg.tuple);
+      ++i;
+    }
+  }
+
+  if (msg.key.level == Level::kValue) {
+    // Procedure 2: value-level tuples are stored for future rewritten
+    // queries.
+    st.tuples[msg.key.text].push_back(msg.tuple);
+    metrics_->AddStore(self);
+    RecordKeyLoad(msg.key.text);
+  } else if (config_.enable_altt) {
+    // Section 4 fix: keep attribute-level tuples for Delta so that delayed
+    // input queries are not starved (Example 1).
+    auto& dq = st.altt[msg.key.text];
+    const uint64_t now = simulator_->Now();
+    const uint64_t expires = altt_delta_ > UINT64_MAX - now
+                                 ? UINT64_MAX
+                                 : now + altt_delta_;  // Saturating.
+    dq.push_back({msg.tuple, expires});
+    metrics_->AddAlttStore(self);
+    // Amortized expiry: drop stale entries from the front.
+    while (!dq.empty() && dq.front().expires < simulator_->Now()) {
+      dq.pop_front();
+    }
+  }
+}
+
+void RJoinEngine::OnEval(dht::NodeIndex self, EvalMsg& msg) {
+  metrics_->AddQpl(self);
+  NodeState& st = state(self);
+  for (const RicEntry& e : msg.piggyback) st.ct.Merge(e);
+
+  // DISTINCT set semantics: identical rewritten queries are handled once.
+  const bool distinct = msg.residual.origin()->spec().distinct;
+  std::string fp;
+  if (distinct) {
+    fp = msg.key.text + msg.residual.ContentFingerprint();
+    if (st.distinct_fingerprints.contains(fp)) return;
+  }
+
+  // Procedure 3: probe already-present tuples first — stored tuples can be
+  // older than the residual, so this must happen even if the residual's
+  // window admits no *future* tuples anymore.
+  StoredQuery sq{std::move(msg.residual), nullptr};
+  if (msg.key.level == Level::kValue) {
+    auto it = st.tuples.find(msg.key.text);
+    if (it != st.tuples.end()) {
+      // Probing only emits async messages; the tuple list is stable.
+      for (const sql::TuplePtr& t : it->second) {
+        TryTrigger(self, sq, msg.key, t);
+      }
+    }
+  } else if (config_.enable_altt) {
+    auto it = st.altt.find(msg.key.text);
+    if (it != st.altt.end()) {
+      for (const AlttEntry& e : it->second) {
+        if (e.expires < simulator_->Now()) continue;
+        TryTrigger(self, sq, msg.key, e.tuple);
+      }
+    }
+  }
+
+  // One-time queries never wait for future tuples: probe-and-forget.
+  if (sq.residual.origin()->one_time()) return;
+
+  // Store for future tuples unless the window has already closed
+  // (Section 5's status reduction).
+  if (IsExpired(sq.residual)) return;
+  if (distinct) st.distinct_fingerprints.insert(fp);
+  st.queries[msg.key.text].push_back(std::move(sq));
+  metrics_->AddStore(self);
+  RecordKeyLoad(msg.key.text);
+}
+
+void RJoinEngine::OnAnswer(dht::NodeIndex self, const AnswerMsg& msg) {
+  (void)self;
+  auto it = queries_.find(msg.query_id);
+  if (it != queries_.end() && it->second->spec().distinct) {
+    // Owner-side final duplicate suppression for DISTINCT queries: a local
+    // computation at the querying node, no network cost.
+    const std::string row_key = sql::AnswerRowKey(msg.row);
+    if (!distinct_rows_[msg.query_id].insert(row_key).second) {
+      ++distinct_suppressed_;
+      return;
+    }
+  }
+  answers_.push_back(Answer{msg.query_id, msg.row, simulator_->Now()});
+  metrics_->AddAnswer();
+}
+
+void RJoinEngine::GatherRic(dht::NodeIndex src,
+                            const std::vector<IndexKey>& candidates,
+                            std::vector<uint64_t>* rates,
+                            std::vector<dht::NodeIndex>* nodes) {
+  const uint64_t now = simulator_->Now();
+  NodeState& st = state(src);
+  rates->resize(candidates.size());
+  nodes->resize(candidates.size());
+
+  std::vector<size_t> unknown;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const std::string& key = candidates[i].text;
+    const RicEntry* cached =
+        config_.reuse_ric_info ? st.ct.Find(key) : nullptr;
+    if (cached != nullptr && now - cached->timestamp <= config_.ct_validity) {
+      // Fresh cache hit (Section 7): no messages at all.
+      (*rates)[i] = cached->rate;
+      (*nodes)[i] = cached->node;
+    } else if (cached != nullptr) {
+      // Stale but the responsible node's address is known: refresh with a
+      // 2-message direct exchange instead of an O(log N) route.
+      const dht::NodeIndex cand = network_->SuccessorOf(KeyId(candidates[i]));
+      if (config_.charge_ric_messages) {
+        transport_->ChargeTraffic(src, 1, /*ric=*/true);
+        transport_->ChargeTraffic(cand, 1, /*ric=*/true);
+      }
+      const uint64_t rate = state(cand).rates.Rate(key, now);
+      (*rates)[i] = rate;
+      (*nodes)[i] = cand;
+      st.ct.Merge(RicEntry{key, rate, now, cand});
+    } else {
+      unknown.push_back(i);
+    }
+  }
+
+  if (unknown.empty()) return;
+
+  // Section 6's chained request: the message hops through the unknown
+  // candidates (each leg an O(log N) route, piggy-backing answers), and the
+  // last candidate returns everything to src directly — k*O(log N) + 1
+  // messages; the later index message is the "+1" more.
+  dht::NodeIndex prev = src;
+  for (size_t i : unknown) {
+    const dht::NodeIndex cand = network_->SuccessorOf(KeyId(candidates[i]));
+    if (config_.charge_ric_messages) {
+      transport_->ChargeRoute(prev, KeyId(candidates[i]), /*ric=*/true);
+    }
+    const uint64_t rate = state(cand).rates.Rate(candidates[i].text, now);
+    (*rates)[i] = rate;
+    (*nodes)[i] = cand;
+    st.ct.Merge(RicEntry{candidates[i].text, rate, now, cand});
+    prev = cand;
+  }
+  if (config_.charge_ric_messages) {
+    transport_->ChargeTraffic(prev, 1, /*ric=*/true);  // Direct reply to src.
+  }
+}
+
+void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
+  const std::vector<IndexKey> candidates =
+      IndexingCandidates(residual, config_.rewrite_levels);
+  RJOIN_CHECK(!candidates.empty())
+      << "residual of query " << residual.origin()->query_id()
+      << " has no indexing candidates";
+
+  size_t chosen = 0;
+  bool address_known = false;
+  dht::NodeIndex chosen_node = dht::kInvalidNode;
+
+  switch (config_.policy) {
+    case PlannerPolicy::kFirstInClause:
+      chosen = 0;
+      break;
+    case PlannerPolicy::kRandom:
+      chosen = static_cast<size_t>(rng_.NextBounded(candidates.size()));
+      break;
+    case PlannerPolicy::kWorst: {
+      // Adversarial oracle: reads true rates without RIC traffic.
+      uint64_t worst_rate = 0;
+      const uint64_t now = simulator_->Now();
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        const dht::NodeIndex cand =
+            network_->SuccessorOf(KeyId(candidates[i]));
+        const uint64_t rate = state(cand).rates.Rate(candidates[i].text, now);
+        if (rate > worst_rate) {
+          worst_rate = rate;
+          chosen = i;
+        }
+      }
+      // Prefer attribute-level keys on ties: they see every tuple of the
+      // relation-attribute pair, the worst possible placement.
+      if (worst_rate == 0) {
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (candidates[i].level == Level::kAttribute) {
+            chosen = i;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case PlannerPolicy::kRic: {
+      std::vector<uint64_t> rates;
+      std::vector<dht::NodeIndex> nodes;
+      GatherRic(src, candidates, &rates, &nodes);
+      uint64_t best = UINT64_MAX;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        // Strictly lower rate wins; on ties prefer value-level keys (finer
+        // grain, better load distribution), then clause order.
+        const bool better =
+            rates[i] < best ||
+            (rates[i] == best &&
+             candidates[chosen].level == Level::kAttribute &&
+             candidates[i].level == Level::kValue);
+        if (better) {
+          best = rates[i];
+          chosen = i;
+        }
+      }
+      chosen_node = nodes[chosen];
+      address_known = chosen_node != dht::kInvalidNode;
+      break;
+    }
+  }
+
+  const IndexKey& key = candidates[chosen];
+
+  // Section 7: pack the RIC info we hold for this residual's candidate keys
+  // so the next node can avoid re-asking (typically only the one new
+  // implied triple needs a lookup there).
+  NodeState& st = state(src);
+  std::vector<RicEntry> piggyback;
+  if (config_.reuse_ric_info) {
+    for (const IndexKey& c : candidates) {
+      if (const RicEntry* e = st.ct.Find(c.text)) piggyback.push_back(*e);
+    }
+  }
+
+  // Attribute-level placements are replicated across the shard positions of
+  // [18]; each tuple reaches exactly one shard, so replicas split the load
+  // without duplicating answers. Value-level placements are single-copy.
+  const uint32_t copies = (key.level == Level::kAttribute)
+                              ? config_.attr_replication
+                              : 1;
+  for (uint32_t s = 0; s < copies; ++s) {
+    auto msg = std::make_unique<EvalMsg>();
+    msg->key = copies > 1 ? WithShard(key, s) : key;
+    msg->piggyback = piggyback;
+    if (s + 1 == copies) {
+      msg->residual = std::move(residual);
+    } else {
+      msg->residual = residual;
+    }
+    const dht::NodeId target = KeyId(msg->key);
+    if (address_known && copies == 1) {
+      // The RIC exchange told us the responsible node's address: one hop.
+      transport_->SendDirect(src, chosen_node, std::move(msg));
+    } else {
+      transport_->Send(src, target, std::move(msg));
+    }
+  }
+}
+
+void RJoinEngine::SweepWindows() {
+  const bool drop_tuples = config_.gc_stored_tuples &&
+                           num_unwindowed_queries_ == 0 &&
+                           num_windowed_queries_ > 0 && max_window_span_ > 0;
+  for (dht::NodeIndex n = 0; n < states_.size(); ++n) {
+    NodeState& st = *states_[n];
+    for (auto& [key_text, bucket] : st.queries) {
+      IndexKey key;  // Reconstructed for fingerprint bookkeeping.
+      key.text = key_text;
+      for (size_t i = 0; i < bucket.size();) {
+        if (IsExpired(bucket[i].residual)) {
+          DropStoredQuery(n, key, bucket, i);
+        } else {
+          ++i;
+        }
+      }
+    }
+    if (!drop_tuples) continue;
+    // A stored tuple older than the largest window can never combine with
+    // future tuples for any live (all-windowed) query.
+    for (auto& [key_text, tuples] : st.tuples) {
+      auto expired = [&](const sql::TuplePtr& t) {
+        // Conservative: use both clocks; drop only if out of range for the
+        // larger of the two interpretations.
+        const uint64_t now_time = simulator_->Now();
+        const uint64_t now_seq = global_seq_ + 1;
+        const bool time_out = now_time > t->pub_time &&
+                              now_time - t->pub_time + 1 > max_window_span_;
+        const bool seq_out =
+            now_seq > t->seq_no && now_seq - t->seq_no + 1 > max_window_span_;
+        return time_out && seq_out;
+      };
+      size_t kept = 0;
+      for (size_t i = 0; i < tuples.size(); ++i) {
+        if (expired(tuples[i])) {
+          metrics_->RemoveStore(n);
+        } else {
+          tuples[kept++] = tuples[i];
+        }
+      }
+      tuples.resize(kept);
+    }
+  }
+}
+
+std::vector<Answer> RJoinEngine::AnswersFor(uint64_t query_id) const {
+  std::vector<Answer> out;
+  for (const Answer& a : answers_) {
+    if (a.query_id == query_id) out.push_back(a);
+  }
+  return out;
+}
+
+size_t RJoinEngine::CountStoredQueries() const {
+  size_t n = 0;
+  for (const auto& st : states_) {
+    for (const auto& [key, bucket] : st->queries) n += bucket.size();
+  }
+  return n;
+}
+
+size_t RJoinEngine::CountStoredTuples() const {
+  size_t n = 0;
+  for (const auto& st : states_) {
+    for (const auto& [key, bucket] : st->tuples) n += bucket.size();
+  }
+  return n;
+}
+
+std::vector<dht::KeyLoad> RJoinEngine::KeyLoadProfile() const {
+  std::vector<dht::KeyLoad> out;
+  out.reserve(key_load_.size());
+  for (const auto& [text, weight] : key_load_) {
+    out.push_back({dht::NodeId::FromKey(text), weight});
+  }
+  return out;
+}
+
+InputQueryPtr RJoinEngine::FindQuery(uint64_t query_id) const {
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? nullptr : it->second;
+}
+
+void RJoinEngine::RecordKeyLoad(const std::string& key_text) {
+  ++key_load_[key_text];
+}
+
+}  // namespace rjoin::core

@@ -1,0 +1,255 @@
+#ifndef RJOIN_CORE_ENGINE_H_
+#define RJOIN_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/key.h"
+#include "core/messages.h"
+#include "core/node_state.h"
+#include "core/planner.h"
+#include "core/residual.h"
+#include "dht/chord_network.h"
+#include "dht/load_balancer.h"
+#include "dht/transport.h"
+#include "sim/simulator.h"
+#include "sql/parser.h"
+#include "sql/schema.h"
+#include "stats/metrics.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace rjoin::core {
+
+/// Tunables of the RJoin engine. Defaults follow the paper's algorithm
+/// (RIC-driven planning, ALTT enabled).
+struct EngineConfig {
+  /// Where-to-index strategy (Section 6 / Fig. 2 baselines).
+  PlannerPolicy policy = PlannerPolicy::kRic;
+
+  /// Indexing levels available to rewritten queries. kValuePreferred
+  /// (Section 3's default) preserves completeness with a finite ALTT Delta;
+  /// kIncludeAttribute (the Section 6 generalization) requires
+  /// altt_delta = kInfiniteDelta for completeness.
+  RewriteIndexLevels rewrite_levels = RewriteIndexLevels::kValuePreferred;
+
+  /// Charge the network messages of RIC requests (Sections 6-7). Disable to
+  /// model an oracle with free statistics (used in ablation benches).
+  bool charge_ric_messages = true;
+
+  /// Section 7's traffic minimization: cache RIC info in candidate tables
+  /// and piggy-back it on rewritten queries. Disabling this pays the full
+  /// k*O(log N) chain for every indexing decision (ablation baseline).
+  bool reuse_ric_info = true;
+
+  /// Keep attribute-level tuples for Delta ticks so delayed input queries
+  /// still meet them (the eventual-completeness fix of Section 4).
+  bool enable_altt = true;
+
+  /// Delta for the ALTT; 0 derives it from the estimated network size and
+  /// the latency bound (Section 4's overestimate); kInfiniteDelta keeps
+  /// attribute-level tuples forever (the paper's "extreme solution", also
+  /// usable for one-time queries).
+  uint64_t altt_delta = 0;
+
+  static constexpr uint64_t kInfiniteDelta = UINT64_MAX;
+
+  /// Observation-epoch length for tuple-rate tracking (RIC, Section 6).
+  uint64_t ric_epoch = 256;
+
+  /// How long a cached candidate-table entry counts as fresh (Section 7);
+  /// stale entries are refreshed with a 2-message direct exchange.
+  uint64_t ct_validity = 4096;
+
+  /// Record every published tuple (for oracle-based tests).
+  bool keep_history = false;
+
+  /// During SweepWindows(), also drop stored value-level tuples that can no
+  /// longer fall into any window (only when every live query is windowed).
+  bool gc_stored_tuples = true;
+
+  /// Replication factor for attribute-level indexing, the load-spreading
+  /// scheme of [18] referenced in Section 3: queries indexed at attribute
+  /// level are stored at `attr_replication` shard positions and each
+  /// tuple's attribute-level copy is delivered to exactly one shard, so hot
+  /// attribute-level nodes split their processing load r ways without
+  /// duplicating answers. 1 disables replication.
+  uint32_t attr_replication = 1;
+
+  /// Seed for the engine's internal randomness (kRandom policy).
+  uint64_t seed = 42;
+};
+
+/// An answer delivered to the owner of a continuous query.
+struct Answer {
+  uint64_t query_id = 0;
+  std::vector<sql::Value> row;
+  uint64_t delivered_at = 0;
+};
+
+/// The RJoin engine: implements the recursive-join algorithm of the paper on
+/// top of a Chord overlay. One engine instance hosts the application-layer
+/// state of *all* simulated nodes and implements the message handlers of
+/// Procedures 1-3.
+///
+/// Typical use:
+///   auto net = dht::ChordNetwork::Create(1000);
+///   ... build Transport, Simulator, MetricsRegistry ...
+///   RJoinEngine engine(cfg, &catalog, net.get(), &transport, &sim, &metrics);
+///   engine.SubmitQuerySql(owner, "SELECT R.B, S.B FROM R,S,P WHERE ...");
+///   engine.PublishTuple(publisher, "R", {Value::Int(3), Value::Int(5)});
+///   sim.Run();
+///   for (const Answer& a : engine.answers()) ...
+class RJoinEngine : public dht::MessageHandler {
+ public:
+  RJoinEngine(EngineConfig config, const sql::Catalog* catalog,
+              dht::ChordNetwork* network, dht::Transport* transport,
+              sim::Simulator* simulator, stats::MetricsRegistry* metrics);
+
+  RJoinEngine(const RJoinEngine&) = delete;
+  RJoinEngine& operator=(const RJoinEngine&) = delete;
+
+  /// Submits a continuous query from `owner`. The query is validated,
+  /// compiled, and indexed in the network (attribute level). Returns the
+  /// query id used to collect answers.
+  StatusOr<uint64_t> SubmitQuery(dht::NodeIndex owner, sql::Query spec);
+
+  /// Convenience: parse then submit.
+  StatusOr<uint64_t> SubmitQuerySql(dht::NodeIndex owner,
+                                    std::string_view sql_text);
+
+  /// Submits a one-time (snapshot) query: evaluated over the tuples already
+  /// published at submission time, never stored for future triggers.
+  /// Completeness requires the ALTT to retain history — Section 4's "Delta
+  /// can be infinity" mode (EngineConfig::kInfiniteDelta); with a finite
+  /// Delta only the last Delta's worth of attribute-level history is seen.
+  StatusOr<uint64_t> SubmitOneTimeQuery(dht::NodeIndex owner,
+                                        sql::Query spec);
+
+  /// Publishes a tuple from `publisher` (Procedure 1: 2k messages). Returns
+  /// the published tuple (with pub_time/seq_no assigned).
+  StatusOr<sql::TuplePtr> PublishTuple(dht::NodeIndex publisher,
+                                       const std::string& relation,
+                                       std::vector<sql::Value> values);
+
+  /// Records the rate observations a tuple would generate, without
+  /// publishing it: each responsible node counts one arrival under the
+  /// tuple's 2k keys. Models the stream history a long-running network has
+  /// already seen — Section 6's RIC decisions "observe what has happened
+  /// during the last time window", which requires a last window to exist.
+  Status ObserveStreamHistory(const std::string& relation,
+                              const std::vector<sql::Value>& values);
+
+  /// dht::MessageHandler: dispatches NewTuple / Eval / Answer messages.
+  void HandleMessage(dht::NodeIndex self, dht::MessagePtr msg) override;
+
+  /// Garbage collection: drops expired window residuals everywhere, and —
+  /// when every live query is windowed and gc_stored_tuples is set — stored
+  /// tuples that cannot participate in any future window (Section 5's
+  /// status-reduction mechanism).
+  void SweepWindows();
+
+  /// All answers delivered so far (across queries), in delivery order.
+  const std::vector<Answer>& answers() const { return answers_; }
+
+  /// Answers of one query.
+  std::vector<Answer> AnswersFor(uint64_t query_id) const;
+
+  /// Published-tuple history (only if keep_history).
+  const std::vector<sql::TuplePtr>& history() const { return history_; }
+
+  /// The resolved ALTT Delta actually in use.
+  uint64_t altt_delta() const { return altt_delta_; }
+
+  /// Total live stored residuals / value-level tuples (walks all nodes;
+  /// prefer MetricsRegistry counters in hot loops).
+  size_t CountStoredQueries() const;
+  size_t CountStoredTuples() const;
+
+  /// Per-key cumulative storage responsibility, as ring positions with
+  /// weights — the input of the id-movement balancer (Fig. 9).
+  std::vector<dht::KeyLoad> KeyLoadProfile() const;
+
+  /// Duplicate answer rows suppressed at owners of DISTINCT queries.
+  uint64_t distinct_suppressed() const { return distinct_suppressed_; }
+
+  /// The input query object (for tests).
+  InputQueryPtr FindQuery(uint64_t query_id) const;
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  NodeState& state(dht::NodeIndex n) { return *states_[n]; }
+
+  /// Decides where to index `residual` (planner policies of Section 6,
+  /// RIC gathering and candidate-table reuse of Section 7) and ships it.
+  void IndexResidual(dht::NodeIndex src, Residual residual);
+
+  /// RIC acquisition for a candidate set; fills predicted rates and
+  /// responsible nodes, charging messages per Sections 6-7 when enabled.
+  void GatherRic(dht::NodeIndex src, const std::vector<IndexKey>& candidates,
+                 std::vector<uint64_t>* rates,
+                 std::vector<dht::NodeIndex>* nodes);
+
+  void OnNewTuple(dht::NodeIndex self, NewTupleMsg& msg);
+  void OnEval(dht::NodeIndex self, EvalMsg& msg);
+  void OnAnswer(dht::NodeIndex self, const AnswerMsg& msg);
+
+  /// Shared trigger step: try to bind `t` into the stored query `sq`
+  /// (temporal check, predicate match, window admission, DISTINCT rule).
+  /// On success forwards or completes the new residual.
+  void TryTrigger(dht::NodeIndex self, StoredQuery& sq, const IndexKey& key,
+                  const sql::TuplePtr& t);
+
+  void CompleteOrForward(dht::NodeIndex self, Residual next);
+
+  /// Window-expiry check for a stored residual against the next possible
+  /// tuple position (garbage-collection view; used by sweeps and when a
+  /// residual arrives for storage).
+  bool IsExpired(const Residual& r) const;
+
+  /// Section 5's per-trigger validity rule: the incoming tuple `t` proves
+  /// the residual's window has closed (t is newer than the window allows).
+  bool WindowClosedByTuple(const Residual& r, const sql::Tuple& t) const;
+
+  /// Removes bucket[i] (swap-erase) with metric + fingerprint bookkeeping.
+  void DropStoredQuery(dht::NodeIndex self, const IndexKey& key,
+                       std::vector<StoredQuery>& bucket, size_t i);
+
+  void RecordKeyLoad(const std::string& key_text);
+
+  EngineConfig config_;
+  const sql::Catalog* catalog_;
+  dht::ChordNetwork* network_;
+  dht::Transport* transport_;
+  sim::Simulator* simulator_;
+  stats::MetricsRegistry* metrics_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<NodeState>> states_;
+  std::unordered_map<uint64_t, InputQueryPtr> queries_;
+  std::vector<Answer> answers_;
+  std::unordered_map<uint64_t, std::unordered_set<std::string>>
+      distinct_rows_;  // per-DISTINCT-query delivered rows (owner-side)
+  uint64_t distinct_suppressed_ = 0;
+
+  std::vector<sql::TuplePtr> history_;
+  std::unordered_map<std::string, uint64_t> key_load_;
+
+  uint64_t next_query_id_ = 1;
+  uint64_t next_tuple_id_ = 1;
+  uint64_t global_seq_ = 0;  // publication sequence (tuple-window clock)
+  uint64_t altt_delta_ = 0;
+  uint64_t num_windowed_queries_ = 0;
+  uint64_t num_unwindowed_queries_ = 0;
+  uint64_t max_window_span_ = 0;  // largest window size over live queries
+};
+
+}  // namespace rjoin::core
+
+#endif  // RJOIN_CORE_ENGINE_H_

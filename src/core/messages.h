@@ -1,0 +1,43 @@
+#ifndef RJOIN_CORE_MESSAGES_H_
+#define RJOIN_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/key.h"
+#include "core/residual.h"
+#include "core/ric.h"
+#include "dht/transport.h"
+#include "sql/tuple.h"
+#include "sql/value.h"
+
+namespace rjoin::core {
+
+/// Procedure 1's newTuple(t, Key, IP(x), Level): a tuple indexed under one
+/// of its 2k keys (k attribute-level + k value-level).
+struct NewTupleMsg : public dht::Message {
+  sql::TuplePtr tuple;
+  IndexKey key;
+  dht::NodeIndex publisher = dht::kInvalidNode;
+};
+
+/// Procedures 2/3's Eval(q', Key, Owner(q)): an input or rewritten query
+/// being (re)indexed at the node responsible for `key`. Carries piggy-backed
+/// RIC info (Section 7) so the receiver can index further rewrites cheaply.
+struct EvalMsg : public dht::Message {
+  Residual residual;
+  IndexKey key;
+  std::vector<RicEntry> piggyback;
+};
+
+/// An answer tuple sent back to the node that submitted the input query
+/// (sendDirect to Owner(q)).
+struct AnswerMsg : public dht::Message {
+  uint64_t query_id = 0;
+  std::vector<sql::Value> row;
+  uint64_t completed_at = 0;
+};
+
+}  // namespace rjoin::core
+
+#endif  // RJOIN_CORE_MESSAGES_H_

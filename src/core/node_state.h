@@ -1,0 +1,62 @@
+#ifndef RJOIN_CORE_NODE_STATE_H_
+#define RJOIN_CORE_NODE_STATE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/residual.h"
+#include "core/ric.h"
+#include "sql/tuple.h"
+
+namespace rjoin::core {
+
+/// A query (input or rewritten) stored at a node, bucketed under the index
+/// key it was stored with. `seen_projections` implements the DISTINCT rule
+/// of Section 4: projections of tuples that already triggered this query.
+struct StoredQuery {
+  Residual residual;
+  std::unique_ptr<std::unordered_set<std::string>> seen_projections;
+};
+
+/// Entry of the attribute-level tuple table (ALTT, Section 4): a tuple kept
+/// for Delta time units so that an input query delayed in transit still
+/// meets it.
+struct AlttEntry {
+  sql::TuplePtr tuple;
+  uint64_t expires = 0;
+};
+
+/// All RJoin state of one network node. Buckets are keyed by IndexKey text;
+/// a node only ever receives keys it is the successor of.
+class NodeState {
+ public:
+  explicit NodeState(uint64_t ric_epoch) : rates(ric_epoch) {}
+
+  /// Input and rewritten queries stored locally, by index key.
+  std::unordered_map<std::string, std::vector<StoredQuery>> queries;
+
+  /// Value-level tuple store (Procedure 2 stores every value-level tuple).
+  std::unordered_map<std::string, std::vector<sql::TuplePtr>> tuples;
+
+  /// Attribute-level tuple table with Delta-expiry (entries are appended in
+  /// arrival order, so expired entries cluster at the front).
+  std::unordered_map<std::string, std::deque<AlttEntry>> altt;
+
+  /// Fingerprints of stored residuals of DISTINCT queries (key + content),
+  /// so identical rewritten queries are stored once (set semantics).
+  std::unordered_set<std::string> distinct_fingerprints;
+
+  /// Tuple-arrival rates per key (the RIC source, Section 6).
+  RateTracker rates;
+
+  /// Cached RIC info (the candidate table, Section 7).
+  CandidateTable ct;
+};
+
+}  // namespace rjoin::core
+
+#endif  // RJOIN_CORE_NODE_STATE_H_

@@ -1,0 +1,97 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rjoin::core {
+
+const char* PlannerPolicyName(PlannerPolicy policy) {
+  switch (policy) {
+    case PlannerPolicy::kFirstInClause:
+      return "FirstInClause";
+    case PlannerPolicy::kRandom:
+      return "Random";
+    case PlannerPolicy::kWorst:
+      return "Worst";
+    case PlannerPolicy::kRic:
+      return "RJoin(RIC)";
+  }
+  return "Unknown";
+}
+
+namespace {
+void PushUnique(std::vector<IndexKey>& out, IndexKey key) {
+  if (std::find(out.begin(), out.end(), key) == out.end()) {
+    out.push_back(std::move(key));
+  }
+}
+}  // namespace
+
+std::vector<IndexKey> IndexingCandidates(const Residual& residual,
+                                          RewriteIndexLevels levels) {
+  const InputQuery& q = *residual.origin();
+  const sql::Query& spec = q.spec();
+  std::vector<IndexKey> out;
+
+  if (residual.IsInputQuery()) {
+    // Input queries: attribute-level keys from WHERE-clause expressions, in
+    // clause order (join sides first, then selections).
+    for (const auto& j : spec.joins) {
+      PushUnique(out, AttributeKey(j.left.relation, j.left.attribute));
+      PushUnique(out, AttributeKey(j.right.relation, j.right.attribute));
+    }
+    for (const auto& s : spec.selections) {
+      PushUnique(out, AttributeKey(s.attr.relation, s.attr.attribute));
+    }
+    if (out.empty() && q.num_relations() == 1) {
+      // Single-relation query with no predicates: fall back to the first
+      // attribute of the relation so every tuple of it reaches the query.
+      const sql::Schema& schema = q.schema(0);
+      RJOIN_CHECK(schema.arity() > 0);
+      out.push_back(AttributeKey(q.relation_name(0), schema.attributes()[0]));
+    }
+    return out;
+  }
+
+  // Rewritten queries — value-level candidates first.
+  // (c) implied triples: join predicates with exactly one side bound.
+  for (size_t i = 0; i < q.joins().size(); ++i) {
+    const auto& rj = q.joins()[i];
+    const sql::JoinPredicate& orig = spec.joins[i];
+    const sql::Value* l = residual.BoundValue(rj.left_rel, rj.left_attr);
+    const sql::Value* r = residual.BoundValue(rj.right_rel, rj.right_attr);
+    if (l != nullptr && r == nullptr) {
+      PushUnique(out,
+                 ValueKey(orig.right.relation, orig.right.attribute, *l));
+    } else if (l == nullptr && r != nullptr) {
+      PushUnique(out, ValueKey(orig.left.relation, orig.left.attribute, *r));
+    }
+  }
+  // (b) explicit selection triples on unbound relations.
+  for (size_t i = 0; i < q.selections().size(); ++i) {
+    const auto& rs = q.selections()[i];
+    if (residual.IsBound(rs.rel)) continue;
+    const sql::SelectionPredicate& orig = spec.selections[i];
+    PushUnique(out, ValueKey(orig.attr.relation, orig.attr.attribute,
+                             orig.value));
+  }
+  // (a) attribute-level pairs from join conditions still fully open. Under
+  // kValuePreferred these are a fallback for residuals with no value-level
+  // option (see RewriteIndexLevels for the completeness rationale).
+  if (levels == RewriteIndexLevels::kValuePreferred && !out.empty()) {
+    return out;
+  }
+  for (size_t i = 0; i < q.joins().size(); ++i) {
+    const auto& rj = q.joins()[i];
+    if (residual.IsBound(rj.left_rel) || residual.IsBound(rj.right_rel)) {
+      continue;
+    }
+    const sql::JoinPredicate& orig = spec.joins[i];
+    PushUnique(out, AttributeKey(orig.left.relation, orig.left.attribute));
+    PushUnique(out, AttributeKey(orig.right.relation, orig.right.attribute));
+  }
+  return out;
+}
+
+}  // namespace rjoin::core

@@ -1,0 +1,280 @@
+#include "core/residual.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace rjoin::core {
+
+StatusOr<InputQueryPtr> InputQuery::Create(uint64_t query_id,
+                                           dht::NodeIndex owner,
+                                           uint64_t ins_time, sql::Query spec,
+                                           const sql::Catalog* catalog,
+                                           bool one_time) {
+  auto q = std::shared_ptr<InputQuery>(new InputQuery());
+  q->query_id_ = query_id;
+  q->owner_ = owner;
+  q->ins_time_ = ins_time;
+  q->one_time_ = one_time;
+  q->spec_ = std::move(spec);
+  const sql::Query& s = q->spec_;
+
+  if (s.relations.empty()) {
+    return Status::InvalidArgument("query has no FROM relations");
+  }
+  // Resolve relations.
+  for (size_t i = 0; i < s.relations.size(); ++i) {
+    for (size_t j = i + 1; j < s.relations.size(); ++j) {
+      if (s.relations[i] == s.relations[j]) {
+        return Status::Unimplemented(
+            "self-joins (duplicate FROM relation) are not supported");
+      }
+    }
+    const sql::Schema* schema = catalog->Find(s.relations[i]);
+    if (schema == nullptr) {
+      return Status::NotFound("unknown relation " + s.relations[i]);
+    }
+    q->schemas_.push_back(schema);
+  }
+
+  auto resolve = [&](const sql::AttrRef& a, int& rel,
+                     int& attr) -> Status {
+    rel = q->RelIndex(a.relation);
+    if (rel < 0) {
+      return Status::InvalidArgument("attribute " + a.ToString() +
+                                     " references relation not in FROM");
+    }
+    attr = q->schemas_[static_cast<size_t>(rel)]->AttrIndex(a.attribute);
+    if (attr < 0) {
+      return Status::InvalidArgument("unknown attribute " + a.ToString());
+    }
+    return Status::Ok();
+  };
+
+  for (const auto& j : s.joins) {
+    ResolvedJoin rj{};
+    if (auto st = resolve(j.left, rj.left_rel, rj.left_attr); !st.ok()) {
+      return st;
+    }
+    if (auto st = resolve(j.right, rj.right_rel, rj.right_attr); !st.ok()) {
+      return st;
+    }
+    if (rj.left_rel == rj.right_rel) {
+      return Status::Unimplemented(
+          "join predicate within a single relation is not supported");
+    }
+    q->joins_.push_back(rj);
+  }
+  for (const auto& sel : s.selections) {
+    ResolvedSelection rs{};
+    if (auto st = resolve(sel.attr, rs.rel, rs.attr); !st.ok()) return st;
+    rs.value = sel.value;
+    q->selections_.push_back(rs);
+  }
+  for (const auto& item : s.select_list) {
+    ResolvedSelectItem ri;
+    if (item.is_constant()) {
+      ri.is_const = true;
+      ri.constant = *item.constant;
+    } else {
+      if (auto st = resolve(item.attr, ri.rel, ri.attr); !st.ok()) return st;
+    }
+    q->select_items_.push_back(std::move(ri));
+  }
+
+  // Every relation of a multi-way query must occur in at least one
+  // predicate, otherwise some residual would have no index key (pure
+  // cartesian products are not expressible in RJoin's indexing scheme).
+  if (s.relations.size() > 1) {
+    std::vector<bool> covered(s.relations.size(), false);
+    for (const auto& j : q->joins_) {
+      covered[static_cast<size_t>(j.left_rel)] = true;
+      covered[static_cast<size_t>(j.right_rel)] = true;
+    }
+    for (const auto& sel : q->selections_) {
+      covered[static_cast<size_t>(sel.rel)] = true;
+    }
+    for (size_t i = 0; i < covered.size(); ++i) {
+      if (!covered[i]) {
+        return Status::InvalidArgument(
+            "relation " + s.relations[i] +
+            " appears in no predicate (cartesian product not supported)");
+      }
+    }
+  }
+
+  // Projection attribute sets for the DISTINCT rule.
+  q->proj_attrs_.resize(s.relations.size());
+  for (size_t rel = 0; rel < s.relations.size(); ++rel) {
+    std::set<int> attrs;
+    for (const auto& j : q->joins_) {
+      if (j.left_rel == static_cast<int>(rel)) attrs.insert(j.left_attr);
+      if (j.right_rel == static_cast<int>(rel)) attrs.insert(j.right_attr);
+    }
+    for (const auto& sel : q->selections_) {
+      if (sel.rel == static_cast<int>(rel)) attrs.insert(sel.attr);
+    }
+    for (const auto& item : q->select_items_) {
+      if (!item.is_const && item.rel == static_cast<int>(rel)) {
+        attrs.insert(item.attr);
+      }
+    }
+    q->proj_attrs_[rel].assign(attrs.begin(), attrs.end());
+  }
+
+  return InputQueryPtr(q);
+}
+
+int InputQuery::RelIndex(const std::string& relation) const {
+  for (size_t i = 0; i < spec_.relations.size(); ++i) {
+    if (spec_.relations[i] == relation) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const sql::Value* Residual::BoundValue(int rel, int attr) const {
+  const sql::TuplePtr* t = FindBound(rel);
+  if (t == nullptr) return nullptr;
+  return &(*t)->values[static_cast<size_t>(attr)];
+}
+
+bool Residual::Matches(int rel, const sql::Tuple& t) const {
+  // Original selection predicates on this relation.
+  for (const auto& sel : origin_->selections()) {
+    if (sel.rel != rel) continue;
+    if (t.values[static_cast<size_t>(sel.attr)] != sel.value) return false;
+  }
+  // Join predicates whose other side is already bound act as implied
+  // selections (the rewriting of Section 3).
+  for (const auto& j : origin_->joins()) {
+    int my_attr, other_rel, other_attr;
+    if (j.left_rel == rel) {
+      my_attr = j.left_attr;
+      other_rel = j.right_rel;
+      other_attr = j.right_attr;
+    } else if (j.right_rel == rel) {
+      my_attr = j.right_attr;
+      other_rel = j.left_rel;
+      other_attr = j.left_attr;
+    } else {
+      continue;
+    }
+    const sql::Value* other = BoundValue(other_rel, other_attr);
+    if (other == nullptr) continue;  // Both sides still unbound.
+    if (t.values[static_cast<size_t>(my_attr)] != *other) return false;
+  }
+  return true;
+}
+
+namespace {
+uint64_t WindowPositionOf(const sql::WindowSpec& w, const sql::Tuple& t) {
+  return w.unit == sql::WindowSpec::Unit::kTime ? t.pub_time : t.seq_no;
+}
+}  // namespace
+
+bool Residual::WindowAdmits(int rel, const sql::Tuple& t) const {
+  (void)rel;
+  const sql::WindowSpec& w = origin_->spec().window;
+  if (!w.use_windows) return true;
+  if (bound_.empty()) return true;  // First binding opens the window.
+  const uint64_t p = WindowPositionOf(w, t);
+  const uint64_t lo = std::min(window_min_, p);
+  const uint64_t hi = std::max(window_max_, p);
+  if (w.kind == sql::WindowSpec::Kind::kSliding) {
+    // The paper's rule: |start(q) - pubT(t)| + 1 <= window. We track the
+    // true extremes of the partial combination, which makes the test exact
+    // for out-of-order arrivals as well.
+    return hi - lo + 1 <= w.size;
+  }
+  if (w.size == 0) return false;
+  return lo / w.size == hi / w.size;  // Tumbling: same epoch.
+}
+
+Residual Residual::Bind(int rel, sql::TuplePtr t) const {
+  RJOIN_CHECK(!IsBound(rel)) << "relation already bound";
+  Residual out = *this;
+  const sql::WindowSpec& w = origin_->spec().window;
+  const uint64_t p = WindowPositionOf(w, *t);
+  out.window_min_ = std::min(out.window_min_, p);
+  out.window_max_ = std::max(out.window_max_, p);
+  out.bound_.push_back({static_cast<uint8_t>(rel), std::move(t)});
+  return out;
+}
+
+std::vector<sql::Value> Residual::ExtractAnswer() const {
+  RJOIN_CHECK(IsComplete());
+  std::vector<sql::Value> row;
+  row.reserve(origin_->select_items().size());
+  for (const auto& item : origin_->select_items()) {
+    if (item.is_const) {
+      row.push_back(item.constant);
+    } else {
+      const sql::Value* v = BoundValue(item.rel, item.attr);
+      RJOIN_CHECK(v != nullptr) << "answer from incomplete residual";
+      row.push_back(*v);
+    }
+  }
+  return row;
+}
+
+std::string Residual::ContentFingerprint() const {
+  std::string fp = std::to_string(origin_->query_id());
+  for (size_t rel = 0; rel < origin_->num_relations(); ++rel) {
+    fp += '#';
+    const sql::TuplePtr* t = FindBound(static_cast<int>(rel));
+    if (t == nullptr) continue;
+    for (int attr : origin_->projection_attrs(static_cast<int>(rel))) {
+      fp += (*t)->values[static_cast<size_t>(attr)].ToKeyString();
+      fp += '|';
+    }
+  }
+  return fp;
+}
+
+sql::Query Residual::ToRewrittenQuery() const {
+  // Fold the bound tuples into the original spec with the reference
+  // rewriting rules (mirrors sql::Rewriter; kept independent so tests can
+  // compare the two).
+  sql::Query out;
+  const sql::Query& spec = origin_->spec();
+  out.distinct = spec.distinct;
+  out.window = spec.window;
+  for (size_t i = 0; i < origin_->select_items().size(); ++i) {
+    const auto& item = origin_->select_items()[i];
+    if (item.is_const) {
+      out.select_list.push_back(sql::SelectItem::Const(item.constant));
+    } else if (const sql::Value* v = BoundValue(item.rel, item.attr)) {
+      out.select_list.push_back(sql::SelectItem::Const(*v));
+    } else {
+      out.select_list.push_back(spec.select_list[i]);
+    }
+  }
+  for (size_t rel = 0; rel < origin_->num_relations(); ++rel) {
+    if (!IsBound(static_cast<int>(rel))) {
+      out.relations.push_back(spec.relations[rel]);
+    }
+  }
+  for (const auto& j : origin_->joins()) {
+    const sql::Value* l = BoundValue(j.left_rel, j.left_attr);
+    const sql::Value* r = BoundValue(j.right_rel, j.right_attr);
+    if (l != nullptr && r != nullptr) continue;  // Fully satisfied.
+    const sql::JoinPredicate& orig =
+        spec.joins[static_cast<size_t>(&j - origin_->joins().data())];
+    if (l == nullptr && r == nullptr) {
+      out.joins.push_back(orig);
+    } else if (l != nullptr) {
+      out.selections.push_back({orig.right, *l});
+    } else {
+      out.selections.push_back({orig.left, *r});
+    }
+  }
+  for (size_t i = 0; i < origin_->selections().size(); ++i) {
+    const auto& sel = origin_->selections()[i];
+    if (IsBound(sel.rel)) continue;  // Verified at bind time.
+    out.selections.push_back(spec.selections[i]);
+  }
+  return out;
+}
+
+}  // namespace rjoin::core

@@ -1,0 +1,187 @@
+#ifndef RJOIN_CORE_RESIDUAL_H_
+#define RJOIN_CORE_RESIDUAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/key.h"
+#include "dht/chord_node.h"
+#include "sql/query.h"
+#include "sql/schema.h"
+#include "sql/tuple.h"
+#include "util/status.h"
+
+namespace rjoin::core {
+
+/// A submitted continuous query, compiled once: attribute names are resolved
+/// to (relation index, attribute index) pairs so that triggering and
+/// rewriting are integer operations. Immutable and shared by every residual
+/// derived from it.
+class InputQuery {
+ public:
+  struct ResolvedJoin {
+    int left_rel;
+    int left_attr;
+    int right_rel;
+    int right_attr;
+  };
+  struct ResolvedSelection {
+    int rel;
+    int attr;
+    sql::Value value;
+  };
+  struct ResolvedSelectItem {
+    bool is_const = false;
+    int rel = -1;
+    int attr = -1;
+    sql::Value constant;
+  };
+
+  /// Validates and compiles `spec`. Fails on unknown relations/attributes,
+  /// duplicate relations in FROM (self-joins are future work, as in the
+  /// paper), and multi-relation queries where some relation appears in no
+  /// predicate (pure cartesian products are not indexable by RJoin).
+  ///
+  /// `one_time` marks a snapshot query: it is evaluated over the tuples
+  /// already published at submission time (pubT <= insT) and is never
+  /// stored for future triggers — Section 4's "Delta can be infinity"
+  /// framework for one-time queries.
+  static StatusOr<std::shared_ptr<const InputQuery>> Create(
+      uint64_t query_id, dht::NodeIndex owner, uint64_t ins_time,
+      sql::Query spec, const sql::Catalog* catalog, bool one_time = false);
+
+  uint64_t query_id() const { return query_id_; }
+  dht::NodeIndex owner() const { return owner_; }
+  uint64_t ins_time() const { return ins_time_; }
+  bool one_time() const { return one_time_; }
+  const sql::Query& spec() const { return spec_; }
+
+  size_t num_relations() const { return spec_.relations.size(); }
+  const std::string& relation_name(int rel) const {
+    return spec_.relations[static_cast<size_t>(rel)];
+  }
+  /// Index of `relation` in the FROM list, or -1.
+  int RelIndex(const std::string& relation) const;
+
+  const std::vector<ResolvedJoin>& joins() const { return joins_; }
+  const std::vector<ResolvedSelection>& selections() const {
+    return selections_;
+  }
+  const std::vector<ResolvedSelectItem>& select_items() const {
+    return select_items_;
+  }
+
+  /// Attribute indices of relation `rel` referenced anywhere in the select
+  /// list or WHERE clause, sorted; used for the DISTINCT projection rule of
+  /// Section 4.
+  const std::vector<int>& projection_attrs(int rel) const {
+    return proj_attrs_[static_cast<size_t>(rel)];
+  }
+
+  /// The attribute names of relation `rel`, via the catalog schema.
+  const sql::Schema& schema(int rel) const { return *schemas_[static_cast<size_t>(rel)]; }
+
+ private:
+  InputQuery() = default;
+
+  uint64_t query_id_ = 0;
+  dht::NodeIndex owner_ = dht::kInvalidNode;
+  uint64_t ins_time_ = 0;
+  bool one_time_ = false;
+  sql::Query spec_;
+  std::vector<ResolvedJoin> joins_;
+  std::vector<ResolvedSelection> selections_;
+  std::vector<ResolvedSelectItem> select_items_;
+  std::vector<std::vector<int>> proj_attrs_;
+  std::vector<const sql::Schema*> schemas_;
+};
+
+using InputQueryPtr = std::shared_ptr<const InputQuery>;
+
+/// A (possibly partially evaluated) query travelling through the network.
+/// Instead of materializing rewritten SQL text, a residual references its
+/// immutable input query plus the tuples bound so far — semantically
+/// identical to the paper's rewritten queries (sql::Rewriter is the
+/// reference implementation; property tests check agreement) but a few
+/// pointers in size, which matters when millions of rewritten queries are
+/// stored across the network.
+class Residual {
+ public:
+  Residual() = default;
+  explicit Residual(InputQueryPtr origin) : origin_(std::move(origin)) {}
+
+  const InputQueryPtr& origin() const { return origin_; }
+  int num_bound() const { return static_cast<int>(bound_.size()); }
+  bool IsInputQuery() const { return bound_.empty(); }
+  bool IsComplete() const {
+    return bound_.size() == origin_->num_relations();
+  }
+
+  /// The tuple bound at FROM-relation index `rel`, or nullptr. Residuals
+  /// store only their bound relations (usually 1-2 of many), keeping the
+  /// millions of stored rewritten queries of a long run small.
+  const sql::TuplePtr* FindBound(int rel) const {
+    for (const auto& b : bound_) {
+      if (b.rel == rel) return &b.tuple;
+    }
+    return nullptr;
+  }
+  bool IsBound(int rel) const { return FindBound(rel) != nullptr; }
+
+  /// Window positions (pub_time or seq_no, per the window unit) of the
+  /// earliest and latest bound tuples. Meaningful once num_bound > 0.
+  uint64_t window_min() const { return window_min_; }
+  uint64_t window_max() const { return window_max_; }
+
+  /// The paper's start(q) parameter (Section 5): set by the first binding,
+  /// then propagated per the inheritance rules.
+  uint64_t window_start() const { return window_min_; }
+
+  /// True iff tuple `t` (of FROM-relation index `rel`) satisfies every
+  /// constraint the residual currently places on that relation: original
+  /// selections on the relation, and join predicates whose other side is
+  /// already bound. Join predicates between two unbound relations impose
+  /// nothing yet. Temporal checks are separate (see WindowAdmits).
+  bool Matches(int rel, const sql::Tuple& t) const;
+
+  /// Window validity test of Section 5 for binding `t`: the resulting
+  /// combination must fit in one window. Always true without windows.
+  bool WindowAdmits(int rel, const sql::Tuple& t) const;
+
+  /// Returns a new residual with `t` bound at `rel`. Caller must have
+  /// verified Matches and WindowAdmits. This is the engine's rewrite step.
+  Residual Bind(int rel, sql::TuplePtr t) const;
+
+  /// Answer row of a complete residual.
+  std::vector<sql::Value> ExtractAnswer() const;
+
+  /// Fingerprint of the residual's *rewritten content*: origin query plus,
+  /// for every bound relation, the projection of its tuple over the
+  /// attributes the query references. Two residuals with equal fingerprints
+  /// are the same rewritten query (used for DISTINCT set semantics).
+  std::string ContentFingerprint() const;
+
+  /// Value of attribute (rel, attr) if that relation is bound.
+  const sql::Value* BoundValue(int rel, int attr) const;
+
+  /// The equivalent textual rewritten query (reference form, for tracing
+  /// and tests against sql::Rewriter).
+  sql::Query ToRewrittenQuery() const;
+
+ private:
+  struct BoundTuple {
+    uint8_t rel = 0;
+    sql::TuplePtr tuple;
+  };
+
+  InputQueryPtr origin_;
+  std::vector<BoundTuple> bound_;  // Sparse: bound relations only.
+  uint64_t window_min_ = UINT64_MAX;
+  uint64_t window_max_ = 0;
+};
+
+}  // namespace rjoin::core
+
+#endif  // RJOIN_CORE_RESIDUAL_H_

@@ -1,0 +1,48 @@
+#include "core/ric.h"
+
+namespace rjoin::core {
+
+void RateTracker::Roll(Bucket& b, uint64_t epoch) const {
+  if (b.epoch == epoch) return;
+  if (epoch == b.epoch + 1) {
+    b.previous = b.current;
+  } else {
+    b.previous = 0;
+  }
+  b.current = 0;
+  b.epoch = epoch;
+}
+
+void RateTracker::Record(const std::string& key, uint64_t now) {
+  Bucket& b = counts_[key];
+  Roll(b, EpochOf(now));
+  ++b.current;
+}
+
+uint64_t RateTracker::Rate(const std::string& key, uint64_t now) const {
+  auto it = counts_.find(key);
+  if (it == counts_.end()) return 0;
+  Bucket b = it->second;  // Roll a copy; lookups are logically const.
+  Roll(b, EpochOf(now));
+  return b.current + b.previous;
+}
+
+void CandidateTable::Merge(const RicEntry& entry) {
+  auto [it, inserted] = entries_.emplace(entry.key_text, entry);
+  if (!inserted && entry.timestamp >= it->second.timestamp) {
+    it->second = entry;
+  }
+}
+
+const RicEntry* CandidateTable::Find(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool CandidateTable::IsFresh(const std::string& key, uint64_t now,
+                             uint64_t validity) const {
+  const RicEntry* e = Find(key);
+  return e != nullptr && now - e->timestamp <= validity;
+}
+
+}  // namespace rjoin::core

@@ -1,0 +1,78 @@
+#ifndef RJOIN_CORE_RIC_H_
+#define RJOIN_CORE_RIC_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/chord_node.h"
+
+namespace rjoin::core {
+
+/// Rate-of-Incoming-tuples-Counting (RIC) information for one index key
+/// (Section 6): how many tuples reached the responsible node under that key
+/// during the last observation window, plus where that node is (its "IP").
+struct RicEntry {
+  std::string key_text;
+  uint64_t rate = 0;
+  uint64_t timestamp = 0;            ///< when the rate was learned (T_r)
+  dht::NodeIndex node = dht::kInvalidNode;  ///< responsible node's address
+};
+
+/// Per-node tuple-arrival counter. Tracks, for every index key the node is
+/// responsible for, the number of tuples received in the current and the
+/// previous observation epoch; the predicted rate is their sum — i.e. "we
+/// observe what has happened during the last time window and assume a
+/// similar behavior for the future" (Section 6).
+class RateTracker {
+ public:
+  explicit RateTracker(uint64_t epoch_length) : epoch_len_(epoch_length) {}
+
+  /// Records one tuple arrival under `key` at time `now`.
+  void Record(const std::string& key, uint64_t now);
+
+  /// Predicted arrivals over one observation window.
+  uint64_t Rate(const std::string& key, uint64_t now) const;
+
+  size_t tracked_keys() const { return counts_.size(); }
+
+ private:
+  struct Bucket {
+    uint64_t epoch = 0;
+    uint64_t current = 0;
+    uint64_t previous = 0;
+  };
+
+  void Roll(Bucket& b, uint64_t epoch) const;
+  uint64_t EpochOf(uint64_t now) const {
+    return epoch_len_ == 0 ? 0 : now / epoch_len_;
+  }
+
+  uint64_t epoch_len_;
+  std::unordered_map<std::string, Bucket> counts_;
+};
+
+/// The candidate table (CT) of Section 7: RIC info cached per key so that
+/// future indexing decisions can skip the O(log N) candidate lookup. Keeps
+/// the most recent entry per key.
+class CandidateTable {
+ public:
+  /// Inserts or refreshes; keeps the entry with the newer timestamp.
+  void Merge(const RicEntry& entry);
+
+  /// Entry for `key`, or nullptr.
+  const RicEntry* Find(const std::string& key) const;
+
+  /// True if an entry exists and was learned within `validity` of `now`.
+  bool IsFresh(const std::string& key, uint64_t now, uint64_t validity) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, RicEntry> entries_;
+};
+
+}  // namespace rjoin::core
+
+#endif  // RJOIN_CORE_RIC_H_

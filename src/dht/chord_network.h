@@ -1,0 +1,129 @@
+#ifndef RJOIN_DHT_CHORD_NETWORK_H_
+#define RJOIN_DHT_CHORD_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dht/chord_node.h"
+#include "dht/id.h"
+#include "util/status.h"
+
+namespace rjoin::dht {
+
+/// A simulated Chord overlay. All nodes live in-process (the evaluation
+/// methodology of the paper). The network provides:
+///   * ring membership: join, voluntary leave, failure, stabilization;
+///   * ground-truth successor resolution (for correctness checks);
+///   * hop-by-hop greedy finger routing (for traffic accounting);
+///   * the network-size estimate used to derive the ALTT bound.
+class ChordNetwork {
+ public:
+  ChordNetwork() = default;
+  ChordNetwork(const ChordNetwork&) = delete;
+  ChordNetwork& operator=(const ChordNetwork&) = delete;
+
+  /// Builds a stabilized network of n nodes whose ids are SHA-1 hashes of
+  /// "node:<i>:<seed>" — i.e. consistent hashing of synthetic node keys.
+  static std::unique_ptr<ChordNetwork> Create(size_t n, uint64_t seed = 0);
+
+  /// Builds a stabilized network with explicit ring positions (used by the
+  /// id-movement load balancer of the Fig. 9 experiment).
+  static std::unique_ptr<ChordNetwork> CreateWithPositions(
+      const std::vector<NodeId>& positions);
+
+  /// Adds a node with the given id; returns its index. The ring is updated
+  /// immediately but finger tables are stale until Stabilize().
+  StatusOr<NodeIndex> AddNode(NodeId id);
+
+  /// Marks a node dead (silent failure) and removes it from the ring.
+  Status FailNode(NodeIndex node);
+
+  /// Voluntary leave (same ring effect as failure; kept separate for tests
+  /// exercising the distinction).
+  Status LeaveNode(NodeIndex node);
+
+  /// Recomputes successors, predecessors, finger tables and successor lists
+  /// for every alive node. Models a fully stabilized Chord network, which
+  /// Section 4 assumes for the eventual-completeness theorem.
+  void Stabilize();
+
+  // --- Incremental Chord protocol (the real stabilization machinery) ----
+  //
+  // Stabilize() above is the oracle shortcut used by experiments; the
+  // operations below are the per-node protocol steps of the Chord paper:
+  // a node joins by asking any live bootstrap node to look up its
+  // successor, and the ring heals through repeated stabilize()/notify()/
+  // fix_fingers() rounds. Tests drive these to verify that lookups converge
+  // to ground truth after joins, voluntary leaves, and silent failures.
+
+  /// Protocol join: resolves the new node's successor by routing from
+  /// `bootstrap` with node-local state only. The new node starts with a
+  /// coarse finger table (everything pointing at its successor) that
+  /// FixFingersOnce repairs over time.
+  StatusOr<NodeIndex> JoinViaBootstrap(NodeId id, NodeIndex bootstrap);
+
+  /// One round of Chord's stabilize()+notify() for node `n`: skip dead
+  /// successors (via the successor list), adopt a closer successor if the
+  /// current successor's predecessor sits between, and update the
+  /// successor's predecessor pointer. Also refreshes n's successor list.
+  void StabilizeOnce(NodeIndex n);
+
+  /// One round of fix_fingers() for node `n`: re-resolves finger
+  /// `finger_index` with a node-local lookup.
+  void FixFingersOnce(NodeIndex n, int finger_index);
+
+  /// Runs `rounds` full protocol rounds (every alive node stabilizes and
+  /// fixes all fingers). A convenience for tests; O(rounds * N * 160).
+  void RunProtocolRounds(int rounds);
+
+  /// Node-local successor resolution: greedy routing using only successor
+  /// pointers and finger tables (no oracle), skipping dead nodes. This is
+  /// what JoinViaBootstrap and FixFingersOnce use.
+  NodeIndex FindSuccessorFrom(NodeIndex src, const NodeId& key) const;
+
+  /// True iff following successor pointers from any alive node visits every
+  /// alive node exactly once, in ring order, and predecessor pointers agree.
+  bool RingConsistent() const;
+
+  size_t num_alive() const { return ring_.size(); }
+  size_t num_total() const { return nodes_.size(); }
+
+  const ChordNode& node(NodeIndex i) const { return *nodes_[i]; }
+  ChordNode& mutable_node(NodeIndex i) { return *nodes_[i]; }
+
+  /// Ground truth: the node responsible for `key` (its successor on the
+  /// ring). Requires a non-empty network.
+  NodeIndex SuccessorOf(const NodeId& key) const;
+
+  /// Simulates greedy finger routing from `src` toward the node responsible
+  /// for `key`. Returns the sequence of nodes traversed, starting with src
+  /// and ending with the responsible node. The number of message
+  /// transmissions is path.size() - 1; O(log N) with high probability.
+  std::vector<NodeIndex> Route(NodeIndex src, const NodeId& key) const;
+
+  /// Number of hops of Route() without materializing the path.
+  size_t RouteHops(NodeIndex src, const NodeId& key) const;
+
+  /// Estimates the network size from node `n`'s successor-list density
+  /// (the local-information technique of [14] cited in Section 4).
+  double EstimateSize(NodeIndex n) const;
+
+  /// All alive node indices, in ring order.
+  std::vector<NodeIndex> AliveNodes() const;
+
+  /// Length of the successor list each node maintains.
+  static constexpr size_t kSuccessorListLen = 8;
+
+ private:
+  NodeIndex ClosestPrecedingFinger(NodeIndex from, const NodeId& key) const;
+
+  std::vector<std::unique_ptr<ChordNode>> nodes_;
+  std::map<NodeId, NodeIndex> ring_;  // alive nodes only
+};
+
+}  // namespace rjoin::dht
+
+#endif  // RJOIN_DHT_CHORD_NETWORK_H_

@@ -1,0 +1,87 @@
+#include "dht/load_balancer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rjoin::dht {
+
+std::vector<NodeId> IdMovementBalancer::ComputeBalancedPositions(
+    std::vector<KeyLoad> items, size_t num_nodes) {
+  RJOIN_CHECK(num_nodes > 0);
+  std::vector<NodeId> positions;
+  positions.reserve(num_nodes);
+
+  std::sort(items.begin(), items.end(),
+            [](const KeyLoad& a, const KeyLoad& b) { return a.id < b.id; });
+  // Merge duplicate key ids.
+  std::vector<KeyLoad> merged;
+  for (const KeyLoad& kl : items) {
+    if (kl.weight == 0) continue;
+    if (!merged.empty() && merged.back().id == kl.id) {
+      merged.back().weight += kl.weight;
+    } else {
+      merged.push_back(kl);
+    }
+  }
+
+  uint64_t total = 0;
+  for (const KeyLoad& kl : merged) total += kl.weight;
+
+  if (total == 0 || merged.size() < num_nodes) {
+    // Not enough signal to balance: spread nodes uniformly. Positions are
+    // multiples of 2^160 / num_nodes, built via repeated addition.
+    // step = floor(2^160 / num_nodes): long division over 32-bit words.
+    std::string hex;
+    {
+      static const char kHex[] = "0123456789abcdef";
+      uint64_t rem = 1;  // Numerator is 2^160 = 1 followed by 160 zero bits.
+      for (int w = 0; w < NodeId::kWords; ++w) {
+        const uint64_t cur = (rem << 32);
+        const uint32_t word = static_cast<uint32_t>(cur / num_nodes);
+        rem = cur % num_nodes;
+        for (int shift = 28; shift >= 0; shift -= 4) {
+          hex.push_back(kHex[(word >> shift) & 0xf]);
+        }
+      }
+    }
+    const NodeId step = NodeId::FromHex(hex);
+    NodeId pos;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      pos = pos.Add(step);
+      positions.push_back(pos);
+    }
+    return positions;
+  }
+
+  // Walk the circle accumulating weight; place a node boundary at the item
+  // where the running sum crosses the next 1/n share. A node placed at an
+  // item's id takes responsibility for everything since the previous
+  // boundary, inclusive of that item.
+  const double share = static_cast<double>(total) / static_cast<double>(num_nodes);
+  double next_cut = share;
+  double acc = 0.0;
+  for (const KeyLoad& kl : merged) {
+    acc += static_cast<double>(kl.weight);
+    while (acc >= next_cut && positions.size() < num_nodes) {
+      positions.push_back(kl.id);
+      next_cut += share;
+    }
+  }
+  // Floating-point shortfall can leave trailing slots; assign them the last
+  // item (distinct positions are required, so nudge by +1 each).
+  while (positions.size() < num_nodes) {
+    NodeId last = positions.empty() ? merged.back().id : positions.back();
+    positions.push_back(last.AddPowerOfTwo(0));
+  }
+  // Ring positions must be unique; de-duplicate by nudging.
+  std::sort(positions.begin(), positions.end());
+  for (size_t i = 1; i < positions.size(); ++i) {
+    while (positions[i] <= positions[i - 1]) {
+      positions[i] = positions[i].AddPowerOfTwo(0);
+    }
+  }
+  return positions;
+}
+
+}  // namespace rjoin::dht

@@ -1,0 +1,41 @@
+#ifndef RJOIN_DHT_LOAD_BALANCER_H_
+#define RJOIN_DHT_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dht/id.h"
+
+namespace rjoin::dht {
+
+/// A key observed on the ring together with the load it generated
+/// (tuples stored + rewritten queries handled under that key).
+struct KeyLoad {
+  NodeId id;
+  uint64_t weight = 0;
+};
+
+/// Id-movement load balancing in the style of Karger–Ruhl [19], cited and
+/// evaluated in the paper's "Using lower level interfaces" experiment
+/// (Fig. 9). A node may change its position on the identifier circle and
+/// thereby choose which identifiers it is responsible for.
+///
+/// Given the per-key load profile of a workload, ComputeBalancedPositions
+/// places the n node ids so that each node's arc carries approximately
+/// total_load / n weight: it walks the circle in id order and drops a node
+/// boundary every time the accumulated weight crosses a 1/n-th share. This
+/// reproduces the steady state the iterative Karger–Ruhl protocol converges
+/// to, which is what the end-of-run load distributions of Fig. 9 measure.
+class IdMovementBalancer {
+ public:
+  /// Returns `num_nodes` ring positions balancing `items`. Items need not be
+  /// sorted. If there are fewer distinct item ids than nodes, the remaining
+  /// nodes are spread uniformly over the ring.
+  static std::vector<NodeId> ComputeBalancedPositions(
+      std::vector<KeyLoad> items, size_t num_nodes);
+};
+
+}  // namespace rjoin::dht
+
+#endif  // RJOIN_DHT_LOAD_BALANCER_H_

@@ -1,0 +1,59 @@
+#include "dht/transport.h"
+
+#include "util/logging.h"
+
+namespace rjoin::dht {
+
+size_t Transport::Send(NodeIndex src, const NodeId& key, MessagePtr msg,
+                       bool ric) {
+  const std::vector<NodeIndex> path = network_->Route(src, key);
+  sim::SimTime delay = 0;
+  // Each element of the path except the last transmits the message once.
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    metrics_->AddTraffic(path[i], 1, ric);
+    delay += latency_->Delay(rng_);
+  }
+  Deliver(path.back(), std::move(msg), delay);
+  return path.size() - 1;
+}
+
+size_t Transport::MultiSend(NodeIndex src,
+                            std::vector<std::pair<NodeId, MessagePtr>> messages,
+                            bool ric) {
+  size_t hops = 0;
+  for (auto& [key, msg] : messages) {
+    hops += Send(src, key, std::move(msg), ric);
+  }
+  return hops;
+}
+
+void Transport::SendDirect(NodeIndex src, NodeIndex dst, MessagePtr msg,
+                           bool ric) {
+  metrics_->AddTraffic(src, 1, ric);
+  Deliver(dst, std::move(msg), latency_->Delay(rng_));
+}
+
+void Transport::ChargeTraffic(NodeIndex node, uint64_t count, bool ric) {
+  metrics_->AddTraffic(node, count, ric);
+}
+
+size_t Transport::ChargeRoute(NodeIndex src, const NodeId& key, bool ric) {
+  const std::vector<NodeIndex> path = network_->Route(src, key);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    metrics_->AddTraffic(path[i], 1, ric);
+  }
+  return path.size() - 1;
+}
+
+void Transport::Deliver(NodeIndex dst, MessagePtr msg, sim::SimTime delay) {
+  RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
+  // std::function requires copyable callables; wrap the move-only payload
+  // in a shared holder and move it out at delivery time.
+  auto holder = std::make_shared<MessagePtr>(std::move(msg));
+  MessageHandler* handler = handler_;
+  simulator_->ScheduleAfter(delay, [handler, dst, holder]() {
+    handler->HandleMessage(dst, std::move(*holder));
+  });
+}
+
+}  // namespace rjoin::dht

@@ -1,0 +1,102 @@
+#ifndef RJOIN_DHT_TRANSPORT_H_
+#define RJOIN_DHT_TRANSPORT_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dht/chord_network.h"
+#include "dht/id.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+#include "stats/metrics.h"
+#include "util/random.h"
+
+namespace rjoin::dht {
+
+/// Opaque payload routed through the overlay. The application layer (RJoin)
+/// defines concrete message types.
+class Message {
+ public:
+  virtual ~Message() = default;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+/// Receiver interface: the RJoin engine implements this to get messages
+/// delivered to individual nodes.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void HandleMessage(NodeIndex self, MessagePtr msg) = 0;
+};
+
+/// The messaging API of Section 2 (originally from [18]):
+///   Send(msg, id)        — deliver msg to Successor(id) in O(log N) hops;
+///   MultiSend(M, I)      — deliver message M_j to Successor(I_j) for all j;
+///   SendDirect(msg, addr)— deliver msg to a known address in one hop.
+///
+/// Every message transmission (creation and every DHT-routing forward) is
+/// charged one unit of traffic to the transmitting node, matching the
+/// traffic definition of Section 8. Delivery is asynchronous through the
+/// discrete-event simulator, with per-hop latency drawn from the latency
+/// model (bounded by delta).
+class Transport {
+ public:
+  Transport(ChordNetwork* network, sim::Simulator* simulator,
+            sim::LatencyModel* latency, stats::MetricsRegistry* metrics,
+            Rng rng)
+      : network_(network),
+        simulator_(simulator),
+        latency_(latency),
+        metrics_(metrics),
+        rng_(rng) {}
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  void set_handler(MessageHandler* handler) { handler_ = handler; }
+
+  /// Routes `msg` from `src` to Successor(key). Returns the number of hops.
+  /// `ric` tags the traffic as RIC-request overhead (separate series in the
+  /// paper's figures).
+  size_t Send(NodeIndex src, const NodeId& key, MessagePtr msg,
+              bool ric = false);
+
+  /// The paper's multiSend(M, I): one message per identifier. Returns total
+  /// hops across all messages.
+  size_t MultiSend(NodeIndex src,
+                   std::vector<std::pair<NodeId, MessagePtr>> messages,
+                   bool ric = false);
+
+  /// One-hop delivery to a node whose address is already known.
+  void SendDirect(NodeIndex src, NodeIndex dst, MessagePtr msg,
+                  bool ric = false);
+
+  ChordNetwork* network() { return network_; }
+  sim::Simulator* simulator() { return simulator_; }
+  stats::MetricsRegistry* metrics() { return metrics_; }
+
+  /// Charges `count` messages of pure routing traffic to `node` without a
+  /// payload (used by the RIC chain accounting in Section 6/7).
+  void ChargeTraffic(NodeIndex node, uint64_t count, bool ric);
+
+  /// Charges traffic for an O(log N) route from src towards `key`,
+  /// hop-by-hop at each forwarding node, without delivering a payload.
+  /// Returns the hop count.
+  size_t ChargeRoute(NodeIndex src, const NodeId& key, bool ric);
+
+ private:
+  void Deliver(NodeIndex dst, MessagePtr msg, sim::SimTime delay);
+
+  ChordNetwork* network_;
+  sim::Simulator* simulator_;
+  sim::LatencyModel* latency_;
+  stats::MetricsRegistry* metrics_;
+  MessageHandler* handler_ = nullptr;
+  Rng rng_;
+};
+
+}  // namespace rjoin::dht
+
+#endif  // RJOIN_DHT_TRANSPORT_H_

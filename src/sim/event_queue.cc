@@ -1,0 +1,24 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace rjoin::sim {
+
+void EventQueue::Push(SimTime time, std::function<void()> action) {
+  heap_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+Event EventQueue::Pop() {
+  // std::priority_queue::top() is const; the event is copied out. The
+  // function object is small (captures are pointers), so this is cheap.
+  Event ev = heap_.top();
+  heap_.pop();
+  return ev;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace rjoin::sim

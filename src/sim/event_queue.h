@@ -1,0 +1,57 @@
+#ifndef RJOIN_SIM_EVENT_QUEUE_H_
+#define RJOIN_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace rjoin::sim {
+
+/// A scheduled callback. Events with equal timestamps execute in insertion
+/// order (FIFO), which keeps runs fully deterministic.
+struct Event {
+  SimTime time = 0;
+  uint64_t seq = 0;
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Enqueues an event at absolute time `time`.
+  void Push(SimTime time, std::function<void()> action);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  SimTime PeekTime() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest pending event. Requires !empty().
+  Event Pop();
+
+  /// Discards all pending events.
+  void Clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace rjoin::sim
+
+#endif  // RJOIN_SIM_EVENT_QUEUE_H_

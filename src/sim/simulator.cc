@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace rjoin::sim {
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> action) {
+  RJOIN_CHECK(when >= now_) << "cannot schedule events in the past";
+  queue_.Push(when, std::move(action));
+}
+
+void Simulator::Step() {
+  Event ev = queue_.Pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.action();
+}
+
+uint64_t Simulator::Run() {
+  const uint64_t before = executed_;
+  while (!queue_.empty()) Step();
+  return executed_ - before;
+}
+
+uint64_t Simulator::RunUntil(SimTime until) {
+  const uint64_t before = executed_;
+  while (!queue_.empty() && queue_.PeekTime() <= until) Step();
+  if (now_ < until) now_ = until;
+  return executed_ - before;
+}
+
+uint64_t Simulator::RunSteps(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && !queue_.empty()) {
+    Step();
+    ++n;
+  }
+  return n;
+}
+
+void Simulator::Reset() { queue_.Clear(); }
+
+}  // namespace rjoin::sim

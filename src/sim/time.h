@@ -1,0 +1,17 @@
+#ifndef RJOIN_SIM_TIME_H_
+#define RJOIN_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace rjoin::sim {
+
+/// Virtual simulation time in abstract "ticks". The simulator makes no
+/// assumption about what a tick is; the experiments treat one tick as roughly
+/// one network hop of latency.
+using SimTime = uint64_t;
+
+inline constexpr SimTime kTimeZero = 0;
+
+}  // namespace rjoin::sim
+
+#endif  // RJOIN_SIM_TIME_H_

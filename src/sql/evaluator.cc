@@ -1,0 +1,135 @@
+#include "sql/evaluator.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/logging.h"
+
+namespace rjoin::sql {
+namespace {
+
+const Value* AttrValueOf(const Catalog& catalog, const Tuple& t,
+                         const std::string& attr) {
+  const Schema* schema = catalog.Find(t.relation);
+  if (schema == nullptr) return nullptr;
+  const int idx = schema->AttrIndex(attr);
+  if (idx < 0 || static_cast<size_t>(idx) >= t.values.size()) return nullptr;
+  return &t.values[static_cast<size_t>(idx)];
+}
+
+uint64_t WindowPosition(const WindowSpec& w, const Tuple& t) {
+  return w.unit == WindowSpec::Unit::kTime ? t.pub_time : t.seq_no;
+}
+
+}  // namespace
+
+bool CentralizedEvaluator::CombinationValid(
+    const Query& q, const std::vector<TuplePtr>& combo) const {
+  // Join predicates.
+  auto lookup = [&](const AttrRef& a) -> const Value* {
+    for (const auto& t : combo) {
+      if (t->relation == a.relation) {
+        return AttrValueOf(*catalog_, *t, a.attribute);
+      }
+    }
+    return nullptr;
+  };
+  for (const auto& j : q.joins) {
+    const Value* l = lookup(j.left);
+    const Value* r = lookup(j.right);
+    if (l == nullptr || r == nullptr || !(*l == *r)) return false;
+  }
+  for (const auto& s : q.selections) {
+    const Value* v = lookup(s.attr);
+    if (v == nullptr || !(*v == s.value)) return false;
+  }
+  // Window restriction: all participating tuples must fall in one window.
+  if (q.window.use_windows) {
+    uint64_t lo = UINT64_MAX, hi = 0;
+    for (const auto& t : combo) {
+      const uint64_t p = WindowPosition(q.window, *t);
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+    if (q.window.kind == WindowSpec::Kind::kSliding) {
+      // The paper's validity test: |start - pubT| + 1 <= window.
+      if (hi - lo + 1 > q.window.size) return false;
+    } else {
+      // Tumbling: all tuples in the same window epoch.
+      if (q.window.size == 0) return false;
+      if (lo / q.window.size != hi / q.window.size) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<Value>> CentralizedEvaluator::Evaluate(
+    const Query& q, uint64_t ins_time,
+    const std::vector<TuplePtr>& tuples) const {
+  // Partition eligible tuples by relation.
+  std::map<std::string, std::vector<TuplePtr>> by_rel;
+  for (const auto& t : tuples) {
+    if (t->pub_time < ins_time) continue;  // pubT(t) >= insT(q) required
+    if (q.References(t->relation)) by_rel[t->relation].push_back(t);
+  }
+  std::vector<std::vector<Value>> rows;
+  // Every relation must have at least one eligible tuple.
+  for (const auto& rel : q.relations) {
+    if (by_rel[rel].empty()) return rows;
+  }
+
+  // Nested-loop enumeration of all combinations (oracle: clarity over
+  // speed; test workloads are small).
+  std::vector<TuplePtr> combo(q.relations.size());
+  std::set<std::string> distinct_seen;
+
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (depth == q.relations.size()) {
+      if (!CombinationValid(q, combo)) return;
+      std::vector<Value> row;
+      row.reserve(q.select_list.size());
+      for (const auto& item : q.select_list) {
+        if (item.is_constant()) {
+          row.push_back(*item.constant);
+        } else {
+          const Value* v = nullptr;
+          for (const auto& t : combo) {
+            if (t->relation == item.attr.relation) {
+              v = AttrValueOf(*catalog_, *t, item.attr.attribute);
+              break;
+            }
+          }
+          RJOIN_CHECK(v != nullptr)
+              << "select item " << item.attr.ToString() << " unresolved";
+          row.push_back(*v);
+        }
+      }
+      if (q.distinct) {
+        const std::string key = AnswerRowKey(row);
+        if (!distinct_seen.insert(key).second) return;
+      }
+      rows.push_back(std::move(row));
+      return;
+    }
+    for (const auto& t : by_rel[q.relations[depth]]) {
+      combo[depth] = t;
+      recurse(depth + 1);
+    }
+  };
+  recurse(0);
+  return rows;
+}
+
+std::string AnswerRowKey(const std::vector<Value>& row) {
+  std::string key;
+  for (const auto& v : row) {
+    key += v.ToDisplayString();
+    key += '|';
+  }
+  return key;
+}
+
+}  // namespace rjoin::sql

@@ -1,0 +1,48 @@
+#ifndef RJOIN_SQL_EVALUATOR_H_
+#define RJOIN_SQL_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sql/query.h"
+#include "sql/schema.h"
+#include "sql/tuple.h"
+
+namespace rjoin::sql {
+
+/// Brute-force centralized evaluator implementing Definition 1 of the paper.
+/// Used as the *oracle* in property tests: the distributed RJoin engine must
+/// deliver exactly the rows this evaluator derives (bag semantics; set
+/// semantics under DISTINCT).
+///
+/// Semantics reproduced:
+///  * only tuples with pubT(t) >= insT(q) participate;
+///  * an answer combination is produced once, at the arrival of its latest
+///    tuple (the "new answers" of Definition 2);
+///  * sliding/tumbling windows restrict which combinations are valid, using
+///    the incremental start-propagation rules of Section 5.
+class CentralizedEvaluator {
+ public:
+  CentralizedEvaluator(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Evaluates query q (inserted at `ins_time`) over the full publication
+  /// history `tuples` (any order; sorted internally by pub_time, ties by
+  /// tuple_id). Returns all answer rows, in no particular order.
+  std::vector<std::vector<Value>> Evaluate(
+      const Query& q, uint64_t ins_time,
+      const std::vector<TuplePtr>& tuples) const;
+
+ private:
+  bool CombinationValid(const Query& q,
+                        const std::vector<TuplePtr>& combo) const;
+
+  const Catalog* catalog_;
+};
+
+/// Canonical single-string form of an answer row, for multiset comparison
+/// in tests.
+std::string AnswerRowKey(const std::vector<Value>& row);
+
+}  // namespace rjoin::sql
+
+#endif  // RJOIN_SQL_EVALUATOR_H_

@@ -1,0 +1,319 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace rjoin::sql {
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kString,
+  kComma,
+  kDot,
+  kEquals,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // identifier, digits, or string contents
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        out.push_back({TokKind::kEnd, "", pos_});
+        return out;
+      }
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        auto tok = LexInt();
+        if (!tok.ok()) return tok.status();
+        out.push_back(*tok);
+      } else if (c == '\'') {
+        auto tok = LexString();
+        if (!tok.ok()) return tok.status();
+        out.push_back(*tok);
+      } else if (c == ',') {
+        out.push_back({TokKind::kComma, ",", pos_++});
+      } else if (c == '.') {
+        out.push_back({TokKind::kDot, ".", pos_++});
+      } else if (c == '=') {
+        out.push_back({TokKind::kEquals, "=", pos_++});
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at position " +
+                                       std::to_string(pos_));
+      }
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token LexIdent() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return {TokKind::kIdent, std::string(text_.substr(start, pos_ - start)),
+            start};
+  }
+
+  StatusOr<Token> LexInt() {
+    const size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    size_t digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) {
+      return Status::InvalidArgument("malformed integer at position " +
+                                     std::to_string(start));
+    }
+    return Token{TokKind::kInt,
+                 std::string(text_.substr(start, pos_ - start)), start};
+  }
+
+  StatusOr<Token> LexString() {
+    const size_t start = pos_++;  // skip opening quote
+    std::string contents;
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      contents.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated string at position " +
+                                     std::to_string(start));
+    }
+    ++pos_;  // closing quote
+    return Token{TokKind::kString, contents, start};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  StatusOr<Query> ParseQuery() {
+    Query q;
+    if (auto s = ExpectKeyword("SELECT"); !s.ok()) return s;
+    if (PeekKeyword("DISTINCT")) {
+      Advance();
+      q.distinct = true;
+    }
+    // Select list.
+    while (true) {
+      auto item = ParseSelectItem();
+      if (!item.ok()) return item.status();
+      q.select_list.push_back(std::move(*item));
+      if (Peek().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (auto s = ExpectKeyword("FROM"); !s.ok()) return s;
+    while (true) {
+      if (Peek().kind != TokKind::kIdent) {
+        return Err("expected relation name");
+      }
+      q.relations.push_back(Advance().text);
+      if (Peek().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      while (true) {
+        if (auto s = ParsePredicate(q); !s.ok()) return s;
+        if (PeekKeyword("AND")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (PeekKeyword("WINDOW")) {
+      Advance();
+      if (auto s = ParseWindow(q.window); !s.ok()) return s;
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Err("trailing input after query");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[idx_]; }
+  Token Advance() { return toks_[idx_++]; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && Upper(Peek().text) == kw;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::InvalidArgument(std::string("expected keyword ") + kw +
+                                     " near position " +
+                                     std::to_string(Peek().pos));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(what + " near position " +
+                                   std::to_string(Peek().pos));
+  }
+
+  /// attr | int | string; attrs require the Rel.Attr form.
+  StatusOr<SelectItem> ParseSelectItem() {
+    if (Peek().kind == TokKind::kInt) {
+      return SelectItem::Const(Value::Int(std::stoll(Advance().text)));
+    }
+    if (Peek().kind == TokKind::kString) {
+      return SelectItem::Const(Value::Str(Advance().text));
+    }
+    auto attr = ParseAttrRef();
+    if (!attr.ok()) return attr.status();
+    return SelectItem::Attr(std::move(*attr));
+  }
+
+  StatusOr<AttrRef> ParseAttrRef() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected attribute near position " +
+                                     std::to_string(Peek().pos));
+    }
+    AttrRef a;
+    a.relation = Advance().text;
+    if (Peek().kind != TokKind::kDot) {
+      return Status::InvalidArgument(
+          "expected '.' in attribute reference near position " +
+          std::to_string(Peek().pos));
+    }
+    Advance();
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected attribute name near position " +
+                                     std::to_string(Peek().pos));
+    }
+    a.attribute = Advance().text;
+    return a;
+  }
+
+  /// operand '=' operand; classifies into join or selection predicate.
+  /// The rewritten form "5 = S.A" (constant on the left) is accepted, as in
+  /// the paper's examples.
+  Status ParsePredicate(Query& q) {
+    auto left = ParseOperand();
+    if (!left.ok()) return left.status();
+    if (Peek().kind != TokKind::kEquals) return Err("expected '='");
+    Advance();
+    auto right = ParseOperand();
+    if (!right.ok()) return right.status();
+
+    const bool lattr = !left->is_constant;
+    const bool rattr = !right->is_constant;
+    if (lattr && rattr) {
+      q.joins.push_back({left->attr, right->attr});
+    } else if (lattr && !rattr) {
+      q.selections.push_back({left->attr, right->value});
+    } else if (!lattr && rattr) {
+      q.selections.push_back({right->attr, left->value});
+    } else {
+      return Err("predicate must reference at least one attribute");
+    }
+    return Status::Ok();
+  }
+
+  struct Operand {
+    bool is_constant = false;
+    AttrRef attr;
+    Value value;
+  };
+
+  StatusOr<Operand> ParseOperand() {
+    Operand op;
+    if (Peek().kind == TokKind::kInt) {
+      op.is_constant = true;
+      op.value = Value::Int(std::stoll(Advance().text));
+      return op;
+    }
+    if (Peek().kind == TokKind::kString) {
+      op.is_constant = true;
+      op.value = Value::Str(Advance().text);
+      return op;
+    }
+    auto attr = ParseAttrRef();
+    if (!attr.ok()) return attr.status();
+    op.attr = std::move(*attr);
+    return op;
+  }
+
+  Status ParseWindow(WindowSpec& w) {
+    if (Peek().kind != TokKind::kInt) {
+      return Err("expected window size");
+    }
+    w.use_windows = true;
+    w.size = static_cast<uint64_t>(std::stoull(Advance().text));
+    if (PeekKeyword("TUPLES")) {
+      Advance();
+      w.unit = WindowSpec::Unit::kTuples;
+    } else if (PeekKeyword("TIME")) {
+      Advance();
+      w.unit = WindowSpec::Unit::kTime;
+    } else {
+      return Err("expected TUPLES or TIME");
+    }
+    if (PeekKeyword("TUMBLING")) {
+      Advance();
+      w.kind = WindowSpec::Kind::kTumbling;
+    }
+    return Status::Ok();
+  }
+
+  std::vector<Token> toks_;
+  size_t idx_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Query> Parser::Parse(std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  ParserImpl impl(std::move(*tokens));
+  return impl.ParseQuery();
+}
+
+}  // namespace rjoin::sql

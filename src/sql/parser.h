@@ -1,0 +1,33 @@
+#ifndef RJOIN_SQL_PARSER_H_
+#define RJOIN_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "sql/query.h"
+#include "util/status.h"
+
+namespace rjoin::sql {
+
+/// Recursive-descent parser for the paper's SQL subset:
+///
+///   query     := SELECT [DISTINCT] items FROM rels [WHERE conj] [window]
+///   items     := item (',' item)*
+///   item      := ident '.' ident | literal
+///   rels      := ident (',' ident)*
+///   conj      := pred (AND pred)*
+///   pred      := operand '=' operand       -- at least one side an attr
+///   operand   := ident '.' ident | literal
+///   literal   := integer | '\'' chars '\''
+///   window    := WINDOW integer (TUPLES | TIME) [TUMBLING]
+///
+/// Keywords are case-insensitive; identifiers are case-sensitive.
+class Parser {
+ public:
+  /// Parses `text` into a Query. Returns InvalidArgument with a position-
+  /// annotated message on malformed input.
+  static StatusOr<Query> Parse(std::string_view text);
+};
+
+}  // namespace rjoin::sql
+
+#endif  // RJOIN_SQL_PARSER_H_

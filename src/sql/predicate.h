@@ -1,0 +1,59 @@
+#ifndef RJOIN_SQL_PREDICATE_H_
+#define RJOIN_SQL_PREDICATE_H_
+
+#include <string>
+
+#include "sql/schema.h"
+#include "sql/value.h"
+
+namespace rjoin::sql {
+
+/// Equi-join predicate R.A = S.B. The paper studies equi-joins only
+/// ("the term join refers to equi-join").
+struct JoinPredicate {
+  AttrRef left;
+  AttrRef right;
+
+  std::string ToString() const {
+    return left.ToString() + "=" + right.ToString();
+  }
+
+  /// True if the predicate mentions `relation` on either side.
+  bool Mentions(const std::string& relation) const {
+    return left.relation == relation || right.relation == relation;
+  }
+
+  /// Given that one side references `relation`, returns that side's
+  /// reference. Requires Mentions(relation).
+  const AttrRef& SideOf(const std::string& relation) const {
+    return left.relation == relation ? left : right;
+  }
+  /// The opposite side's reference. Requires Mentions(relation).
+  const AttrRef& OtherSide(const std::string& relation) const {
+    return left.relation == relation ? right : left;
+  }
+
+  friend bool operator==(const JoinPredicate& a, const JoinPredicate& b) {
+    return a.left == b.left && a.right == b.right;
+  }
+};
+
+/// Selection predicate R.A = v. Produced either by the user's query or by
+/// rewriting a join predicate once one side's tuple has arrived.
+struct SelectionPredicate {
+  AttrRef attr;
+  Value value;
+
+  std::string ToString() const {
+    return attr.ToString() + "=" + value.ToDisplayString();
+  }
+
+  friend bool operator==(const SelectionPredicate& a,
+                         const SelectionPredicate& b) {
+    return a.attr == b.attr && a.value == b.value;
+  }
+};
+
+}  // namespace rjoin::sql
+
+#endif  // RJOIN_SQL_PREDICATE_H_

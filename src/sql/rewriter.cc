@@ -1,0 +1,99 @@
+#include "sql/rewriter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rjoin::sql {
+
+const Value* Rewriter::AttrValue(const Tuple& t,
+                                 const std::string& attr) const {
+  const Schema* schema = catalog_->Find(t.relation);
+  if (schema == nullptr) return nullptr;
+  const int idx = schema->AttrIndex(attr);
+  if (idx < 0 || static_cast<size_t>(idx) >= t.values.size()) return nullptr;
+  return &t.values[static_cast<size_t>(idx)];
+}
+
+bool Rewriter::Triggers(const Query& q, const Tuple& t) const {
+  if (!q.References(t.relation)) return false;
+  for (const auto& sel : q.selections) {
+    if (sel.attr.relation != t.relation) continue;
+    const Value* v = AttrValue(t, sel.attr.attribute);
+    if (v == nullptr || *v != sel.value) return false;
+  }
+  return true;
+}
+
+StatusOr<Query> Rewriter::Rewrite(const Query& q, const Tuple& t) const {
+  const Schema* schema = catalog_->Find(t.relation);
+  if (schema == nullptr) {
+    return Status::NotFound("unknown relation " + t.relation);
+  }
+  if (schema->arity() != t.values.size()) {
+    return Status::InvalidArgument("tuple arity mismatch for " + t.relation);
+  }
+  if (!Triggers(q, t)) {
+    return Status::FailedPrecondition("tuple does not trigger query");
+  }
+
+  Query out;
+  out.distinct = q.distinct;
+  out.window = q.window;
+
+  // Select list: references to t's relation become constants.
+  for (const auto& item : q.select_list) {
+    if (!item.is_constant() && item.attr.relation == t.relation) {
+      const Value* v = AttrValue(t, item.attr.attribute);
+      if (v == nullptr) {
+        return Status::InvalidArgument("unknown attribute " +
+                                       item.attr.ToString());
+      }
+      out.select_list.push_back(SelectItem::Const(*v));
+    } else {
+      out.select_list.push_back(item);
+    }
+  }
+
+  // FROM list: drop t's relation.
+  for (const auto& rel : q.relations) {
+    if (rel != t.relation) out.relations.push_back(rel);
+  }
+
+  // Join predicates touching t's relation become selection predicates on
+  // the other side (e.g. R.A = S.A with t=(3,..) of R becomes 3 = S.A).
+  for (const auto& join : q.joins) {
+    if (!join.Mentions(t.relation)) {
+      out.joins.push_back(join);
+      continue;
+    }
+    const AttrRef& mine = join.SideOf(t.relation);
+    const AttrRef& other = join.OtherSide(t.relation);
+    const Value* v = AttrValue(t, mine.attribute);
+    if (v == nullptr) {
+      return Status::InvalidArgument("unknown attribute " + mine.ToString());
+    }
+    out.selections.push_back({other, *v});
+  }
+
+  // Selections on t's relation were verified by Triggers() and disappear;
+  // others carry over.
+  for (const auto& sel : q.selections) {
+    if (sel.attr.relation != t.relation) out.selections.push_back(sel);
+  }
+
+  return out;
+}
+
+std::vector<Value> Rewriter::ExtractAnswer(const Query& q) {
+  RJOIN_CHECK(q.IsComplete()) << "answer requested from incomplete query";
+  std::vector<Value> row;
+  row.reserve(q.select_list.size());
+  for (const auto& item : q.select_list) {
+    RJOIN_CHECK(item.is_constant());
+    row.push_back(*item.constant);
+  }
+  return row;
+}
+
+}  // namespace rjoin::sql

@@ -1,0 +1,48 @@
+#ifndef RJOIN_SQL_REWRITER_H_
+#define RJOIN_SQL_REWRITER_H_
+
+#include "sql/query.h"
+#include "sql/schema.h"
+#include "sql/tuple.h"
+#include "util/status.h"
+
+namespace rjoin::sql {
+
+/// The paper's query rewriting step (Section 3): given a query q and a tuple
+/// t of a relation R referenced by q, produce the query q' in which R's
+/// attributes are replaced by t's values and the WHERE clause is simplified.
+///
+/// This is the *reference* implementation operating on full Query objects —
+/// it produces the textual rewrites of the paper's running example
+/// (q -> q1 -> q2 -> ...). The engine in src/core uses an equivalent compact
+/// binding representation for performance; property tests check the two
+/// agree.
+class Rewriter {
+ public:
+  explicit Rewriter(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// True iff t "triggers" q: q references t's relation and t satisfies
+  /// every selection predicate q places on that relation. (Temporal
+  /// conditions — pubT >= insT and window validity — are enforced by the
+  /// engine, not here.)
+  bool Triggers(const Query& q, const Tuple& t) const;
+
+  /// Rewrites q with t. Fails if t does not trigger q or t's relation is
+  /// unknown / of wrong arity. The result may be complete
+  /// (IsComplete() == true), meaning an answer can be extracted.
+  StatusOr<Query> Rewrite(const Query& q, const Tuple& t) const;
+
+  /// Extracts the answer row of a complete rewritten query (all select
+  /// items constant).
+  static std::vector<Value> ExtractAnswer(const Query& q);
+
+ private:
+  /// Value of attribute `attr` of t, or nullptr if absent.
+  const Value* AttrValue(const Tuple& t, const std::string& attr) const;
+
+  const Catalog* catalog_;
+};
+
+}  // namespace rjoin::sql
+
+#endif  // RJOIN_SQL_REWRITER_H_

@@ -1,0 +1,27 @@
+#include "sql/schema.h"
+
+namespace rjoin::sql {
+
+int Schema::AttrIndex(const std::string& attribute) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attribute) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Catalog::AddRelation(Schema schema) {
+  const std::string name = schema.name();
+  if (relations_.contains(name)) {
+    return Status::AlreadyExists("relation " + name + " already registered");
+  }
+  relations_.emplace(name, std::move(schema));
+  names_.push_back(name);
+  return Status::Ok();
+}
+
+const Schema* Catalog::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rjoin::sql

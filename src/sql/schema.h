@@ -1,0 +1,70 @@
+#ifndef RJOIN_SQL_SCHEMA_H_
+#define RJOIN_SQL_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rjoin::sql {
+
+/// A qualified attribute reference "Relation.Attribute".
+struct AttrRef {
+  std::string relation;
+  std::string attribute;
+
+  std::string ToString() const { return relation + "." + attribute; }
+
+  friend bool operator==(const AttrRef& a, const AttrRef& b) {
+    return a.relation == b.relation && a.attribute == b.attribute;
+  }
+  friend bool operator<(const AttrRef& a, const AttrRef& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.attribute < b.attribute;
+  }
+};
+
+/// Schema of one relation: its name and ordered attribute names. Relations
+/// are append-only (Section 2; as in Tapestry/continuous-query systems).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<std::string> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  /// Index of `attribute`, or -1 if absent.
+  int AttrIndex(const std::string& attribute) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+};
+
+/// The set of relation schemas known to the network. Different schemas can
+/// co-exist (Section 2); schema mappings are out of scope, as in the paper.
+class Catalog {
+ public:
+  /// Registers a relation; fails if the name is taken.
+  Status AddRelation(Schema schema);
+
+  /// Looks up a relation schema by name.
+  const Schema* Find(const std::string& name) const;
+
+  size_t size() const { return relations_.size(); }
+
+  /// Names of all relations, in insertion order.
+  const std::vector<std::string>& relation_names() const { return names_; }
+
+ private:
+  std::map<std::string, Schema> relations_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace rjoin::sql
+
+#endif  // RJOIN_SQL_SCHEMA_H_

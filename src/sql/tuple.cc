@@ -1,0 +1,26 @@
+#include "sql/tuple.h"
+
+namespace rjoin::sql {
+
+std::string Tuple::ToString() const {
+  std::string out = relation + "(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values[i].ToDisplayString();
+  }
+  out += ")";
+  return out;
+}
+
+TuplePtr MakeTuple(std::string relation, std::vector<Value> values,
+                   uint64_t pub_time, uint64_t seq_no, uint64_t tuple_id) {
+  auto t = std::make_shared<Tuple>();
+  t->relation = std::move(relation);
+  t->values = std::move(values);
+  t->pub_time = pub_time;
+  t->seq_no = seq_no;
+  t->tuple_id = tuple_id;
+  return t;
+}
+
+}  // namespace rjoin::sql

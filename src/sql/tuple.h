@@ -1,0 +1,42 @@
+#ifndef RJOIN_SQL_TUPLE_H_
+#define RJOIN_SQL_TUPLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace rjoin::sql {
+
+/// A published tuple. Besides its relation name and values it carries:
+///  * pub_time  — the publication time pubT(t) of Section 2;
+///  * seq_no    — position in its relation's stream (1-based), the "clock"
+///                for tuple-based sliding windows (Section 5);
+///  * tuple_id  — globally unique id, for tracing and oracle comparison.
+///
+/// Tuples are immutable after publication (append-only relations) and are
+/// shared by pointer throughout the engine: a tuple may be stored at many
+/// nodes and referenced by many rewritten queries.
+struct Tuple {
+  std::string relation;
+  std::vector<Value> values;
+  uint64_t pub_time = 0;
+  uint64_t seq_no = 0;
+  uint64_t tuple_id = 0;
+
+  /// Display form "R(1, 'x', 3)".
+  std::string ToString() const;
+};
+
+using TuplePtr = std::shared_ptr<const Tuple>;
+
+/// Convenience constructor for shared immutable tuples.
+TuplePtr MakeTuple(std::string relation, std::vector<Value> values,
+                   uint64_t pub_time = 0, uint64_t seq_no = 0,
+                   uint64_t tuple_id = 0);
+
+}  // namespace rjoin::sql
+
+#endif  // RJOIN_SQL_TUPLE_H_

@@ -1,0 +1,28 @@
+#include "sql/value.h"
+
+#include <functional>
+
+namespace rjoin::sql {
+
+std::string Value::ToKeyString() const {
+  if (is_int()) return std::to_string(AsInt());
+  return AsString();
+}
+
+std::string Value::ToDisplayString() const {
+  if (is_int()) return std::to_string(AsInt());
+  return "'" + AsString() + "'";
+}
+
+size_t Value::Hasher::operator()(const Value& v) const {
+  if (v.is_int()) {
+    // splitmix-style avalanche of the integer payload.
+    uint64_t z = static_cast<uint64_t>(v.AsInt()) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+  return std::hash<std::string>{}(v.AsString());
+}
+
+}  // namespace rjoin::sql

@@ -1,0 +1,56 @@
+#ifndef RJOIN_SQL_VALUE_H_
+#define RJOIN_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace rjoin::sql {
+
+/// A relational attribute value: 64-bit integer or string. The paper's
+/// workload uses small integer domains (100 values per attribute) but the
+/// protocol only needs values to be hashable and comparable, so strings are
+/// supported as well.
+class Value {
+ public:
+  /// Default: integer 0.
+  Value() : rep_(int64_t{0}) {}
+
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Canonical text used when the value participates in a DHT key
+  /// (value-level indexing: Hash(Rel + Attr + Value)).
+  std::string ToKeyString() const;
+
+  /// Display form: integers plain, strings single-quoted.
+  std::string ToDisplayString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.rep_ < b.rep_;
+  }
+
+  struct Hasher {
+    size_t operator()(const Value& v) const;
+  };
+
+ private:
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+
+  std::variant<int64_t, std::string> rep_;
+};
+
+}  // namespace rjoin::sql
+
+#endif  // RJOIN_SQL_VALUE_H_

@@ -1,0 +1,14 @@
+#include "stats/metrics.h"
+
+namespace rjoin::stats {
+
+void MetricsRegistry::ResetAll() {
+  for (auto& n : nodes_) n = NodeMetrics{};
+  total_messages_ = 0;
+  total_ric_messages_ = 0;
+  total_qpl_ = 0;
+  total_storage_ = 0;
+  answers_delivered_ = 0;
+}
+
+}  // namespace rjoin::stats

@@ -1,0 +1,56 @@
+#include "stats/reporter.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/logging.h"
+
+namespace rjoin::stats {
+
+void TableReporter::Print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  os << std::left << std::setw(18) << x_label_;
+  for (const auto& s : series_) os << std::right << std::setw(18) << s.label;
+  os << "\n";
+  for (size_t row = 0; row < xs_.size(); ++row) {
+    os << std::left << std::setw(18) << xs_[row];
+    for (const auto& s : series_) {
+      os << std::right << std::setw(18) << std::fixed << std::setprecision(3)
+         << (row < s.values.size() ? s.values[row] : 0.0);
+    }
+    os << "\n";
+  }
+  os << "\n";
+}
+
+void PrintRankedFigure(std::ostream& os, const std::string& title,
+                       const std::vector<std::string>& labels,
+                       const std::vector<RankedDistribution>& dists,
+                       size_t sample_points) {
+  RJOIN_CHECK(labels.size() == dists.size());
+  os << "== " << title << " (ranked nodes, highest load first) ==\n";
+  os << std::left << std::setw(12) << "rank";
+  for (const auto& l : labels) os << std::right << std::setw(16) << l;
+  os << "\n";
+  size_t max_nodes = 0;
+  for (const auto& d : dists) max_nodes = std::max(max_nodes, d.sorted_desc.size());
+  for (size_t i = 0; i < sample_points; ++i) {
+    const size_t rank =
+        sample_points > 1 ? (max_nodes - 1) * i / (sample_points - 1) : 0;
+    os << std::left << std::setw(12) << rank;
+    for (const auto& d : dists) {
+      os << std::right << std::setw(16) << d.at_rank(rank);
+    }
+    os << "\n";
+  }
+  os << std::left << std::setw(12) << "max";
+  for (const auto& d : dists) os << std::right << std::setw(16) << d.max();
+  os << "\n";
+  os << std::left << std::setw(12) << "participants";
+  for (const auto& d : dists) {
+    os << std::right << std::setw(16) << d.participants();
+  }
+  os << "\n\n";
+}
+
+}  // namespace rjoin::stats

@@ -1,0 +1,48 @@
+#ifndef RJOIN_STATS_REPORTER_H_
+#define RJOIN_STATS_REPORTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/distribution.h"
+
+namespace rjoin::stats {
+
+/// A labeled numeric series (one curve of a figure).
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Renders the tables that the benches print for each figure: a header
+/// column (x axis) plus one column per series, aligned, with a title line.
+/// Matches the "rows/series the paper reports" requirement.
+class TableReporter {
+ public:
+  TableReporter(std::string title, std::string x_label)
+      : title_(std::move(title)), x_label_(std::move(x_label)) {}
+
+  void set_x(std::vector<double> xs) { xs_ = std::move(xs); }
+  void AddSeries(Series s) { series_.push_back(std::move(s)); }
+
+  /// Writes the table to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<double> xs_;
+  std::vector<Series> series_;
+};
+
+/// Prints a ranked-distribution figure: one row per sampled rank, one column
+/// per labeled distribution (e.g. "2560 tuples", "1280 tuples", ...).
+void PrintRankedFigure(std::ostream& os, const std::string& title,
+                       const std::vector<std::string>& labels,
+                       const std::vector<RankedDistribution>& dists,
+                       size_t sample_points = 10);
+
+}  // namespace rjoin::stats
+
+#endif  // RJOIN_STATS_REPORTER_H_

@@ -1,0 +1,63 @@
+#ifndef RJOIN_UTIL_LOGGING_H_
+#define RJOIN_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace rjoin {
+
+/// Log severity. Messages below the global threshold are discarded.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the process-wide minimum severity that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Turns an ostream expression into void so it can sit in a ternary whose
+/// other branch is (void)0. operator& binds more loosely than operator<<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace rjoin
+
+#define RJOIN_LOG(level)                                                  \
+  (static_cast<int>(::rjoin::LogLevel::k##level) <                        \
+   static_cast<int>(::rjoin::GetLogLevel()))                              \
+      ? (void)0                                                           \
+      : ::rjoin::internal_logging::Voidify() &                            \
+            ::rjoin::internal_logging::LogMessage(                        \
+                ::rjoin::LogLevel::k##level, __FILE__, __LINE__)          \
+                .stream()
+
+#define RJOIN_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                        \
+         : ::rjoin::internal_logging::Voidify() &                         \
+               ::rjoin::internal_logging::LogMessage(                     \
+                   ::rjoin::LogLevel::kFatal, __FILE__, __LINE__)         \
+                   .stream()                                              \
+                   << "Check failed: " #cond " "
+
+#endif  // RJOIN_UTIL_LOGGING_H_

@@ -1,0 +1,92 @@
+#include "util/sha1.h"
+
+#include <cstring>
+
+namespace rjoin {
+namespace {
+
+uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+void ProcessBlock(const uint8_t* block, uint32_t h[5]) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    const uint32_t tmp = Rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h[0] += a;
+  h[1] += b;
+  h[2] += c;
+  h[3] += d;
+  h[4] += e;
+}
+
+}  // namespace
+
+Sha1Digest Sha1(std::string_view data) {
+  uint32_t h[5] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476,
+                   0xc3d2e1f0};
+  const uint64_t total_bits = static_cast<uint64_t>(data.size()) * 8;
+
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t remaining = data.size();
+  while (remaining >= 64) {
+    ProcessBlock(p, h);
+    p += 64;
+    remaining -= 64;
+  }
+
+  uint8_t block[128] = {0};
+  std::memcpy(block, p, remaining);
+  block[remaining] = 0x80;
+  const size_t final_len = (remaining + 9 <= 64) ? 64 : 128;
+  for (int i = 0; i < 8; ++i) {
+    block[final_len - 1 - i] =
+        static_cast<uint8_t>((total_bits >> (8 * i)) & 0xff);
+  }
+  ProcessBlock(block, h);
+  if (final_len == 128) ProcessBlock(block + 64, h);
+
+  return {h[0], h[1], h[2], h[3], h[4]};
+}
+
+std::string Sha1ToHex(const Sha1Digest& digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (uint32_t word : digest) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(word >> shift) & 0xf]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rjoin

@@ -1,0 +1,24 @@
+#ifndef RJOIN_UTIL_SHA1_H_
+#define RJOIN_UTIL_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rjoin {
+
+/// A 160-bit SHA-1 digest. Chord assigns node and item identifiers by hashing
+/// keys with a cryptographic hash; the paper names SHA-1/MD5 and we implement
+/// SHA-1 from scratch (no external dependencies).
+using Sha1Digest = std::array<uint32_t, 5>;
+
+/// Computes SHA-1 of the given bytes.
+Sha1Digest Sha1(std::string_view data);
+
+/// Hex string (40 lowercase hex chars) of a digest.
+std::string Sha1ToHex(const Sha1Digest& digest);
+
+}  // namespace rjoin
+
+#endif  // RJOIN_UTIL_SHA1_H_

@@ -1,0 +1,37 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rjoin {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  RJOIN_CHECK(n >= 1) << "Zipf domain must be non-empty";
+  RJOIN_CHECK(theta >= 0.0) << "Zipf theta must be non-negative";
+  cdf_.resize(n_);
+  double acc = 0.0;
+  for (uint64_t r = 0; r < n_; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), theta_);
+    cdf_[r] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint64_t r) const {
+  if (r >= n_) return 0.0;
+  const double lo = (r == 0) ? 0.0 : cdf_[r - 1];
+  return cdf_[r] - lo;
+}
+
+}  // namespace rjoin

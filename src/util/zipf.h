@@ -1,0 +1,38 @@
+#ifndef RJOIN_UTIL_ZIPF_H_
+#define RJOIN_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rjoin {
+
+/// Zipf(theta) sampler over the domain {0, 1, ..., n-1}: rank r is drawn with
+/// probability proportional to 1 / (r+1)^theta. theta = 0 is uniform; the
+/// paper's default workload uses theta = 0.9 ("highly skewed").
+///
+/// Sampling uses the precomputed CDF with binary search, O(log n) per draw.
+class ZipfDistribution {
+ public:
+  /// n must be >= 1, theta must be >= 0.
+  ZipfDistribution(uint64_t n, double theta);
+
+  /// Draws one rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank r (for tests and analysis).
+  double Pmf(uint64_t r) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace rjoin
+
+#endif  // RJOIN_UTIL_ZIPF_H_

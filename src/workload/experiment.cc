@@ -1,0 +1,189 @@
+#include "workload/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.h"
+
+namespace rjoin::workload {
+
+void ExperimentConfig::ApplyScale(double factor) {
+  if (factor == 1.0) return;
+  num_nodes = std::max<size_t>(16, static_cast<size_t>(num_nodes * factor));
+  num_queries =
+      std::max<size_t>(16, static_cast<size_t>(num_queries * factor));
+}
+
+double ScaleFromEnv(double default_factor) {
+  const char* env = std::getenv("RJOIN_SCALE");
+  if (env == nullptr || *env == '\0') return default_factor;
+  const std::string s(env);
+  if (s == "paper" || s == "PAPER" || s == "full") return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : default_factor;
+}
+
+double ExperimentResult::MsgsPerNodePerTuple() const {
+  if (per_tuple.empty() || num_nodes == 0) return 0.0;
+  const uint64_t tuple_msgs =
+      per_tuple.back().total_messages - traffic_after_queries;
+  return static_cast<double>(tuple_msgs) /
+         (static_cast<double>(num_nodes) *
+          static_cast<double>(per_tuple.size()));
+}
+
+double ExperimentResult::RicMsgsPerNodePerTuple() const {
+  if (per_tuple.empty() || num_nodes == 0) return 0.0;
+  const uint64_t ric = per_tuple.back().ric_messages - ric_after_queries;
+  return static_cast<double>(ric) / (static_cast<double>(num_nodes) *
+                                     static_cast<double>(per_tuple.size()));
+}
+
+double ExperimentResult::TotalMsgsPerNode() const {
+  if (per_tuple.empty() || num_nodes == 0) return 0.0;
+  return static_cast<double>(per_tuple.back().total_messages) /
+         static_cast<double>(num_nodes);
+}
+
+double ExperimentResult::RicMsgsPerNode() const {
+  if (per_tuple.empty() || num_nodes == 0) return 0.0;
+  return static_cast<double>(per_tuple.back().ric_messages) /
+         static_cast<double>(num_nodes);
+}
+
+double ExperimentResult::QplPerNode() const {
+  if (per_tuple.empty() || num_nodes == 0) return 0.0;
+  return static_cast<double>(per_tuple.back().total_qpl) /
+         static_cast<double>(num_nodes);
+}
+
+double ExperimentResult::StoragePerNode() const {
+  if (per_tuple.empty() || num_nodes == 0) return 0.0;
+  return static_cast<double>(per_tuple.back().total_storage) /
+         static_cast<double>(num_nodes);
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)),
+      catalog_(BuildCatalog(config_.workload)),
+      latency_(1) {
+  if (config_.node_positions.has_value()) {
+    network_ = dht::ChordNetwork::CreateWithPositions(*config_.node_positions);
+  } else {
+    network_ = dht::ChordNetwork::Create(config_.num_nodes, config_.seed);
+  }
+  metrics_.Resize(network_->num_total());
+  transport_ = std::make_unique<dht::Transport>(network_.get(), &sim_,
+                                                &latency_, &metrics_,
+                                                Rng(config_.seed ^ 0xabcdef));
+  core::EngineConfig ecfg;
+  ecfg.policy = config_.policy;
+  ecfg.rewrite_levels = config_.rewrite_levels;
+  ecfg.charge_ric_messages = config_.charge_ric;
+  ecfg.reuse_ric_info = config_.reuse_ric_info;
+  ecfg.attr_replication = config_.attr_replication;
+  ecfg.keep_history = config_.keep_history;
+  ecfg.seed = config_.seed ^ 0x5eed;
+  // Observation epoch: roughly 16 tuple publications.
+  ecfg.ric_epoch = std::max<uint64_t>(1, 16 * config_.tuple_gap);
+  ecfg.ct_validity = 4 * ecfg.ric_epoch;
+  engine_ = std::make_unique<core::RJoinEngine>(ecfg, catalog_.get(),
+                                                network_.get(),
+                                                transport_.get(), &sim_,
+                                                &metrics_);
+}
+
+Experiment::~Experiment() = default;
+
+LoadSnapshot Experiment::Snapshot(size_t after_tuples) const {
+  LoadSnapshot snap;
+  snap.after_tuples = after_tuples;
+  const auto& nodes = metrics_.all_nodes();
+  snap.messages.reserve(nodes.size());
+  for (const auto& m : nodes) {
+    snap.messages.push_back(m.messages_sent);
+    snap.ric_messages.push_back(m.ric_messages_sent);
+    snap.qpl.push_back(m.qpl);
+    snap.storage.push_back(
+        m.storage_current > 0 ? static_cast<uint64_t>(m.storage_current) : 0);
+  }
+  return snap;
+}
+
+ExperimentResult Experiment::Run() {
+  ExperimentResult result;
+  result.num_nodes = network_->num_alive();
+  result.num_tuples = config_.num_tuples;
+
+  const auto alive = network_->AliveNodes();
+  Rng placement_rng(config_.seed ^ 0x9a9a9a);
+
+  // Phase 0: prime the tuple-rate trackers with stream history (same
+  // distribution as the live stream) so indexing decisions can use RIC.
+  {
+    TupleGenerator warm(config_.workload, catalog_.get(),
+                        config_.seed * 29 + 11);
+    for (size_t i = 0; i < config_.warmup_observations; ++i) {
+      TupleGenerator::Draw d = warm.Next();
+      RJOIN_CHECK(engine_->ObserveStreamHistory(d.relation, d.values).ok());
+    }
+  }
+
+  // Phase 1: submit continuous queries from random owner nodes.
+  QueryGenerator qgen(config_.workload, catalog_.get(), config_.seed * 7 + 1);
+  sql::WindowSpec window;
+  if (config_.window.has_value()) window = *config_.window;
+  for (size_t i = 0; i < config_.num_queries; ++i) {
+    const dht::NodeIndex owner =
+        alive[placement_rng.NextBounded(alive.size())];
+    auto id = engine_->SubmitQuery(owner, qgen.Next(config_.way, window));
+    RJOIN_CHECK(id.ok()) << id.status().ToString();
+  }
+  sim_.Run();
+  result.traffic_after_queries = metrics_.total_messages();
+  result.ric_after_queries = metrics_.total_ric_messages();
+
+  // Phase 2: stream tuples. Each tuple is processed to quiescence so the
+  // per-tuple load attribution matches the paper's measurement method.
+  TupleGenerator tgen(config_.workload, catalog_.get(), config_.seed * 13 + 5);
+  size_t next_checkpoint = 0;
+  result.per_tuple.reserve(config_.num_tuples);
+  for (size_t i = 0; i < config_.num_tuples; ++i) {
+    const dht::NodeIndex publisher =
+        alive[placement_rng.NextBounded(alive.size())];
+    TupleGenerator::Draw d = tgen.Next();
+    auto t = engine_->PublishTuple(publisher, d.relation, std::move(d.values));
+    RJOIN_CHECK(t.ok()) << t.status().ToString();
+    sim_.Run();
+
+    PerTupleSample sample;
+    sample.total_messages = metrics_.total_messages();
+    sample.ric_messages = metrics_.total_ric_messages();
+    sample.total_qpl = metrics_.total_qpl();
+    sample.total_storage = metrics_.total_storage();
+    result.per_tuple.push_back(sample);
+
+    if ((i + 1) % config_.sweep_every == 0) engine_->SweepWindows();
+
+    while (next_checkpoint < config_.checkpoints.size() &&
+           config_.checkpoints[next_checkpoint] == i + 1) {
+      result.snapshots.push_back(Snapshot(i + 1));
+      ++next_checkpoint;
+    }
+
+    // Advance the stream clock to the next inter-arrival slot.
+    sim_.RunUntil(sim_.Now() + config_.tuple_gap);
+  }
+  engine_->SweepWindows();
+
+  result.final_snapshot = Snapshot(config_.num_tuples);
+  result.answers_delivered = metrics_.answers_delivered();
+  return result;
+}
+
+std::vector<dht::KeyLoad> Experiment::KeyLoadProfile() const {
+  return engine_->KeyLoadProfile();
+}
+
+}  // namespace rjoin::workload

@@ -1,0 +1,158 @@
+#ifndef RJOIN_WORKLOAD_EXPERIMENT_H_
+#define RJOIN_WORKLOAD_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/engine.h"
+#include "dht/chord_network.h"
+#include "dht/transport.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+#include "sql/schema.h"
+#include "stats/distribution.h"
+#include "stats/metrics.h"
+#include "workload/generator.h"
+
+namespace rjoin::workload {
+
+/// One experiment of the paper's Section 8: build a Chord network, submit Q
+/// continuous k-way joins, stream T tuples, measure traffic / query
+/// processing load / storage load.
+struct ExperimentConfig {
+  size_t num_nodes = 1000;
+  size_t num_queries = 20000;
+  size_t num_tuples = 400;
+  int way = 4;  ///< relations per join query (4/6/8 in Fig. 6)
+
+  WorkloadParams workload;  ///< schema + Zipf parameters
+
+  core::PlannerPolicy policy = core::PlannerPolicy::kRic;
+  bool charge_ric = true;
+
+  /// Candidate levels for rewritten queries. The benches use
+  /// kIncludeAttribute (the full Section 6 candidate set) so the Worst
+  /// baseline can actually make the worst choice; kValuePreferred keeps
+  /// strict eventual completeness with finite Delta (see planner.h).
+  core::RewriteIndexLevels rewrite_levels =
+      core::RewriteIndexLevels::kValuePreferred;
+
+  /// Section 7's candidate-table + piggy-backing reuse (ablation knob).
+  bool reuse_ric_info = true;
+
+  /// Attribute-level query replication factor ([18]; ablation knob).
+  uint32_t attr_replication = 1;
+
+  /// Same window for all queries (Fig. 7/8); nullopt = no windows.
+  std::optional<sql::WindowSpec> window;
+
+  /// Run window GC every this many tuples.
+  size_t sweep_every = 32;
+
+  /// Ticks between consecutive tuple publications (the stream's
+  /// inter-arrival gap; also the clock for time-based windows).
+  uint64_t tuple_gap = 16;
+
+  /// Explicit ring positions (id-movement experiment, Fig. 9).
+  std::optional<std::vector<dht::NodeId>> node_positions;
+
+  bool keep_history = false;  ///< record tuples for oracle checks
+
+  uint64_t seed = 1;
+
+  /// Stream-history draws observed (rates only, no publication) before any
+  /// query is submitted, so RIC has a "last window" to consult. Models the
+  /// long-running stream of the paper's setting.
+  size_t warmup_observations = 64;
+
+  /// Capture per-node load snapshots after these many tuples.
+  std::vector<size_t> checkpoints;
+
+  /// Scales num_nodes/num_queries (x-axis parameters like tuple counts are
+  /// left untouched). Benches default to 0.25 of paper scale; set
+  /// RJOIN_SCALE=paper for full size.
+  void ApplyScale(double factor);
+};
+
+/// Reads the RJOIN_SCALE environment variable: "paper" => 1.0, a number =>
+/// that factor, unset => `default_factor`.
+double ScaleFromEnv(double default_factor = 0.25);
+
+/// Per-node load vectors captured at a checkpoint.
+struct LoadSnapshot {
+  size_t after_tuples = 0;
+  std::vector<uint64_t> messages;      ///< cumulative traffic per node
+  std::vector<uint64_t> ric_messages;  ///< cumulative RIC traffic per node
+  std::vector<uint64_t> qpl;           ///< cumulative QPL per node
+  std::vector<uint64_t> storage;       ///< current stored items per node
+};
+
+/// Cumulative totals sampled after each published tuple (Fig. 8).
+struct PerTupleSample {
+  uint64_t total_messages = 0;
+  uint64_t ric_messages = 0;
+  uint64_t total_qpl = 0;
+  uint64_t total_storage = 0;  ///< cumulative stores (not reduced by GC)
+};
+
+struct ExperimentResult {
+  uint64_t traffic_after_queries = 0;  ///< messages spent indexing queries
+  uint64_t ric_after_queries = 0;
+  std::vector<PerTupleSample> per_tuple;  ///< cumulative series, one per tuple
+  std::vector<LoadSnapshot> snapshots;    ///< at requested checkpoints
+  LoadSnapshot final_snapshot;
+  uint64_t answers_delivered = 0;
+  size_t num_nodes = 0;
+  size_t num_tuples = 0;
+
+  /// Average messages per node per tuple over the tuple phase
+  /// (the y-axis of Figs. 3a-7a).
+  double MsgsPerNodePerTuple() const;
+  double RicMsgsPerNodePerTuple() const;
+  /// Average total messages per node including query indexing (Fig. 2a).
+  double TotalMsgsPerNode() const;
+  double RicMsgsPerNode() const;
+  double QplPerNode() const;
+  double StoragePerNode() const;
+};
+
+/// Drives one experiment end to end. Also exposes the pieces so benches and
+/// examples can interleave custom steps (e.g. the two-phase id-movement run).
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  /// Submits queries, streams tuples, returns measurements.
+  ExperimentResult Run();
+
+  /// The engine's observed per-key storage responsibility (input to the
+  /// id-movement balancer).
+  std::vector<dht::KeyLoad> KeyLoadProfile() const;
+
+  core::RJoinEngine& engine() { return *engine_; }
+  const stats::MetricsRegistry& metrics() const { return metrics_; }
+  const sql::Catalog& catalog() const { return *catalog_; }
+  sim::Simulator& simulator() { return sim_; }
+  dht::ChordNetwork& network() { return *network_; }
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  LoadSnapshot Snapshot(size_t after_tuples) const;
+
+  ExperimentConfig config_;
+  std::unique_ptr<sql::Catalog> catalog_;
+  std::unique_ptr<dht::ChordNetwork> network_;
+  sim::Simulator sim_;
+  sim::FixedLatency latency_;
+  stats::MetricsRegistry metrics_;
+  std::unique_ptr<dht::Transport> transport_;
+  std::unique_ptr<core::RJoinEngine> engine_;
+};
+
+}  // namespace rjoin::workload
+
+#endif  // RJOIN_WORKLOAD_EXPERIMENT_H_

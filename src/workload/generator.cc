@@ -1,0 +1,94 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rjoin::workload {
+
+std::unique_ptr<sql::Catalog> BuildCatalog(const WorkloadParams& params) {
+  auto catalog = std::make_unique<sql::Catalog>();
+  for (size_t r = 0; r < params.num_relations; ++r) {
+    std::vector<std::string> attrs;
+    attrs.reserve(params.num_attributes);
+    for (size_t a = 0; a < params.num_attributes; ++a) {
+      attrs.push_back("A" + std::to_string(a));
+    }
+    auto status = catalog->AddRelation(
+        sql::Schema("R" + std::to_string(r), std::move(attrs)));
+    RJOIN_CHECK(status.ok());
+  }
+  return catalog;
+}
+
+TupleGenerator::TupleGenerator(const WorkloadParams& params,
+                               const sql::Catalog* catalog, uint64_t seed)
+    : params_(params),
+      catalog_(catalog),
+      rng_(seed),
+      relation_dist_(params.num_relations, params.zipf_theta),
+      value_dist_(static_cast<uint64_t>(params.num_values),
+                  params.zipf_theta) {}
+
+TupleGenerator::Draw TupleGenerator::Next() {
+  Draw d;
+  const uint64_t rel_rank = relation_dist_.Sample(rng_);
+  d.relation = catalog_->relation_names()[rel_rank];
+  const sql::Schema* schema = catalog_->Find(d.relation);
+  d.values.reserve(schema->arity());
+  for (size_t i = 0; i < schema->arity(); ++i) {
+    d.values.push_back(
+        sql::Value::Int(static_cast<int64_t>(value_dist_.Sample(rng_))));
+  }
+  return d;
+}
+
+QueryGenerator::QueryGenerator(const WorkloadParams& params,
+                               const sql::Catalog* catalog, uint64_t seed)
+    : params_(params), catalog_(catalog), rng_(seed) {}
+
+sql::Query QueryGenerator::Next(int way, const sql::WindowSpec& window) {
+  RJOIN_CHECK(way >= 2) << "chain joins need at least two relations";
+  RJOIN_CHECK(static_cast<size_t>(way) <= params_.num_relations)
+      << "way exceeds number of distinct relations";
+
+  // Random distinct relations (partial Fisher-Yates over relation ranks).
+  std::vector<size_t> ranks(params_.num_relations);
+  for (size_t i = 0; i < ranks.size(); ++i) ranks[i] = i;
+  for (int i = 0; i < way; ++i) {
+    const size_t j =
+        static_cast<size_t>(i) +
+        rng_.NextBounded(ranks.size() - static_cast<size_t>(i));
+    std::swap(ranks[static_cast<size_t>(i)], ranks[j]);
+  }
+
+  sql::Query q;
+  q.window = window;
+  for (int i = 0; i < way; ++i) {
+    q.relations.push_back(catalog_->relation_names()[ranks[static_cast<size_t>(i)]]);
+  }
+
+  auto random_attr = [&](const std::string& rel) -> std::string {
+    const sql::Schema* schema = catalog_->Find(rel);
+    return schema->attributes()[rng_.NextBounded(schema->arity())];
+  };
+
+  // Chain: adjacent predicates share a relation.
+  for (int i = 0; i + 1 < way; ++i) {
+    sql::JoinPredicate j;
+    j.left = {q.relations[static_cast<size_t>(i)],
+              random_attr(q.relations[static_cast<size_t>(i)])};
+    j.right = {q.relations[static_cast<size_t>(i + 1)],
+               random_attr(q.relations[static_cast<size_t>(i + 1)])};
+    q.joins.push_back(std::move(j));
+  }
+
+  // Select list: one attribute from each end of the chain.
+  q.select_list.push_back(sql::SelectItem::Attr(
+      {q.relations.front(), random_attr(q.relations.front())}));
+  q.select_list.push_back(sql::SelectItem::Attr(
+      {q.relations.back(), random_attr(q.relations.back())}));
+  return q;
+}
+
+}  // namespace rjoin::workload

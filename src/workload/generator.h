@@ -1,0 +1,74 @@
+#ifndef RJOIN_WORKLOAD_GENERATOR_H_
+#define RJOIN_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sql/query.h"
+#include "sql/schema.h"
+#include "sql/value.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace rjoin::workload {
+
+/// Parameters of the paper's synthetic workload (Section 8): a schema of 10
+/// relations with 10 attributes each, every attribute over a domain of 100
+/// values; tuples drawn with Zipf(theta = 0.9) both for the relation and for
+/// each attribute value.
+struct WorkloadParams {
+  size_t num_relations = 10;
+  size_t num_attributes = 10;
+  int64_t num_values = 100;
+  double zipf_theta = 0.9;
+};
+
+/// Builds the catalog: relations "R0".."R<n-1>", attributes "A0".."A<k-1>".
+std::unique_ptr<sql::Catalog> BuildCatalog(const WorkloadParams& params);
+
+/// Draws tuples per the paper: the relation by Zipf over relation ranks,
+/// then each attribute value by Zipf over the value domain.
+class TupleGenerator {
+ public:
+  TupleGenerator(const WorkloadParams& params, const sql::Catalog* catalog,
+                 uint64_t seed);
+
+  /// One tuple draw: relation name + values (arity of that relation).
+  struct Draw {
+    std::string relation;
+    std::vector<sql::Value> values;
+  };
+  Draw Next();
+
+ private:
+  const WorkloadParams params_;
+  const sql::Catalog* catalog_;
+  Rng rng_;
+  ZipfDistribution relation_dist_;
+  ZipfDistribution value_dist_;
+};
+
+/// Generates k-way chain joins in the paper's shape:
+///   R.A = S.B and S.C = J.F and J.C = K.D
+/// — adjacent join predicates share a relation; relations and attributes are
+/// chosen randomly; the select list picks one attribute from the first and
+/// one from the last relation.
+class QueryGenerator {
+ public:
+  QueryGenerator(const WorkloadParams& params, const sql::Catalog* catalog,
+                 uint64_t seed);
+
+  /// A `way`-way join (way >= 2 relations, way-1 predicates). Optionally
+  /// attaches the same window spec to every query (the Fig. 7/8 setup).
+  sql::Query Next(int way, const sql::WindowSpec& window = {});
+
+ private:
+  const WorkloadParams params_;
+  const sql::Catalog* catalog_;
+  Rng rng_;
+};
+
+}  // namespace rjoin::workload
+
+#endif  // RJOIN_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,162 @@
+// Tests of the incremental Chord protocol: joins via bootstrap,
+// stabilization/notify rounds, finger repair, and healing after silent
+// failures — the network dynamism the paper's Section 2/4 assumptions
+// delegate to the DHT layer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dht/chord_network.h"
+#include "util/random.h"
+
+namespace rjoin::dht {
+namespace {
+
+NodeIndex BruteForceSuccessor(const ChordNetwork& net, const NodeId& key) {
+  NodeIndex best = kInvalidNode;
+  NodeId best_dist = NodeId::Max();
+  for (NodeIndex i : net.AliveNodes()) {
+    const NodeId dist = net.node(i).id().Subtract(key);
+    if (best == kInvalidNode || dist < best_dist) {
+      best = i;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+void ExpectAllLookupsCorrect(const ChordNetwork& net, uint64_t seed,
+                             int lookups = 60) {
+  Rng rng(seed);
+  const auto alive = net.AliveNodes();
+  for (int i = 0; i < lookups; ++i) {
+    const NodeId key = NodeId::FromKey("lk:" + std::to_string(rng.Next()));
+    const NodeIndex src = alive[rng.NextBounded(alive.size())];
+    EXPECT_EQ(net.FindSuccessorFrom(src, key), BruteForceSuccessor(net, key))
+        << "lookup " << i;
+  }
+}
+
+TEST(ChordProtocolTest, StabilizedNetworkIsRingConsistent) {
+  auto net = ChordNetwork::Create(24, 1);
+  EXPECT_TRUE(net->RingConsistent());
+}
+
+TEST(ChordProtocolTest, FindSuccessorFromMatchesOracleWhenStable) {
+  auto net = ChordNetwork::Create(40, 2);
+  ExpectAllLookupsCorrect(*net, 77);
+}
+
+TEST(ChordProtocolTest, SingleJoinIntegratesAfterRounds) {
+  auto net = ChordNetwork::Create(16, 3);
+  auto joined =
+      net->JoinViaBootstrap(NodeId::FromKey("newcomer"), net->AliveNodes()[0]);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  // Before any rounds the ring is not yet consistent (predecessors stale).
+  EXPECT_FALSE(net->RingConsistent());
+  net->RunProtocolRounds(3);
+  EXPECT_TRUE(net->RingConsistent());
+  ExpectAllLookupsCorrect(*net, 78);
+  // The newcomer is responsible for its own id.
+  EXPECT_EQ(net->FindSuccessorFrom(net->AliveNodes()[0],
+                                   NodeId::FromKey("newcomer")),
+            *joined);
+}
+
+TEST(ChordProtocolTest, JoinRequiresAliveBootstrap) {
+  auto net = ChordNetwork::Create(8, 4);
+  const NodeIndex victim = net->AliveNodes()[0];
+  ASSERT_TRUE(net->FailNode(victim).ok());
+  EXPECT_FALSE(net->JoinViaBootstrap(NodeId::FromKey("x"), victim).ok());
+}
+
+TEST(ChordProtocolTest, ManySequentialJoins) {
+  auto net = ChordNetwork::Create(8, 5);
+  for (int i = 0; i < 24; ++i) {
+    auto joined = net->JoinViaBootstrap(
+        NodeId::FromKey("j:" + std::to_string(i)), net->AliveNodes()[0]);
+    ASSERT_TRUE(joined.ok());
+    net->RunProtocolRounds(2);
+  }
+  EXPECT_EQ(net->num_alive(), 32u);
+  EXPECT_TRUE(net->RingConsistent());
+  ExpectAllLookupsCorrect(*net, 79);
+}
+
+TEST(ChordProtocolTest, FailureHealsThroughSuccessorLists) {
+  auto net = ChordNetwork::Create(32, 6);
+  // Fail three non-adjacent nodes silently (no Stabilize() oracle call).
+  const auto alive = net->AliveNodes();
+  ASSERT_TRUE(net->FailNode(alive[3]).ok());
+  ASSERT_TRUE(net->FailNode(alive[11]).ok());
+  ASSERT_TRUE(net->FailNode(alive[23]).ok());
+  EXPECT_FALSE(net->RingConsistent());
+  net->RunProtocolRounds(4);
+  EXPECT_TRUE(net->RingConsistent());
+  ExpectAllLookupsCorrect(*net, 80);
+}
+
+TEST(ChordProtocolTest, AdjacentFailuresWithinSuccessorListHeal) {
+  auto net = ChordNetwork::Create(32, 7);
+  // Fail a run of adjacent nodes shorter than the successor list.
+  const auto alive = net->AliveNodes();
+  for (size_t i = 5; i < 5 + ChordNetwork::kSuccessorListLen - 1; ++i) {
+    ASSERT_TRUE(net->FailNode(alive[i]).ok());
+  }
+  net->RunProtocolRounds(5);
+  EXPECT_TRUE(net->RingConsistent());
+  ExpectAllLookupsCorrect(*net, 81);
+}
+
+class ChurnMixTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChurnMixTest, LookupsConvergeAfterMixedChurn) {
+  const uint64_t seed = GetParam();
+  auto net = ChordNetwork::Create(24, seed);
+  Rng rng(seed * 101 + 7);
+  int joined_count = 0;
+  for (int step = 0; step < 30; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      auto j = net->JoinViaBootstrap(
+          NodeId::FromKey("churn:" + std::to_string(seed) + ":" +
+                          std::to_string(step)),
+          net->AliveNodes()[rng.NextBounded(net->num_alive())]);
+      if (j.ok()) ++joined_count;
+    } else if (net->num_alive() > 12) {
+      const auto alive = net->AliveNodes();
+      (void)net->FailNode(alive[rng.NextBounded(alive.size())]);
+    }
+    net->RunProtocolRounds(2);
+  }
+  net->RunProtocolRounds(3);
+  EXPECT_TRUE(net->RingConsistent()) << "seed " << seed;
+  ExpectAllLookupsCorrect(*net, seed * 3 + 1);
+  EXPECT_GT(joined_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnMixTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(ChordProtocolTest, FreshJoinerLookupsDegradeGracefully) {
+  // A node that joined but has not fixed fingers yet still resolves
+  // correct successors (through successor walks).
+  auto net = ChordNetwork::Create(16, 8);
+  auto joined =
+      net->JoinViaBootstrap(NodeId::FromKey("slow"), net->AliveNodes()[0]);
+  ASSERT_TRUE(joined.ok());
+  // Stabilize the ring but never fix the newcomer's fingers.
+  for (int r = 0; r < 4; ++r) {
+    for (NodeIndex n : net->AliveNodes()) net->StabilizeOnce(n);
+  }
+  Rng rng(123);
+  for (int i = 0; i < 20; ++i) {
+    const NodeId key = NodeId::FromKey("g:" + std::to_string(rng.Next()));
+    EXPECT_EQ(net->FindSuccessorFrom(*joined, key),
+              BruteForceSuccessor(*net, key));
+  }
+}
+
+}  // namespace
+}  // namespace rjoin::dht

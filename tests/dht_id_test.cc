@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "dht/id.h"
+
+namespace rjoin::dht {
+namespace {
+
+TEST(NodeIdTest, DefaultIsZero) {
+  NodeId z;
+  EXPECT_EQ(z.ToHex(), std::string(40, '0'));
+}
+
+TEST(NodeIdTest, FromKeyIsSha1) {
+  // SHA-1("abc") known vector.
+  EXPECT_EQ(NodeId::FromKey("abc").ToHex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(NodeIdTest, HexRoundTrip) {
+  const NodeId id = NodeId::FromKey("roundtrip");
+  EXPECT_EQ(NodeId::FromHex(id.ToHex()), id);
+}
+
+TEST(NodeIdTest, FromUint64HoldsLowBits) {
+  const NodeId id = NodeId::FromUint64(0x0123456789abcdefULL);
+  EXPECT_EQ(id.ToHex(), "000000000000000000000000" "01234567" "89abcdef");
+}
+
+TEST(NodeIdTest, ComparisonIsNumeric) {
+  EXPECT_LT(NodeId::FromUint64(1), NodeId::FromUint64(2));
+  EXPECT_LT(NodeId::FromUint64(0xffffffffULL),
+            NodeId::FromUint64(0x100000000ULL));
+  EXPECT_LT(NodeId(), NodeId::Max());
+}
+
+TEST(NodeIdTest, AddCarriesAcrossWords) {
+  const NodeId a = NodeId::FromUint64(0xffffffffffffffffULL);
+  const NodeId one = NodeId::FromUint64(1);
+  const NodeId sum = a.Add(one);
+  // 2^64: bit 64 set.
+  EXPECT_EQ(sum, NodeId().AddPowerOfTwo(64));
+}
+
+TEST(NodeIdTest, AddWrapsModulo2To160) {
+  const NodeId max = NodeId::Max();
+  EXPECT_EQ(max.Add(NodeId::FromUint64(1)), NodeId());
+}
+
+TEST(NodeIdTest, SubtractInvertsAdd) {
+  const NodeId a = NodeId::FromKey("a");
+  const NodeId b = NodeId::FromKey("b");
+  EXPECT_EQ(a.Add(b).Subtract(b), a);
+}
+
+TEST(NodeIdTest, SubtractWraps) {
+  const NodeId zero;
+  const NodeId one = NodeId::FromUint64(1);
+  EXPECT_EQ(zero.Subtract(one), NodeId::Max());
+}
+
+TEST(NodeIdTest, AddPowerOfTwoMatchesShift) {
+  EXPECT_EQ(NodeId().AddPowerOfTwo(0), NodeId::FromUint64(1));
+  EXPECT_EQ(NodeId().AddPowerOfTwo(33), NodeId::FromUint64(1ULL << 33));
+  // 2^159 sets the top bit of the most significant word.
+  EXPECT_EQ(NodeId().AddPowerOfTwo(159).ToHex(),
+            "8000000000000000000000000000000000000000");
+}
+
+TEST(NodeIdTest, ToDoubleIsMonotone) {
+  EXPECT_LT(NodeId::FromUint64(5).ToDouble(),
+            NodeId::FromUint64(500).ToDouble());
+  EXPECT_GT(NodeId().AddPowerOfTwo(159).ToDouble(),
+            NodeId().AddPowerOfTwo(100).ToDouble());
+}
+
+TEST(IntervalTest, OpenClosedBasic) {
+  const NodeId a = NodeId::FromUint64(10);
+  const NodeId b = NodeId::FromUint64(20);
+  EXPECT_TRUE(InIntervalOpenClosed(NodeId::FromUint64(15), a, b));
+  EXPECT_TRUE(InIntervalOpenClosed(b, a, b));    // b included
+  EXPECT_FALSE(InIntervalOpenClosed(a, a, b));   // a excluded
+  EXPECT_FALSE(InIntervalOpenClosed(NodeId::FromUint64(25), a, b));
+}
+
+TEST(IntervalTest, OpenClosedWrapsAroundZero) {
+  const NodeId a = NodeId::FromUint64(100);
+  const NodeId b = NodeId::FromUint64(5);
+  EXPECT_TRUE(InIntervalOpenClosed(NodeId::FromUint64(200), a, b));
+  EXPECT_TRUE(InIntervalOpenClosed(NodeId::Max(), a, b));
+  EXPECT_TRUE(InIntervalOpenClosed(NodeId(), a, b));
+  EXPECT_TRUE(InIntervalOpenClosed(b, a, b));
+  EXPECT_FALSE(InIntervalOpenClosed(NodeId::FromUint64(50), a, b));
+}
+
+TEST(IntervalTest, DegenerateIsWholeRing) {
+  const NodeId a = NodeId::FromUint64(7);
+  EXPECT_TRUE(InIntervalOpenClosed(NodeId::FromUint64(7), a, a));
+  EXPECT_TRUE(InIntervalOpenClosed(NodeId::FromUint64(1000), a, a));
+}
+
+TEST(IntervalTest, OpenOpenExcludesEndpoints) {
+  const NodeId a = NodeId::FromUint64(10);
+  const NodeId b = NodeId::FromUint64(20);
+  EXPECT_TRUE(InIntervalOpenOpen(NodeId::FromUint64(11), a, b));
+  EXPECT_FALSE(InIntervalOpenOpen(a, a, b));
+  EXPECT_FALSE(InIntervalOpenOpen(b, a, b));
+}
+
+TEST(IntervalTest, OpenOpenDegenerate) {
+  const NodeId a = NodeId::FromUint64(9);
+  EXPECT_FALSE(InIntervalOpenOpen(a, a, a));
+  EXPECT_TRUE(InIntervalOpenOpen(NodeId::FromUint64(10), a, a));
+}
+
+TEST(NodeIdTest, HasherSpreadsValues) {
+  NodeId::Hasher h;
+  EXPECT_NE(h(NodeId::FromKey("x")), h(NodeId::FromKey("y")));
+}
+
+}  // namespace
+}  // namespace rjoin::dht

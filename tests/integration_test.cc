@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "dht/load_balancer.h"
+#include "stats/distribution.h"
+#include "workload/experiment.h"
+#include "workload/generator.h"
+
+namespace rjoin::workload {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.num_nodes = 48;
+  cfg.num_queries = 150;
+  cfg.num_tuples = 60;
+  cfg.way = 3;
+  cfg.workload.num_relations = 6;
+  cfg.workload.num_attributes = 4;
+  cfg.workload.num_values = 25;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(WorkloadTest, CatalogHasRequestedShape) {
+  WorkloadParams wp;
+  auto catalog = BuildCatalog(wp);
+  EXPECT_EQ(catalog->size(), 10u);
+  const sql::Schema* r0 = catalog->Find("R0");
+  ASSERT_NE(r0, nullptr);
+  EXPECT_EQ(r0->arity(), 10u);
+}
+
+TEST(WorkloadTest, TupleGeneratorRespectsDomain) {
+  WorkloadParams wp;
+  wp.num_values = 7;
+  auto catalog = BuildCatalog(wp);
+  TupleGenerator gen(wp, catalog.get(), 3);
+  for (int i = 0; i < 200; ++i) {
+    auto d = gen.Next();
+    EXPECT_NE(catalog->Find(d.relation), nullptr);
+    for (const auto& v : d.values) {
+      ASSERT_TRUE(v.is_int());
+      EXPECT_GE(v.AsInt(), 0);
+      EXPECT_LT(v.AsInt(), 7);
+    }
+  }
+}
+
+TEST(WorkloadTest, TupleGeneratorIsZipfSkewed) {
+  WorkloadParams wp;
+  wp.zipf_theta = 0.9;
+  auto catalog = BuildCatalog(wp);
+  TupleGenerator gen(wp, catalog.get(), 11);
+  int r0_count = 0;
+  const int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (gen.Next().relation == "R0") ++r0_count;
+  }
+  // Under Zipf(0.9) over 10 relations, rank 0 has ~27% mass; uniform would
+  // be 10%.
+  EXPECT_GT(r0_count, kDraws / 5);
+}
+
+TEST(WorkloadTest, QueryGeneratorBuildsChains) {
+  WorkloadParams wp;
+  auto catalog = BuildCatalog(wp);
+  QueryGenerator gen(wp, catalog.get(), 13);
+  for (int i = 0; i < 50; ++i) {
+    sql::Query q = gen.Next(4);
+    EXPECT_EQ(q.relations.size(), 4u);
+    EXPECT_EQ(q.joins.size(), 3u);
+    // Chain property: join i connects relations i and i+1.
+    for (size_t j = 0; j < q.joins.size(); ++j) {
+      EXPECT_EQ(q.joins[j].left.relation, q.relations[j]);
+      EXPECT_EQ(q.joins[j].right.relation, q.relations[j + 1]);
+    }
+    // Distinct relations.
+    std::set<std::string> rels(q.relations.begin(), q.relations.end());
+    EXPECT_EQ(rels.size(), 4u);
+  }
+}
+
+TEST(WorkloadTest, QueryGeneratorAttachesWindow) {
+  WorkloadParams wp;
+  auto catalog = BuildCatalog(wp);
+  QueryGenerator gen(wp, catalog.get(), 17);
+  sql::WindowSpec w;
+  w.use_windows = true;
+  w.unit = sql::WindowSpec::Unit::kTuples;
+  w.size = 99;
+  sql::Query q = gen.Next(3, w);
+  EXPECT_TRUE(q.window.use_windows);
+  EXPECT_EQ(q.window.size, 99u);
+}
+
+TEST(ExperimentTest, RunsEndToEnd) {
+  Experiment e(SmallConfig());
+  auto result = e.Run();
+  EXPECT_EQ(result.num_nodes, 48u);
+  EXPECT_EQ(result.per_tuple.size(), 60u);
+  EXPECT_GT(result.traffic_after_queries, 0u);
+  EXPECT_GT(result.per_tuple.back().total_messages,
+            result.traffic_after_queries);
+  EXPECT_GT(result.MsgsPerNodePerTuple(), 0.0);
+  // Cumulative series is monotone.
+  for (size_t i = 1; i < result.per_tuple.size(); ++i) {
+    EXPECT_GE(result.per_tuple[i].total_messages,
+              result.per_tuple[i - 1].total_messages);
+    EXPECT_GE(result.per_tuple[i].total_qpl,
+              result.per_tuple[i - 1].total_qpl);
+  }
+}
+
+TEST(ExperimentTest, DeterministicForSeed) {
+  Experiment a(SmallConfig()), b(SmallConfig());
+  auto ra = a.Run();
+  auto rb = b.Run();
+  EXPECT_EQ(ra.per_tuple.back().total_messages,
+            rb.per_tuple.back().total_messages);
+  EXPECT_EQ(ra.answers_delivered, rb.answers_delivered);
+}
+
+TEST(ExperimentTest, CheckpointsCaptured) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.checkpoints = {10, 30, 60};
+  Experiment e(cfg);
+  auto result = e.Run();
+  ASSERT_EQ(result.snapshots.size(), 3u);
+  EXPECT_EQ(result.snapshots[0].after_tuples, 10u);
+  EXPECT_EQ(result.snapshots[2].after_tuples, 60u);
+  EXPECT_EQ(result.snapshots[0].qpl.size(), 48u);
+  // Loads grow between checkpoints.
+  uint64_t q10 = 0, q60 = 0;
+  for (auto v : result.snapshots[0].qpl) q10 += v;
+  for (auto v : result.snapshots[2].qpl) q60 += v;
+  EXPECT_LT(q10, q60);
+}
+
+TEST(ExperimentTest, RicCheaperThanWorstCase) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.policy = core::PlannerPolicy::kRic;
+  auto ric = Experiment(cfg).Run();
+  cfg.policy = core::PlannerPolicy::kWorst;
+  cfg.charge_ric = false;
+  auto worst = Experiment(cfg).Run();
+  EXPECT_LT(ric.per_tuple.back().total_qpl,
+            worst.per_tuple.back().total_qpl);
+}
+
+TEST(ExperimentTest, WindowedRunStoresLessThanUnwindowed) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.num_tuples = 120;
+  auto unwindowed = Experiment(cfg).Run();
+
+  sql::WindowSpec w;
+  w.use_windows = true;
+  w.unit = sql::WindowSpec::Unit::kTuples;
+  w.size = 10;
+  cfg.window = w;
+  cfg.sweep_every = 8;
+  auto windowed = Experiment(cfg).Run();
+
+  uint64_t stored_unwindowed = 0, stored_windowed = 0;
+  for (auto v : unwindowed.final_snapshot.storage) stored_unwindowed += v;
+  for (auto v : windowed.final_snapshot.storage) stored_windowed += v;
+  EXPECT_LT(stored_windowed, stored_unwindowed);
+}
+
+TEST(ExperimentTest, IdMovementImprovesBalance) {
+  // Two-phase Fig. 9 methodology: observe the key-load profile, rebalance
+  // node positions, re-run the same workload.
+  ExperimentConfig cfg = SmallConfig();
+  cfg.num_tuples = 80;
+  Experiment baseline(cfg);
+  auto base_result = baseline.Run();
+  auto profile = baseline.KeyLoadProfile();
+  ASSERT_FALSE(profile.empty());
+
+  ExperimentConfig balanced_cfg = cfg;
+  balanced_cfg.node_positions =
+      dht::IdMovementBalancer::ComputeBalancedPositions(profile,
+                                                        cfg.num_nodes);
+  Experiment balanced(balanced_cfg);
+  auto bal_result = balanced.Run();
+
+  auto base_dist = stats::MakeRanked(base_result.final_snapshot.storage);
+  auto bal_dist = stats::MakeRanked(bal_result.final_snapshot.storage);
+  // The hottest node sheds load and more nodes participate (Fig. 9 shape).
+  EXPECT_LT(bal_dist.max(), base_dist.max());
+  EXPECT_GE(bal_dist.participants(), base_dist.participants());
+}
+
+TEST(ScaleTest, ApplyScaleShrinksButFloors) {
+  ExperimentConfig cfg;
+  cfg.num_nodes = 1000;
+  cfg.num_queries = 20000;
+  cfg.ApplyScale(0.25);
+  EXPECT_EQ(cfg.num_nodes, 250u);
+  EXPECT_EQ(cfg.num_queries, 5000u);
+  ExperimentConfig tiny;
+  tiny.num_nodes = 20;
+  tiny.num_queries = 20;
+  tiny.ApplyScale(0.01);
+  EXPECT_GE(tiny.num_nodes, 16u);
+  EXPECT_GE(tiny.num_queries, 16u);
+}
+
+}  // namespace
+}  // namespace rjoin::workload

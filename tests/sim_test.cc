@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+
+namespace rjoin::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoOnTies) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, ClearEmpties) {
+  EventQueue q;
+  q.Push(1, [] {});
+  q.Push(2, [] {});
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator s;
+  SimTime seen = 0;
+  s.ScheduleAfter(7, [&] { seen = s.Now(); });
+  s.Run();
+  EXPECT_EQ(seen, 7u);
+  EXPECT_EQ(s.Now(), 7u);
+}
+
+TEST(SimulatorTest, NestedSchedulingRuns) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAfter(1, [&] {
+    ++fired;
+    s.ScheduleAfter(1, [&] {
+      ++fired;
+      s.ScheduleAfter(1, [&] { ++fired; });
+    });
+  });
+  EXPECT_EQ(s.Run(), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.Now(), 3u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAfter(5, [&] { ++fired; });
+  s.ScheduleAfter(15, [&] { ++fired; });
+  s.RunUntil(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.Now(), 10u);  // Clock advances even without events.
+  s.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.Now(), 15u);
+}
+
+TEST(SimulatorTest, RunStepsBoundsExecution) {
+  Simulator s;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) s.ScheduleAfter(1, [&] { ++fired; });
+  EXPECT_EQ(s.RunSteps(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(s.PendingEvents(), 6u);
+}
+
+TEST(SimulatorTest, ResetDropsPending) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAfter(1, [&] { ++fired; });
+  s.Reset();
+  s.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator s;
+  SimTime seen = 0;
+  s.ScheduleAt(42, [&] { seen = s.Now(); });
+  s.Run();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(LatencyTest, FixedIsConstant) {
+  FixedLatency l(3);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(l.Delay(rng), 3u);
+  EXPECT_EQ(l.max_delay(), 3u);
+}
+
+TEST(LatencyTest, UniformWithinBounds) {
+  UniformLatency l(2, 9);
+  Rng rng(5);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime d = l.Delay(rng);
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 9u);
+    lo |= (d == 2);
+    hi |= (d == 9);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+  EXPECT_EQ(l.max_delay(), 9u);
+}
+
+TEST(LatencyTest, BurstyMixesDelays) {
+  BurstyLatency l(1, 100, 0.5);
+  Rng rng(7);
+  int bursts = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime d = l.Delay(rng);
+    EXPECT_TRUE(d == 1 || d == 100);
+    if (d == 100) ++bursts;
+  }
+  EXPECT_GT(bursts, 300);
+  EXPECT_LT(bursts, 700);
+  EXPECT_EQ(l.max_delay(), 100u);
+}
+
+}  // namespace
+}  // namespace rjoin::sim

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/random.h"
+#include "util/sha1.h"
+#include "util/status.h"
+#include "util/zipf.h"
+
+namespace rjoin {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(),  Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),    Status::OutOfRange("").code(),
+      Status::FailedPrecondition("").code(), Status::Unimplemented("").code(),
+      Status::Internal("").code(),
+  };
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::Internal("boom");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= (v == -2);
+    hi |= (v == 2);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(42);
+  Rng fork1 = a.Fork();
+  Rng b(42);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fork1.Next(), fork2.Next());
+}
+
+// ------------------------------------------------------------------ Zipf --
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(100, 0.9);
+  double sum = 0;
+  for (uint64_t r = 0; r < 100; ++r) sum += z.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (uint64_t r = 0; r < 10; ++r) EXPECT_NEAR(z.Pmf(r), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  ZipfDistribution mild(100, 0.3), hot(100, 0.9);
+  EXPECT_GT(hot.Pmf(0), mild.Pmf(0));
+  EXPECT_LT(hot.Pmf(99), mild.Pmf(99));
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfDistribution z(50, 0.7);
+  for (uint64_t r = 1; r < 50; ++r) EXPECT_LE(z.Pmf(r), z.Pmf(r - 1));
+}
+
+TEST(ZipfTest, SampleMatchesPmfRoughly) {
+  ZipfDistribution z(10, 0.9);
+  Rng rng(17);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.Sample(rng)];
+  for (uint64_t r = 0; r < 10; ++r) {
+    const double observed = static_cast<double>(counts[r]) / kDraws;
+    EXPECT_NEAR(observed, z.Pmf(r), 0.01) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SingletonDomain) {
+  ZipfDistribution z(1, 0.9);
+  Rng rng(1);
+  EXPECT_EQ(z.Sample(rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------------ SHA1 --
+
+TEST(Sha1Test, KnownVectors) {
+  // FIPS-180 test vectors.
+  EXPECT_EQ(Sha1ToHex(Sha1("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1ToHex(Sha1("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1ToHex(Sha1(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must not crash and must
+  // produce distinct digests.
+  std::set<std::string> digests;
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    digests.insert(Sha1ToHex(Sha1(std::string(len, 'x'))));
+  }
+  EXPECT_EQ(digests.size(), 10u);
+}
+
+TEST(Sha1Test, LongInput) {
+  // "a" * 1,000,000 from FIPS-180.
+  EXPECT_EQ(Sha1ToHex(Sha1(std::string(1000000, 'a'))),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, AvalancheOnSingleBitChange) {
+  const auto a = Sha1("key:1");
+  const auto b = Sha1("key:2");
+  int differing_words = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (a[i] != b[i]) ++differing_words;
+  }
+  EXPECT_EQ(differing_words, 5);
+}
+
+}  // namespace
+}  // namespace rjoin
