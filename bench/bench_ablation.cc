@@ -46,6 +46,7 @@ int main() {
   workload::ExperimentConfig base = bench::PaperBaseConfig(42);
   base.num_tuples = bench::ScaledCount(400);
   bench::PrintHeader("Ablation study", base);
+  bench::JsonReporter json("ablation", "Ablation study", base);
 
   std::vector<Row> rows;
 
@@ -72,6 +73,24 @@ int main() {
     workload::ExperimentConfig cfg = base;
     cfg.attr_replication = 4;
     rows.push_back(RunVariant("attr replication r=4", cfg));
+  }
+
+  {
+    std::vector<double> xs;
+    stats::Series msgs{"msgs_per_node", {}}, ric{"ric_per_node", {}},
+        qpl{"qpl_per_node", {}}, max_qpl{"max_qpl", {}};
+    for (size_t i = 0; i < rows.size(); ++i) {
+      xs.push_back(static_cast<double>(i));
+      msgs.values.push_back(rows[i].total_msgs_per_node);
+      ric.values.push_back(rows[i].ric_msgs_per_node);
+      qpl.values.push_back(rows[i].qpl_per_node);
+      max_qpl.values.push_back(static_cast<double>(rows[i].max_qpl));
+      json.AddScalar(rows[i].label + " msgs/node",
+                     rows[i].total_msgs_per_node);
+    }
+    json.AddChart("Ablations (per-node averages)", "variant index", xs,
+                  {msgs, ric, qpl, max_qpl});
+    json.Write();
   }
 
   std::cout << "== Ablations (per-node averages over the whole run) ==\n";

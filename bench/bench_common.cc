@@ -1,7 +1,11 @@
 #include "bench/bench_common.h"
 
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <numeric>
+#include <sstream>
 
 #include "core/planner.h"
 
@@ -58,6 +62,200 @@ double PerNode(const std::vector<uint64_t>& loads) {
 
 stats::RankedDistribution Ranked(const std::vector<uint64_t>& loads) {
   return stats::MakeRanked(loads);
+}
+
+std::string BenchOutDir() {
+  if (const char* env = std::getenv("RJOIN_BENCH_OUT");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return ".";
+}
+
+namespace {
+
+void AppendJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void AppendJsonNumber(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no NaN/Inf.
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  os << tmp.str();
+}
+
+const char* PolicyName(core::PlannerPolicy p) {
+  switch (p) {
+    case core::PlannerPolicy::kFirstInClause:
+      return "first_in_clause";
+    case core::PlannerPolicy::kRandom:
+      return "random";
+    case core::PlannerPolicy::kWorst:
+      return "worst";
+    case core::PlannerPolicy::kRic:
+      return "ric";
+  }
+  return "unknown";
+}
+
+const char* RewriteLevelsName(core::RewriteIndexLevels l) {
+  return l == core::RewriteIndexLevels::kValuePreferred ? "value_preferred"
+                                                        : "include_attribute";
+}
+
+}  // namespace
+
+JsonReporter::JsonReporter(std::string figure, std::string title,
+                           const workload::ExperimentConfig& cfg)
+    : figure_(std::move(figure)), title_(std::move(title)), config_(cfg) {}
+
+void JsonReporter::AddChart(const std::string& title,
+                            const std::string& x_label,
+                            std::vector<double> xs,
+                            std::vector<stats::Series> series) {
+  charts_.push_back(Chart{title, x_label, std::move(xs), std::move(series)});
+}
+
+void JsonReporter::AddChart(const stats::TableReporter& table) {
+  AddChart(table.title(), table.x_label(), table.xs(), table.series());
+}
+
+void JsonReporter::AddRankedChart(
+    const std::string& title, const std::vector<std::string>& labels,
+    const std::vector<stats::RankedDistribution>& dists,
+    size_t sample_points) {
+  // Same rank grid PrintRankedFigure uses.
+  size_t max_nodes = 0;
+  for (const auto& d : dists) {
+    max_nodes = std::max(max_nodes, d.sorted_desc.size());
+  }
+  Chart chart;
+  chart.title = title;
+  chart.x_label = "rank";
+  for (size_t rank : stats::SampleRankGrid(max_nodes, sample_points)) {
+    chart.xs.push_back(static_cast<double>(rank));
+  }
+  for (size_t d = 0; d < dists.size(); ++d) {
+    stats::Series s{d < labels.size() ? labels[d] : "series" + std::to_string(d),
+                    {}};
+    for (double rank : chart.xs) {
+      s.values.push_back(static_cast<double>(
+          dists[d].at_rank(static_cast<size_t>(rank))));
+    }
+    chart.series.push_back(std::move(s));
+  }
+  charts_.push_back(std::move(chart));
+}
+
+void JsonReporter::AddScalar(const std::string& name, double value) {
+  scalars_.emplace_back(name, value);
+}
+
+std::string JsonReporter::Write() const {
+  const std::string path = BenchOutDir() + "/BENCH_" + figure_ + ".json";
+
+  std::ostringstream os;
+  os << "{\n  \"figure\": ";
+  AppendJsonString(os, figure_);
+  os << ",\n  \"title\": ";
+  AppendJsonString(os, title_);
+  os << ",\n  \"scale\": ";
+  AppendJsonNumber(os, AppliedScale());
+  os << ",\n  \"config\": {"
+     << "\"num_nodes\": " << config_.num_nodes
+     << ", \"num_queries\": " << config_.num_queries
+     << ", \"num_tuples\": " << config_.num_tuples
+     << ", \"way\": " << config_.way
+     << ", \"zipf_theta\": ";
+  AppendJsonNumber(os, config_.workload.zipf_theta);
+  os << ", \"num_relations\": " << config_.workload.num_relations
+     << ", \"num_attributes\": " << config_.workload.num_attributes
+     << ", \"num_values\": " << config_.workload.num_values
+     << ", \"policy\": ";
+  AppendJsonString(os, PolicyName(config_.policy));
+  os << ", \"rewrite_levels\": ";
+  AppendJsonString(os, RewriteLevelsName(config_.rewrite_levels));
+  os << ", \"charge_ric\": " << (config_.charge_ric ? "true" : "false")
+     << ", \"reuse_ric_info\": " << (config_.reuse_ric_info ? "true" : "false")
+     << ", \"attr_replication\": " << config_.attr_replication
+     << ", \"seed\": " << config_.seed << "}";
+
+  os << ",\n  \"scalars\": {";
+  for (size_t i = 0; i < scalars_.size(); ++i) {
+    if (i > 0) os << ", ";
+    AppendJsonString(os, scalars_[i].first);
+    os << ": ";
+    AppendJsonNumber(os, scalars_[i].second);
+  }
+  os << "}";
+
+  os << ",\n  \"charts\": [";
+  for (size_t c = 0; c < charts_.size(); ++c) {
+    const Chart& chart = charts_[c];
+    os << (c > 0 ? ",\n    {" : "\n    {") << "\"title\": ";
+    AppendJsonString(os, chart.title);
+    os << ", \"x_label\": ";
+    AppendJsonString(os, chart.x_label);
+    os << ",\n     \"x\": [";
+    for (size_t i = 0; i < chart.xs.size(); ++i) {
+      if (i > 0) os << ", ";
+      AppendJsonNumber(os, chart.xs[i]);
+    }
+    os << "],\n     \"series\": [";
+    for (size_t s = 0; s < chart.series.size(); ++s) {
+      if (s > 0) os << ",\n                ";
+      os << "{\"label\": ";
+      AppendJsonString(os, chart.series[s].label);
+      os << ", \"values\": [";
+      for (size_t i = 0; i < chart.series[s].values.size(); ++i) {
+        if (i > 0) os << ", ";
+        AppendJsonNumber(os, chart.series[s].values[i]);
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+
+  std::ofstream out(path);
+  out << os.str();
+  out.close();
+  if (!out) {
+    std::cerr << "failed to write " << path << "\n";
+  } else {
+    std::cout << "wrote " << path << "\n";
+  }
+  return path;
 }
 
 }  // namespace rjoin::bench

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "stats/distribution.h"
+#include "stats/reporter.h"
 #include "workload/experiment.h"
 
 namespace rjoin::bench {
@@ -39,6 +40,64 @@ double PerNode(const std::vector<uint64_t>& loads);
 
 /// Ranked distribution of one snapshot metric.
 stats::RankedDistribution Ranked(const std::vector<uint64_t>& loads);
+
+/// Directory BENCH_*.json files are written to: $RJOIN_BENCH_OUT, or the
+/// working directory when unset.
+std::string BenchOutDir();
+
+/// Machine-readable bench output: collects the figure's charts and writes
+/// them as `BENCH_<figure>.json` so the perf trajectory across PRs can be
+/// diffed and plotted without scraping the printed tables.
+///
+/// Layout:
+///   {"figure": ..., "title": ..., "scale": ...,
+///    "config": {nodes/queries/tuples/way/theta/policy/...},
+///    "scalars": {...},
+///    "charts": [{"title", "x_label", "x": [...],
+///                "series": [{"label", "values": [...]}]}]}
+class JsonReporter {
+ public:
+  /// `figure` is the file slug (BENCH_<figure>.json); `title` the printed
+  /// figure name; `cfg` the base experiment setup recorded under "config".
+  JsonReporter(std::string figure, std::string title,
+               const workload::ExperimentConfig& cfg);
+
+  /// One chart: an x axis plus labeled series (same shape TableReporter
+  /// prints).
+  void AddChart(const std::string& title, const std::string& x_label,
+                std::vector<double> xs, std::vector<stats::Series> series);
+
+  /// Mirrors a TableReporter that the bench already prints.
+  void AddChart(const stats::TableReporter& table);
+
+  /// Mirrors PrintRankedFigure: series sampled at `sample_points` ranks,
+  /// x = rank.
+  void AddRankedChart(const std::string& title,
+                      const std::vector<std::string>& labels,
+                      const std::vector<stats::RankedDistribution>& dists,
+                      size_t sample_points = 10);
+
+  /// A single named number under "scalars" (e.g. a Gini coefficient).
+  void AddScalar(const std::string& name, double value);
+
+  /// Writes BENCH_<figure>.json into $RJOIN_BENCH_OUT (default: the working
+  /// directory) and returns the path. Logs the path to stdout.
+  std::string Write() const;
+
+ private:
+  struct Chart {
+    std::string title;
+    std::string x_label;
+    std::vector<double> xs;
+    std::vector<stats::Series> series;
+  };
+
+  std::string figure_;
+  std::string title_;
+  workload::ExperimentConfig config_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<Chart> charts_;
+};
 
 }  // namespace rjoin::bench
 

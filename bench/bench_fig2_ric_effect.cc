@@ -37,6 +37,8 @@ int main() {
   // is what lets "Worst" pick genuinely terrible placements.
   base.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
   bench::PrintHeader("Figure 2: effect of RIC information", base);
+  bench::JsonReporter json("fig2_ric_effect",
+                           "Figure 2: effect of RIC information", base);
 
   std::vector<std::vector<double>> msgs(3), qpl(3), storage(3);
   std::vector<double> ric_requests;
@@ -66,6 +68,7 @@ int main() {
   }
   a.AddSeries({"RequestRIC", ric_requests});
   a.Print(std::cout);
+  json.AddChart(a);
 
   stats::TableReporter b("Fig 2(b): query processing load per node",
                          "# tuples");
@@ -74,6 +77,7 @@ int main() {
     b.AddSeries({kVariants[v].label, qpl[v]});
   }
   b.Print(std::cout);
+  json.AddChart(b);
 
   stats::TableReporter c("Fig 2(c): storage load per node", "# tuples");
   c.set_x(xs);
@@ -81,6 +85,8 @@ int main() {
     c.AddSeries({kVariants[v].label, storage[v]});
   }
   c.Print(std::cout);
+  json.AddChart(c);
+  json.Write();
 
   return 0;
 }

@@ -24,6 +24,9 @@ int main() {
   cfg.checkpoints = kCounts;
   cfg.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
   bench::PrintHeader("Figure 3: effect of increasing incoming tuples", cfg);
+  bench::JsonReporter json("fig3_tuples",
+                           "Figure 3: effect of increasing incoming tuples",
+                           cfg);
 
   workload::Experiment experiment(cfg);
   auto result = experiment.Run();
@@ -50,6 +53,7 @@ int main() {
   a.AddSeries({"TotalHops", total_series});
   a.AddSeries({"RequestRIC", ric_series});
   a.Print(std::cout);
+  json.AddChart(a);
 
   // (b)/(c) ranked distributions.
   std::vector<std::string> labels;
@@ -62,5 +66,8 @@ int main() {
   PrintRankedFigure(std::cout, "Fig 3(b): query processing load", labels,
                     qpl_dists);
   PrintRankedFigure(std::cout, "Fig 3(c): storage load", labels, sl_dists);
+  json.AddRankedChart("Fig 3(b): query processing load", labels, qpl_dists);
+  json.AddRankedChart("Fig 3(c): storage load", labels, sl_dists);
+  json.Write();
   return 0;
 }

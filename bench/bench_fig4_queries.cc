@@ -18,6 +18,9 @@ int main() {
   base.num_tuples = bench::ScaledCount(1000);
   base.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
   bench::PrintHeader("Figure 4: effect of increasing indexed queries", base);
+  bench::JsonReporter json("fig4_queries",
+                           "Figure 4: effect of increasing indexed queries",
+                           base);
 
   std::vector<double> xs, total_series, ric_series;
   std::vector<std::string> labels;
@@ -44,9 +47,13 @@ int main() {
   a.AddSeries({"TotalHops", total_series});
   a.AddSeries({"RequestRIC", ric_series});
   a.Print(std::cout);
+  json.AddChart(a);
 
   PrintRankedFigure(std::cout, "Fig 4(b): query processing load", labels,
                     qpl_dists);
   PrintRankedFigure(std::cout, "Fig 4(c): storage load", labels, sl_dists);
+  json.AddRankedChart("Fig 4(b): query processing load", labels, qpl_dists);
+  json.AddRankedChart("Fig 4(c): storage load", labels, sl_dists);
+  json.Write();
   return 0;
 }

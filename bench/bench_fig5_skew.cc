@@ -19,6 +19,8 @@ int main() {
   base.num_tuples = bench::ScaledCount(1000);
   base.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
   bench::PrintHeader("Figure 5: effect of skewed data", base);
+  bench::JsonReporter json("fig5_skew", "Figure 5: effect of skewed data",
+                           base);
 
   std::vector<double> xs, total_series, ric_series;
   std::vector<std::string> labels;
@@ -44,9 +46,13 @@ int main() {
   a.AddSeries({"TotalHops", total_series});
   a.AddSeries({"RequestRIC", ric_series});
   a.Print(std::cout);
+  json.AddChart(a);
 
   PrintRankedFigure(std::cout, "Fig 5(b): query processing load", labels,
                     qpl_dists);
   PrintRankedFigure(std::cout, "Fig 5(c): storage load", labels, sl_dists);
+  json.AddRankedChart("Fig 5(b): query processing load", labels, qpl_dists);
+  json.AddRankedChart("Fig 5(c): storage load", labels, sl_dists);
+  json.Write();
   return 0;
 }

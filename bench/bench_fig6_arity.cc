@@ -18,6 +18,8 @@ int main() {
   base.num_tuples = bench::ScaledCount(1000);
   base.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
   bench::PrintHeader("Figure 6: effect of query complexity", base);
+  bench::JsonReporter json("fig6_arity",
+                           "Figure 6: effect of query complexity", base);
 
   std::vector<double> xs, total_series, ric_series;
   std::vector<std::string> labels;
@@ -43,9 +45,13 @@ int main() {
   a.AddSeries({"TotalHops", total_series});
   a.AddSeries({"RequestRIC", ric_series});
   a.Print(std::cout);
+  json.AddChart(a);
 
   PrintRankedFigure(std::cout, "Fig 6(b): query processing load", labels,
                     qpl_dists);
   PrintRankedFigure(std::cout, "Fig 6(c): storage load", labels, sl_dists);
+  json.AddRankedChart("Fig 6(b): query processing load", labels, qpl_dists);
+  json.AddRankedChart("Fig 6(c): storage load", labels, sl_dists);
+  json.Write();
   return 0;
 }

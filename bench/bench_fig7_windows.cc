@@ -23,6 +23,8 @@ int main() {
   base.sweep_every = 16;
   base.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
   bench::PrintHeader("Figure 7: effect of sliding window size", base);
+  bench::JsonReporter json("fig7_windows",
+                           "Figure 7: effect of sliding window size", base);
 
   std::vector<double> xs, total_series, ric_series;
   std::vector<std::string> labels;
@@ -53,10 +55,14 @@ int main() {
   a.AddSeries({"TotalHops", total_series});
   a.AddSeries({"RequestRIC", ric_series});
   a.Print(std::cout);
+  json.AddChart(a);
 
   PrintRankedFigure(std::cout, "Fig 7(b): query processing load", labels,
                     qpl_dists);
   PrintRankedFigure(std::cout, "Fig 7(c): storage load (current)", labels,
                     sl_dists);
+  json.AddRankedChart("Fig 7(b): query processing load", labels, qpl_dists);
+  json.AddRankedChart("Fig 7(c): storage load (current)", labels, sl_dists);
+  json.Write();
   return 0;
 }

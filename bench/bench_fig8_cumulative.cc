@@ -24,6 +24,9 @@ int main() {
   base.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
   bench::PrintHeader("Figure 8: cumulative load vs tuples per window size",
                      base);
+  bench::JsonReporter json(
+      "fig8_cumulative", "Figure 8: cumulative load vs tuples per window size",
+      base);
 
   std::vector<stats::Series> qpl_series, sl_series;
   std::vector<double> xs;
@@ -62,10 +65,13 @@ int main() {
   a.set_x(xs);
   for (auto& s : qpl_series) a.AddSeries(s);
   a.Print(std::cout);
+  json.AddChart(a);
 
   stats::TableReporter b("Fig 8(b): cumulative storage load", "# tuples");
   b.set_x(xs);
   for (auto& s : sl_series) b.AddSeries(s);
   b.Print(std::cout);
+  json.AddChart(b);
+  json.Write();
   return 0;
 }

@@ -19,6 +19,8 @@ int main() {
   cfg.num_tuples = bench::ScaledCount(1000);
   cfg.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
   bench::PrintHeader("Figure 9: effect of id movement", cfg);
+  bench::JsonReporter json("fig9_idmove", "Figure 9: effect of id movement",
+                           cfg);
 
   workload::Experiment baseline(cfg);
   auto base_result = baseline.Run();
@@ -46,5 +48,14 @@ int main() {
   const auto gw = bench::Ranked(bal_result.final_snapshot.storage);
   std::cout << "storage gini without=" << gb.gini() << " with=" << gw.gini()
             << "\n";
+  json.AddRankedChart("Fig 9(a): query processing load",
+                      {"Without", "WithIdMove"},
+                      {bench::Ranked(base_result.final_snapshot.qpl),
+                       bench::Ranked(bal_result.final_snapshot.qpl)});
+  json.AddRankedChart("Fig 9(b): storage load", {"Without", "WithIdMove"},
+                      {gb, gw});
+  json.AddScalar("storage_gini_without", gb.gini());
+  json.AddScalar("storage_gini_with", gw.gini());
+  json.Write();
   return 0;
 }

@@ -1,18 +1,31 @@
 // Micro-benchmarks for the building blocks: SHA-1 hashing, identifier
-// arithmetic, Chord lookup/routing, SQL parsing, the rewrite step, and the
-// Zipf sampler. Uses google-benchmark.
+// arithmetic, Chord lookup/routing, SQL parsing, the rewrite step, the Zipf
+// sampler, and the tuple-ingest hot path (per-tuple PublishTuple vs batched
+// PublishBatch). Uses google-benchmark; results also land in
+// BENCH_micro_core.json (google-benchmark's JSON format) unless the caller
+// passes an explicit --benchmark_out.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
 #include "core/key.h"
 #include "core/planner.h"
 #include "core/residual.h"
 #include "dht/chord_network.h"
+#include "dht/transport.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
 #include "sql/parser.h"
 #include "sql/rewriter.h"
+#include "stats/metrics.h"
 #include "util/random.h"
 #include "util/sha1.h"
 #include "util/zipf.h"
+#include "workload/generator.h"
 
 namespace {
 
@@ -145,6 +158,138 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(10000);
 
+// ------------------------------------------------------ tuple ingest path --
+//
+// Per-tuple ingest cost of the two publish paths, message handling included
+// (each iteration runs the simulator to quiescence). items_per_second in the
+// report is tuples/s; compare BM_PublishPerTuple against BM_PublishBatch to
+// see what batching amortizes (schema lookup, attribute-key hashing, tuple
+// and message allocation, MultiSend dispatch).
+
+struct IngestHarness {
+  explicit IngestHarness(size_t nodes, uint32_t attr_replication = 1)
+      : catalog(workload::BuildCatalog(
+            {.num_relations = 4, .num_attributes = 5, .num_values = 100})),
+        network(dht::ChordNetwork::Create(nodes, 1)),
+        latency(1),
+        transport(network.get(), &sim, &latency, &metrics, Rng(99)) {
+    core::EngineConfig cfg;
+    cfg.attr_replication = attr_replication;
+    engine = std::make_unique<core::RJoinEngine>(
+        cfg, catalog.get(), network.get(), &transport, &sim, &metrics);
+  }
+
+  std::unique_ptr<sql::Catalog> catalog;
+  std::unique_ptr<dht::ChordNetwork> network;
+  sim::Simulator sim;
+  sim::FixedLatency latency;
+  stats::MetricsRegistry metrics;
+  dht::Transport transport;
+  std::unique_ptr<core::RJoinEngine> engine;
+};
+
+std::vector<sql::Value> IngestRow(Rng& rng, size_t arity) {
+  std::vector<sql::Value> row;
+  row.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    row.push_back(sql::Value::Int(static_cast<int64_t>(rng.NextBounded(100))));
+  }
+  return row;
+}
+
+// Both ingest harnesses advance the stream clock by kTupleGap per published
+// tuple (as workload::Experiment does), so ALTT retention — which depends on
+// tuples per simulated tick — is identical for the two paths.
+constexpr sim::SimTime kTupleGap = 16;
+
+void BM_PublishPerTuple(benchmark::State& state) {
+  IngestHarness h(256);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto t = h.engine->PublishTuple(0, "R0", IngestRow(rng, 5));
+    benchmark::DoNotOptimize(t);
+    h.sim.Run();
+    h.sim.RunUntil(h.sim.Now() + kTupleGap);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PublishPerTuple)->Iterations(20000);
+
+void BM_PublishBatch(benchmark::State& state) {
+  IngestHarness h(256);
+  Rng rng(7);
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::vector<sql::Value>> rows;
+    rows.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      rows.push_back(IngestRow(rng, 5));
+    }
+    auto out = h.engine->PublishBatch(0, "R0", std::move(rows));
+    benchmark::DoNotOptimize(out);
+    h.sim.Run();
+    h.sim.RunUntil(h.sim.Now() + kTupleGap * batch_size);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_PublishBatch)->Arg(16)->Iterations(1250);
+BENCHMARK(BM_PublishBatch)->Arg(256)->Iterations(80);
+
+void BM_ObserveHistoryPerTuple(benchmark::State& state) {
+  IngestHarness h(256);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto s = h.engine->ObserveStreamHistory("R0", IngestRow(rng, 5));
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObserveHistoryPerTuple)->Iterations(20000);
+
+void BM_ObserveHistoryBulk(benchmark::State& state) {
+  IngestHarness h(256);
+  Rng rng(7);
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::vector<sql::Value>> rows;
+    rows.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      rows.push_back(IngestRow(rng, 5));
+    }
+    auto s = h.engine->ObserveStreamHistoryBulk("R0", rows);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_ObserveHistoryBulk)->Arg(256)->Iterations(80);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default --benchmark_out so the run always leaves a
+// machine-readable BENCH_micro_core.json next to the fig benches' files
+// (directory overridable with RJOIN_BENCH_OUT).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  std::string out_flag, format_flag;
+  if (!has_out) {
+    out_flag = "--benchmark_out=" + rjoin::bench::BenchOutDir() +
+               "/BENCH_micro_core.json";
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

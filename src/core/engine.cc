@@ -127,6 +127,108 @@ StatusOr<sql::TuplePtr> RJoinEngine::PublishTuple(
   return t;
 }
 
+StatusOr<std::vector<sql::TuplePtr>> RJoinEngine::PublishBatch(
+    dht::NodeIndex publisher, const std::string& relation,
+    std::vector<std::vector<sql::Value>> rows) {
+  const sql::Schema* schema = catalog_->Find(relation);
+  if (schema == nullptr) {
+    return Status::NotFound("unknown relation " + relation);
+  }
+  // Validate up front: a bad row must not leave part of the batch published.
+  for (const auto& row : rows) {
+    if (schema->arity() != row.size()) {
+      return Status::InvalidArgument("tuple arity mismatch for " + relation);
+    }
+  }
+
+  const size_t k = schema->arity();
+  const uint64_t now = simulator_->Now();
+  const uint32_t replication = std::max<uint32_t>(1, config_.attr_replication);
+
+  // Attribute-level keys do not depend on the row, only on its shard, so
+  // hash each (attribute, shard) pair once per batch instead of once per
+  // tuple. Shards cycle with seq_no, exactly as sequential PublishTuple
+  // calls would assign them.
+  struct AttrTarget {
+    IndexKey key;
+    dht::NodeId id;
+  };
+  std::vector<std::vector<AttrTarget>> attr_targets(replication);
+  auto shard_targets = [&](uint32_t shard) -> const std::vector<AttrTarget>& {
+    auto& targets = attr_targets[shard];
+    if (targets.empty()) {
+      targets.reserve(k);
+      for (size_t i = 0; i < k; ++i) {
+        IndexKey key = AttributeKey(relation, schema->attributes()[i]);
+        if (replication > 1) key = WithShard(key, shard);
+        dht::NodeId id = KeyId(key);
+        targets.push_back(AttrTarget{std::move(key), id});
+      }
+    }
+    return targets;
+  };
+
+  std::vector<sql::TuplePtr> published;
+  published.reserve(rows.size());
+  std::vector<std::pair<dht::NodeId, dht::MessagePtr>> batch;
+  batch.reserve(2 * k * rows.size());
+
+  for (auto& row : rows) {
+    sql::TuplePtr t = sql::MakeTuple(relation, std::move(row), now,
+                                     ++global_seq_, next_tuple_id_++);
+    if (config_.keep_history) history_.push_back(t);
+    const uint32_t shard =
+        replication > 1 ? static_cast<uint32_t>(t->seq_no % replication) : 0;
+    const std::vector<AttrTarget>& targets = shard_targets(shard);
+    for (size_t i = 0; i < k; ++i) {
+      auto attr_msg = std::make_unique<NewTupleMsg>();
+      attr_msg->tuple = t;
+      attr_msg->key = targets[i].key;
+      attr_msg->publisher = publisher;
+      batch.emplace_back(targets[i].id, std::move(attr_msg));
+
+      auto value_msg = std::make_unique<NewTupleMsg>();
+      value_msg->tuple = t;
+      value_msg->key =
+          ValueKey(relation, schema->attributes()[i], t->values[i]);
+      value_msg->publisher = publisher;
+      batch.emplace_back(KeyId(value_msg->key), std::move(value_msg));
+    }
+    published.push_back(std::move(t));
+  }
+  transport_->MultiSend(publisher, std::move(batch));
+  return published;
+}
+
+Status RJoinEngine::ObserveStreamHistoryBulk(
+    const std::string& relation,
+    const std::vector<std::vector<sql::Value>>& rows) {
+  const sql::Schema* schema = catalog_->Find(relation);
+  if (schema == nullptr) {
+    return Status::NotFound("unknown relation " + relation);
+  }
+  for (const auto& row : rows) {
+    if (schema->arity() != row.size()) {
+      return Status::InvalidArgument("tuple arity mismatch for " + relation);
+    }
+  }
+  const uint64_t now = simulator_->Now();
+  // Attribute-level observations are row-independent: resolve the
+  // responsible node once per attribute and record one arrival per row.
+  for (size_t i = 0; i < schema->arity(); ++i) {
+    const IndexKey ak = AttributeKey(relation, schema->attributes()[i]);
+    NodeState& st = state(network_->SuccessorOf(KeyId(ak)));
+    for (size_t r = 0; r < rows.size(); ++r) st.rates.Record(ak.text, now);
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < schema->arity(); ++i) {
+      const IndexKey vk = ValueKey(relation, schema->attributes()[i], row[i]);
+      state(network_->SuccessorOf(KeyId(vk))).rates.Record(vk.text, now);
+    }
+  }
+  return Status::Ok();
+}
+
 Status RJoinEngine::ObserveStreamHistory(
     const std::string& relation, const std::vector<sql::Value>& values) {
   const sql::Schema* schema = catalog_->Find(relation);

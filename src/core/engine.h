@@ -137,6 +137,18 @@ class RJoinEngine : public dht::MessageHandler {
                                        const std::string& relation,
                                        std::vector<sql::Value> values);
 
+  /// Batched Procedure 1: publishes every row of `rows` as one tuple of
+  /// `relation`, in order, producing exactly the messages, routing, and
+  /// metrics of the equivalent PublishTuple sequence while amortizing the
+  /// schema lookup, the attribute-level key construction + hashing (those
+  /// keys repeat across rows of one relation; only the value-level keys are
+  /// per-row), and the MultiSend dispatch across the batch. The whole batch
+  /// is validated before anything is sent, so a bad row means no tuple of
+  /// the batch is published.
+  StatusOr<std::vector<sql::TuplePtr>> PublishBatch(
+      dht::NodeIndex publisher, const std::string& relation,
+      std::vector<std::vector<sql::Value>> rows);
+
   /// Records the rate observations a tuple would generate, without
   /// publishing it: each responsible node counts one arrival under the
   /// tuple's 2k keys. Models the stream history a long-running network has
@@ -144,6 +156,14 @@ class RJoinEngine : public dht::MessageHandler {
   /// during the last time window", which requires a last window to exist.
   Status ObserveStreamHistory(const std::string& relation,
                               const std::vector<sql::Value>& values);
+
+  /// Bulk ObserveStreamHistory over rows of one relation: the relation's
+  /// attribute-level keys and their responsible nodes are resolved once for
+  /// the whole batch instead of once per row. Validates every row first;
+  /// a bad row records nothing.
+  Status ObserveStreamHistoryBulk(
+      const std::string& relation,
+      const std::vector<std::vector<sql::Value>>& rows);
 
   /// dht::MessageHandler: dispatches NewTuple / Eval / Answer messages.
   void HandleMessage(dht::NodeIndex self, dht::MessagePtr msg) override;

@@ -23,6 +23,17 @@ void TableReporter::Print(std::ostream& os) const {
   os << "\n";
 }
 
+std::vector<size_t> SampleRankGrid(size_t max_nodes, size_t points) {
+  std::vector<size_t> ranks;
+  ranks.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    ranks.push_back(max_nodes > 0 && points > 1
+                        ? (max_nodes - 1) * i / (points - 1)
+                        : 0);
+  }
+  return ranks;
+}
+
 void PrintRankedFigure(std::ostream& os, const std::string& title,
                        const std::vector<std::string>& labels,
                        const std::vector<RankedDistribution>& dists,
@@ -34,9 +45,7 @@ void PrintRankedFigure(std::ostream& os, const std::string& title,
   os << "\n";
   size_t max_nodes = 0;
   for (const auto& d : dists) max_nodes = std::max(max_nodes, d.sorted_desc.size());
-  for (size_t i = 0; i < sample_points; ++i) {
-    const size_t rank =
-        sample_points > 1 ? (max_nodes - 1) * i / (sample_points - 1) : 0;
+  for (size_t rank : SampleRankGrid(max_nodes, sample_points)) {
     os << std::left << std::setw(12) << rank;
     for (const auto& d : dists) {
       os << std::right << std::setw(16) << d.at_rank(rank);

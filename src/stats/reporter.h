@@ -29,12 +29,22 @@ class TableReporter {
   /// Writes the table to `os`.
   void Print(std::ostream& os) const;
 
+  const std::string& title() const { return title_; }
+  const std::string& x_label() const { return x_label_; }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<Series>& series() const { return series_; }
+
  private:
   std::string title_;
   std::string x_label_;
   std::vector<double> xs_;
   std::vector<Series> series_;
 };
+
+/// The rank positions a ranked figure samples: `points` evenly spaced ranks
+/// over [0, max_nodes - 1]. Shared by PrintRankedFigure and the benches'
+/// JSON output so the two never diverge.
+std::vector<size_t> SampleRankGrid(size_t max_nodes, size_t points);
 
 /// Prints a ranked-distribution figure: one row per sampled rank, one column
 /// per labeled distribution (e.g. "2560 tuples", "1280 tuples", ...).

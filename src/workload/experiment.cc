@@ -121,12 +121,16 @@ ExperimentResult Experiment::Run() {
 
   // Phase 0: prime the tuple-rate trackers with stream history (same
   // distribution as the live stream) so indexing decisions can use RIC.
+  // All observations carry the same (pre-stream) timestamp, so grouping the
+  // draws by relation and recording them through the bulk path produces the
+  // same rates while resolving each relation's attribute-level nodes once.
   {
     TupleGenerator warm(config_.workload, catalog_.get(),
                         config_.seed * 29 + 11);
-    for (size_t i = 0; i < config_.warmup_observations; ++i) {
-      TupleGenerator::Draw d = warm.Next();
-      RJOIN_CHECK(engine_->ObserveStreamHistory(d.relation, d.values).ok());
+    for (const TupleGenerator::Batch& batch :
+         warm.NextBatch(config_.warmup_observations)) {
+      RJOIN_CHECK(
+          engine_->ObserveStreamHistoryBulk(batch.relation, batch.rows).ok());
     }
   }
 

@@ -43,6 +43,22 @@ TupleGenerator::Draw TupleGenerator::Next() {
   return d;
 }
 
+std::vector<TupleGenerator::Batch> TupleGenerator::NextBatch(size_t n) {
+  std::vector<Batch> batches;
+  for (size_t i = 0; i < n; ++i) {
+    Draw d = Next();
+    auto it = std::find_if(batches.begin(), batches.end(), [&](const Batch& b) {
+      return b.relation == d.relation;
+    });
+    if (it == batches.end()) {
+      batches.push_back(Batch{std::move(d.relation), {}});
+      it = std::prev(batches.end());
+    }
+    it->rows.push_back(std::move(d.values));
+  }
+  return batches;
+}
+
 QueryGenerator::QueryGenerator(const WorkloadParams& params,
                                const sql::Catalog* catalog, uint64_t seed)
     : params_(params), catalog_(catalog), rng_(seed) {}

@@ -41,6 +41,15 @@ class TupleGenerator {
   };
   Draw Next();
 
+  /// `n` draws grouped by relation (draw order preserved within each
+  /// group) — the shape RJoinEngine::PublishBatch and
+  /// ObserveStreamHistoryBulk consume. Groups appear in first-draw order.
+  struct Batch {
+    std::string relation;
+    std::vector<std::vector<sql::Value>> rows;
+  };
+  std::vector<Batch> NextBatch(size_t n);
+
  private:
   const WorkloadParams params_;
   const sql::Catalog* catalog_;
