@@ -74,6 +74,7 @@ int main() {
     cfg.attr_replication = 4;
     rows.push_back(RunVariant("attr replication r=4", cfg));
   }
+  json.AddTuplesProcessed(rows.size() * base.num_tuples);
 
   {
     std::vector<double> xs;

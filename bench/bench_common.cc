@@ -2,12 +2,15 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <numeric>
 #include <sstream>
+#include <thread>
 
 #include "core/planner.h"
+#include "util/logging.h"
 
 namespace rjoin::bench {
 
@@ -42,12 +45,18 @@ std::vector<size_t> ScaledCounts(std::vector<size_t> paper_counts) {
 
 void PrintHeader(const std::string& figure,
                  const workload::ExperimentConfig& cfg) {
+  const uint32_t shards = workload::ResolveShardCount(cfg.shards);
   std::cout << "#### " << figure << " ####\n"
             << "# nodes=" << cfg.num_nodes << " queries=" << cfg.num_queries
             << " tuples=" << cfg.num_tuples << " way=" << cfg.way
             << " theta=" << cfg.workload.zipf_theta
-            << " scale=" << AppliedScale()
-            << " (RJOIN_SCALE=paper for full size)\n";
+            << " scale=" << AppliedScale() << " shards=";
+  if (shards == 0) {
+    std::cout << "serial";
+  } else {
+    std::cout << shards;
+  }
+  std::cout << " (RJOIN_SCALE=paper for full size)\n";
 }
 
 uint64_t SumLoads(const std::vector<uint64_t>& loads) {
@@ -65,11 +74,19 @@ stats::RankedDistribution Ranked(const std::vector<uint64_t>& loads) {
 }
 
 std::string BenchOutDir() {
+  std::string dir = ".";
   if (const char* env = std::getenv("RJOIN_BENCH_OUT");
       env != nullptr && *env != '\0') {
-    return env;
+    dir = env;
   }
-  return ".";
+  // Create the directory if missing; fail loudly rather than let ofstream
+  // silently drop every BENCH_*.json of the run.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  RJOIN_CHECK(!ec && std::filesystem::is_directory(dir))
+      << "RJOIN_BENCH_OUT=" << dir
+      << " does not exist and could not be created: " << ec.message();
+  return dir;
 }
 
 namespace {
@@ -137,7 +154,10 @@ const char* RewriteLevelsName(core::RewriteIndexLevels l) {
 
 JsonReporter::JsonReporter(std::string figure, std::string title,
                            const workload::ExperimentConfig& cfg)
-    : figure_(std::move(figure)), title_(std::move(title)), config_(cfg) {}
+    : figure_(std::move(figure)),
+      title_(std::move(title)),
+      config_(cfg),
+      start_(std::chrono::steady_clock::now()) {}
 
 void JsonReporter::AddChart(const std::string& title,
                             const std::string& x_label,
@@ -208,11 +228,29 @@ std::string JsonReporter::Write() const {
   os << ", \"charge_ric\": " << (config_.charge_ric ? "true" : "false")
      << ", \"reuse_ric_info\": " << (config_.reuse_ric_info ? "true" : "false")
      << ", \"attr_replication\": " << config_.attr_replication
+     << ", \"shards\": " << workload::ResolveShardCount(config_.shards)
      << ", \"seed\": " << config_.seed << "}";
 
+  // Measured runtime of the whole figure (construction to Write): the bench
+  // trajectory tracks real speedups, not just virtual message counts.
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
   os << ",\n  \"scalars\": {";
+  os << "\"wall_seconds\": ";
+  AppendJsonNumber(os, wall_seconds);
+  os << ", \"tuples_processed\": ";
+  AppendJsonNumber(os, static_cast<double>(tuples_processed_));
+  os << ", \"tuples_per_sec\": ";
+  AppendJsonNumber(os, wall_seconds > 0.0
+                           ? static_cast<double>(tuples_processed_) /
+                                 wall_seconds
+                           : 0.0);
+  os << ", \"hardware_threads\": ";
+  AppendJsonNumber(os,
+                   static_cast<double>(std::thread::hardware_concurrency()));
   for (size_t i = 0; i < scalars_.size(); ++i) {
-    if (i > 0) os << ", ";
+    os << ", ";
     AppendJsonString(os, scalars_[i].first);
     os << ": ";
     AppendJsonNumber(os, scalars_[i].second);

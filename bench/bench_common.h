@@ -1,6 +1,7 @@
 #ifndef RJOIN_BENCH_BENCH_COMMON_H_
 #define RJOIN_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,7 +43,9 @@ double PerNode(const std::vector<uint64_t>& loads);
 stats::RankedDistribution Ranked(const std::vector<uint64_t>& loads);
 
 /// Directory BENCH_*.json files are written to: $RJOIN_BENCH_OUT, or the
-/// working directory when unset.
+/// working directory when unset. A missing directory is created (and the
+/// bench aborts loudly if that fails) so pointing RJOIN_BENCH_OUT at a
+/// fresh path never silently drops the results.
 std::string BenchOutDir();
 
 /// Machine-readable bench output: collects the figure's charts and writes
@@ -80,8 +83,16 @@ class JsonReporter {
   /// A single named number under "scalars" (e.g. a Gini coefficient).
   void AddScalar(const std::string& name, double value);
 
+  /// Counts tuples the figure's experiments streamed; Write() turns the
+  /// total plus the reporter's wall clock into the "tuples_per_sec"
+  /// throughput scalar that tracks speedups across PRs.
+  void AddTuplesProcessed(uint64_t tuples) { tuples_processed_ += tuples; }
+
   /// Writes BENCH_<figure>.json into $RJOIN_BENCH_OUT (default: the working
-  /// directory) and returns the path. Logs the path to stdout.
+  /// directory) and returns the path. Logs the path to stdout. Every file
+  /// carries "wall_seconds" (construction to Write), "tuples_processed",
+  /// "tuples_per_sec", "shards", and "hardware_threads" scalars so the
+  /// bench trajectory records measured time, not just virtual-cost curves.
   std::string Write() const;
 
  private:
@@ -95,6 +106,8 @@ class JsonReporter {
   std::string figure_;
   std::string title_;
   workload::ExperimentConfig config_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t tuples_processed_ = 0;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<Chart> charts_;
 };

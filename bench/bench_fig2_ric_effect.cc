@@ -49,6 +49,7 @@ int main() {
     cfg.charge_ric = kVariants[v].charge_ric;
     workload::Experiment experiment(cfg);
     auto result = experiment.Run();
+    json.AddTuplesProcessed(result.num_tuples);
     for (const auto& snap : result.snapshots) {
       msgs[v].push_back(bench::PerNode(snap.messages));
       qpl[v].push_back(bench::PerNode(snap.qpl));

@@ -30,6 +30,7 @@ int main() {
 
   workload::Experiment experiment(cfg);
   auto result = experiment.Run();
+  json.AddTuplesProcessed(result.num_tuples);
 
   // (a) incremental per-tuple traffic between snapshots.
   std::vector<double> xs, total_series, ric_series;

@@ -32,6 +32,7 @@ int main() {
         std::max<size_t>(16, static_cast<size_t>(q * bench::AppliedScale()));
     workload::Experiment experiment(cfg);
     auto result = experiment.Run();
+    json.AddTuplesProcessed(result.num_tuples);
 
     xs.push_back(static_cast<double>(q) / 1000.0);
     total_series.push_back(result.MsgsPerNodePerTuple());

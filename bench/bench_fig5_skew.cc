@@ -31,6 +31,7 @@ int main() {
     cfg.workload.zipf_theta = theta;
     workload::Experiment experiment(cfg);
     auto result = experiment.Run();
+    json.AddTuplesProcessed(result.num_tuples);
 
     xs.push_back(theta);
     total_series.push_back(result.MsgsPerNodePerTuple());

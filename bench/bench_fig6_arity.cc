@@ -30,6 +30,7 @@ int main() {
     cfg.way = way;
     workload::Experiment experiment(cfg);
     auto result = experiment.Run();
+    json.AddTuplesProcessed(result.num_tuples);
 
     xs.push_back(way);
     total_series.push_back(result.MsgsPerNodePerTuple());

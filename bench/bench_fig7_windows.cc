@@ -40,6 +40,7 @@ int main() {
     cfg.window = window;
     workload::Experiment experiment(cfg);
     auto result = experiment.Run();
+    json.AddTuplesProcessed(result.num_tuples);
 
     xs.push_back(static_cast<double>(w));
     total_series.push_back(result.MsgsPerNodePerTuple());

@@ -40,6 +40,7 @@ int main() {
     cfg.window = window;
     workload::Experiment experiment(cfg);
     auto result = experiment.Run();
+    json.AddTuplesProcessed(result.num_tuples);
 
     stats::Series q{"W=" + std::to_string(w), {}};
     stats::Series s{"W=" + std::to_string(w), {}};

@@ -24,6 +24,7 @@ int main() {
 
   workload::Experiment baseline(cfg);
   auto base_result = baseline.Run();
+  json.AddTuplesProcessed(base_result.num_tuples);
   auto profile = baseline.KeyLoadProfile();
 
   workload::ExperimentConfig balanced_cfg = cfg;
@@ -32,6 +33,7 @@ int main() {
                                                         cfg.num_nodes);
   workload::Experiment balanced(balanced_cfg);
   auto bal_result = balanced.Run();
+  json.AddTuplesProcessed(bal_result.num_tuples);
 
   stats::PrintRankedFigure(
       std::cout, "Fig 9(a): query processing load",

@@ -41,9 +41,74 @@ RJoinEngine::RJoinEngine(EngineConfig config, const sql::Catalog* catalog,
   }
 }
 
+void RJoinEngine::AttachRuntime(runtime::ShardedRuntime* rt) {
+  RJOIN_CHECK(runtime_ == nullptr) << "runtime already attached";
+  RJOIN_CHECK(rt->num_nodes() == states_.size())
+      << "runtime sized for a different network";
+  runtime_ = rt;
+  sinks_ = std::vector<ShardSink>(rt->shards());
+  frozen_rates_.assign(states_.size(), {});
+  planner_seq_.assign(states_.size(), 0);
+  rt->AddBarrierHook(this);
+}
+
+void RJoinEngine::OnBarrier(sim::SimTime round_start) {
+  // Publish answers staged by the previous round. Each shard stages in
+  // EventKey order already; a merge-sort across shards reconstructs the
+  // global, shard-count-invariant delivery order.
+  size_t staged = 0;
+  for (const ShardSink& sink : sinks_) staged += sink.answers.size();
+  if (staged > 0) {
+    std::vector<std::pair<runtime::EventKey, Answer>> merged;
+    merged.reserve(staged);
+    for (ShardSink& sink : sinks_) {
+      merged.insert(merged.end(),
+                    std::make_move_iterator(sink.answers.begin()),
+                    std::make_move_iterator(sink.answers.end()));
+      sink.answers.clear();
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [key, answer] : merged) answers_.push_back(std::move(answer));
+  }
+  for (ShardSink& sink : sinks_) {
+    distinct_suppressed_ += sink.distinct_suppressed;
+    sink.distinct_suppressed = 0;
+    for (const auto& [key_text, count] : sink.key_load) {
+      key_load_[key_text] += count;
+    }
+    sink.key_load.clear();
+  }
+
+  // Refresh the frozen rate snapshots when entering a new RIC epoch: for
+  // the rest of the epoch, worker-side RIC lookups see the rates as of this
+  // barrier — a deterministic function of the round schedule, which is
+  // itself independent of the shard count.
+  const uint64_t epoch =
+      config_.ric_epoch == 0 ? 0 : round_start / config_.ric_epoch;
+  if (!frozen_valid_ || epoch != frozen_epoch_) {
+    for (size_t n = 0; n < states_.size(); ++n) {
+      frozen_rates_[n].clear();
+      states_[n]->rates.SnapshotInto(round_start, &frozen_rates_[n]);
+    }
+    frozen_epoch_ = epoch;
+    frozen_valid_ = true;
+  }
+}
+
+uint64_t RJoinEngine::ReadRate(dht::NodeIndex cand, const std::string& key,
+                               uint64_t now) {
+  if (runtime_ != nullptr && runtime::ShardedRuntime::CurrentShard() >= 0) {
+    const auto& frozen = frozen_rates_[cand];
+    auto it = frozen.find(key);
+    return it == frozen.end() ? 0 : it->second;
+  }
+  return state(cand).rates.Rate(key, now);
+}
+
 StatusOr<uint64_t> RJoinEngine::SubmitQuery(dht::NodeIndex owner,
                                             sql::Query spec) {
-  auto compiled = InputQuery::Create(next_query_id_, owner, simulator_->Now(),
+  auto compiled = InputQuery::Create(next_query_id_, owner, Now(),
                                      std::move(spec), catalog_);
   if (!compiled.ok()) return compiled.status();
   const uint64_t id = next_query_id_++;
@@ -67,7 +132,7 @@ StatusOr<uint64_t> RJoinEngine::SubmitOneTimeQuery(dht::NodeIndex owner,
     return Status::InvalidArgument(
         "one-time queries take a snapshot; window clauses do not apply");
   }
-  auto compiled = InputQuery::Create(next_query_id_, owner, simulator_->Now(),
+  auto compiled = InputQuery::Create(next_query_id_, owner, Now(),
                                      std::move(spec), catalog_,
                                      /*one_time=*/true);
   if (!compiled.ok()) return compiled.status();
@@ -95,7 +160,7 @@ StatusOr<sql::TuplePtr> RJoinEngine::PublishTuple(
     return Status::InvalidArgument("tuple arity mismatch for " + relation);
   }
   sql::TuplePtr t =
-      sql::MakeTuple(relation, std::move(values), simulator_->Now(),
+      sql::MakeTuple(relation, std::move(values), Now(),
                      ++global_seq_, next_tuple_id_++);
   if (config_.keep_history) history_.push_back(t);
 
@@ -142,7 +207,7 @@ StatusOr<std::vector<sql::TuplePtr>> RJoinEngine::PublishBatch(
   }
 
   const size_t k = schema->arity();
-  const uint64_t now = simulator_->Now();
+  const uint64_t now = Now();
   const uint32_t replication = std::max<uint32_t>(1, config_.attr_replication);
 
   // Attribute-level keys do not depend on the row, only on its shard, so
@@ -212,7 +277,7 @@ Status RJoinEngine::ObserveStreamHistoryBulk(
       return Status::InvalidArgument("tuple arity mismatch for " + relation);
     }
   }
-  const uint64_t now = simulator_->Now();
+  const uint64_t now = Now();
   // Attribute-level observations are row-independent: resolve the
   // responsible node once per attribute and record one arrival per row.
   for (size_t i = 0; i < schema->arity(); ++i) {
@@ -238,7 +303,7 @@ Status RJoinEngine::ObserveStreamHistory(
   if (schema->arity() != values.size()) {
     return Status::InvalidArgument("tuple arity mismatch for " + relation);
   }
-  const uint64_t now = simulator_->Now();
+  const uint64_t now = Now();
   for (size_t i = 0; i < schema->arity(); ++i) {
     const IndexKey ak = AttributeKey(relation, schema->attributes()[i]);
     state(network_->SuccessorOf(KeyId(ak))).rates.Record(ak.text, now);
@@ -265,7 +330,7 @@ bool RJoinEngine::IsExpired(const Residual& r) const {
   const sql::WindowSpec& w = r.origin()->spec().window;
   if (!w.use_windows || w.size == 0) return false;
   const uint64_t next_pos = w.unit == sql::WindowSpec::Unit::kTime
-                                ? simulator_->Now()
+                                ? Now()
                                 : global_seq_ + 1;
   if (w.kind == sql::WindowSpec::Kind::kSliding) {
     return next_pos > r.window_min() &&
@@ -295,7 +360,7 @@ void RJoinEngine::DropStoredQuery(dht::NodeIndex self, const IndexKey& key,
     state(self).distinct_fingerprints.erase(
         key.text + bucket[i].residual.ContentFingerprint());
   }
-  metrics_->RemoveStore(self);
+  Metrics().RemoveStore(self);
   bucket[i] = std::move(bucket.back());
   bucket.pop_back();
 }
@@ -338,7 +403,7 @@ void RJoinEngine::CompleteOrForward(dht::NodeIndex self, Residual next) {
     auto msg = std::make_unique<AnswerMsg>();
     msg->query_id = next.origin()->query_id();
     msg->row = next.ExtractAnswer();
-    msg->completed_at = simulator_->Now();
+    msg->completed_at = Now();
     transport_->SendDirect(self, next.origin()->owner(), std::move(msg));
     return;
   }
@@ -346,9 +411,9 @@ void RJoinEngine::CompleteOrForward(dht::NodeIndex self, Residual next) {
 }
 
 void RJoinEngine::OnNewTuple(dht::NodeIndex self, NewTupleMsg& msg) {
-  metrics_->AddQpl(self);
+  Metrics().AddQpl(self);
   NodeState& st = state(self);
-  st.rates.Record(msg.key.text, simulator_->Now());
+  st.rates.Record(msg.key.text, Now());
 
   auto it = st.queries.find(msg.key.text);
   if (it != st.queries.end()) {
@@ -369,27 +434,27 @@ void RJoinEngine::OnNewTuple(dht::NodeIndex self, NewTupleMsg& msg) {
     // Procedure 2: value-level tuples are stored for future rewritten
     // queries.
     st.tuples[msg.key.text].push_back(msg.tuple);
-    metrics_->AddStore(self);
+    Metrics().AddStore(self);
     RecordKeyLoad(msg.key.text);
   } else if (config_.enable_altt) {
     // Section 4 fix: keep attribute-level tuples for Delta so that delayed
     // input queries are not starved (Example 1).
     auto& dq = st.altt[msg.key.text];
-    const uint64_t now = simulator_->Now();
+    const uint64_t now = Now();
     const uint64_t expires = altt_delta_ > UINT64_MAX - now
                                  ? UINT64_MAX
                                  : now + altt_delta_;  // Saturating.
     dq.push_back({msg.tuple, expires});
-    metrics_->AddAlttStore(self);
+    Metrics().AddAlttStore(self);
     // Amortized expiry: drop stale entries from the front.
-    while (!dq.empty() && dq.front().expires < simulator_->Now()) {
+    while (!dq.empty() && dq.front().expires < now) {
       dq.pop_front();
     }
   }
 }
 
 void RJoinEngine::OnEval(dht::NodeIndex self, EvalMsg& msg) {
-  metrics_->AddQpl(self);
+  Metrics().AddQpl(self);
   NodeState& st = state(self);
   for (const RicEntry& e : msg.piggyback) st.ct.Merge(e);
 
@@ -416,8 +481,9 @@ void RJoinEngine::OnEval(dht::NodeIndex self, EvalMsg& msg) {
   } else if (config_.enable_altt) {
     auto it = st.altt.find(msg.key.text);
     if (it != st.altt.end()) {
+      const uint64_t now = Now();
       for (const AlttEntry& e : it->second) {
-        if (e.expires < simulator_->Now()) continue;
+        if (e.expires < now) continue;
         TryTrigger(self, sq, msg.key, e.tuple);
       }
     }
@@ -431,14 +497,36 @@ void RJoinEngine::OnEval(dht::NodeIndex self, EvalMsg& msg) {
   if (IsExpired(sq.residual)) return;
   if (distinct) st.distinct_fingerprints.insert(fp);
   st.queries[msg.key.text].push_back(std::move(sq));
-  metrics_->AddStore(self);
+  Metrics().AddStore(self);
   RecordKeyLoad(msg.key.text);
 }
 
 void RJoinEngine::OnAnswer(dht::NodeIndex self, const AnswerMsg& msg) {
   (void)self;
-  auto it = queries_.find(msg.query_id);
-  if (it != queries_.end() && it->second->spec().distinct) {
+  const bool distinct = [&] {
+    auto it = queries_.find(msg.query_id);
+    return it != queries_.end() && it->second->spec().distinct;
+  }();
+  const int shard =
+      runtime_ != nullptr ? runtime::ShardedRuntime::CurrentShard() : -1;
+  if (shard >= 0) {
+    // Worker path: stage into this shard's sink. A query's answers always
+    // arrive at its owner, so all DISTINCT state of one query lives on one
+    // shard and dedup is exact.
+    ShardSink& sink = sinks_[shard];
+    if (distinct) {
+      const std::string row_key = sql::AnswerRowKey(msg.row);
+      if (!sink.distinct_rows[msg.query_id].insert(row_key).second) {
+        ++sink.distinct_suppressed;
+        return;
+      }
+    }
+    sink.answers.emplace_back(runtime_->CurrentEventKey(),
+                              Answer{msg.query_id, msg.row, Now()});
+    Metrics().AddAnswer();
+    return;
+  }
+  if (distinct) {
     // Owner-side final duplicate suppression for DISTINCT queries: a local
     // computation at the querying node, no network cost.
     const std::string row_key = sql::AnswerRowKey(msg.row);
@@ -447,15 +535,15 @@ void RJoinEngine::OnAnswer(dht::NodeIndex self, const AnswerMsg& msg) {
       return;
     }
   }
-  answers_.push_back(Answer{msg.query_id, msg.row, simulator_->Now()});
-  metrics_->AddAnswer();
+  answers_.push_back(Answer{msg.query_id, msg.row, Now()});
+  Metrics().AddAnswer();
 }
 
 void RJoinEngine::GatherRic(dht::NodeIndex src,
                             const std::vector<IndexKey>& candidates,
                             std::vector<uint64_t>* rates,
                             std::vector<dht::NodeIndex>* nodes) {
-  const uint64_t now = simulator_->Now();
+  const uint64_t now = Now();
   NodeState& st = state(src);
   rates->resize(candidates.size());
   nodes->resize(candidates.size());
@@ -477,7 +565,7 @@ void RJoinEngine::GatherRic(dht::NodeIndex src,
         transport_->ChargeTraffic(src, 1, /*ric=*/true);
         transport_->ChargeTraffic(cand, 1, /*ric=*/true);
       }
-      const uint64_t rate = state(cand).rates.Rate(key, now);
+      const uint64_t rate = ReadRate(cand, key, now);
       (*rates)[i] = rate;
       (*nodes)[i] = cand;
       st.ct.Merge(RicEntry{key, rate, now, cand});
@@ -498,7 +586,7 @@ void RJoinEngine::GatherRic(dht::NodeIndex src,
     if (config_.charge_ric_messages) {
       transport_->ChargeRoute(prev, KeyId(candidates[i]), /*ric=*/true);
     }
-    const uint64_t rate = state(cand).rates.Rate(candidates[i].text, now);
+    const uint64_t rate = ReadRate(cand, candidates[i].text, now);
     (*rates)[i] = rate;
     (*nodes)[i] = cand;
     st.ct.Merge(RicEntry{candidates[i].text, rate, now, cand});
@@ -525,16 +613,25 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
       chosen = 0;
       break;
     case PlannerPolicy::kRandom:
-      chosen = static_cast<size_t>(rng_.NextBounded(candidates.size()));
+      if (runtime_ != nullptr) {
+        // Derived per-decision RNG: a pure function of (seed, deciding
+        // node, decision index), so draws are identical for any shard
+        // count and any thread interleaving.
+        chosen = static_cast<size_t>(
+            Rng(MixSeed(config_.seed, src, ++planner_seq_[src]))
+                .NextBounded(candidates.size()));
+      } else {
+        chosen = static_cast<size_t>(rng_.NextBounded(candidates.size()));
+      }
       break;
     case PlannerPolicy::kWorst: {
       // Adversarial oracle: reads true rates without RIC traffic.
       uint64_t worst_rate = 0;
-      const uint64_t now = simulator_->Now();
+      const uint64_t now = Now();
       for (size_t i = 0; i < candidates.size(); ++i) {
         const dht::NodeIndex cand =
             network_->SuccessorOf(KeyId(candidates[i]));
-        const uint64_t rate = state(cand).rates.Rate(candidates[i].text, now);
+        const uint64_t rate = ReadRate(cand, candidates[i].text, now);
         if (rate > worst_rate) {
           worst_rate = rate;
           chosen = i;
@@ -638,7 +735,7 @@ void RJoinEngine::SweepWindows() {
       auto expired = [&](const sql::TuplePtr& t) {
         // Conservative: use both clocks; drop only if out of range for the
         // larger of the two interpretations.
-        const uint64_t now_time = simulator_->Now();
+        const uint64_t now_time = Now();
         const uint64_t now_seq = global_seq_ + 1;
         const bool time_out = now_time > t->pub_time &&
                               now_time - t->pub_time + 1 > max_window_span_;
@@ -649,7 +746,7 @@ void RJoinEngine::SweepWindows() {
       size_t kept = 0;
       for (size_t i = 0; i < tuples.size(); ++i) {
         if (expired(tuples[i])) {
-          metrics_->RemoveStore(n);
+          Metrics().RemoveStore(n);
         } else {
           tuples[kept++] = tuples[i];
         }
@@ -698,6 +795,12 @@ InputQueryPtr RJoinEngine::FindQuery(uint64_t query_id) const {
 }
 
 void RJoinEngine::RecordKeyLoad(const std::string& key_text) {
+  const int shard =
+      runtime_ != nullptr ? runtime::ShardedRuntime::CurrentShard() : -1;
+  if (shard >= 0) {
+    ++sinks_[shard].key_load[key_text];
+    return;
+  }
   ++key_load_[key_text];
 }
 

@@ -17,6 +17,7 @@
 #include "dht/chord_network.h"
 #include "dht/load_balancer.h"
 #include "dht/transport.h"
+#include "runtime/sharded_runtime.h"
 #include "sim/simulator.h"
 #include "sql/parser.h"
 #include "sql/schema.h"
@@ -105,7 +106,7 @@ struct Answer {
 ///   engine.PublishTuple(publisher, "R", {Value::Int(3), Value::Int(5)});
 ///   sim.Run();
 ///   for (const Answer& a : engine.answers()) ...
-class RJoinEngine : public dht::MessageHandler {
+class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
  public:
   RJoinEngine(EngineConfig config, const sql::Catalog* catalog,
               dht::ChordNetwork* network, dht::Transport* transport,
@@ -113,6 +114,20 @@ class RJoinEngine : public dht::MessageHandler {
 
   RJoinEngine(const RJoinEngine&) = delete;
   RJoinEngine& operator=(const RJoinEngine&) = delete;
+
+  /// Switches the engine onto the sharded parallel runtime (the transport
+  /// must have the matching ShardRouter attached). Per-shard answer/key-load
+  /// staging replaces the serial globals, and worker threads answer remote
+  /// RIC rate lookups from frozen per-epoch snapshots instead of live
+  /// cross-shard state (driver-phase lookups stay live). Registers this
+  /// engine as a barrier hook on `rt`. Call once, before any traffic.
+  void AttachRuntime(runtime::ShardedRuntime* rt);
+
+  /// runtime::BarrierHook: serial per-round work — publish answers staged
+  /// by the previous round (in deterministic EventKey order), fold per-shard
+  /// key-load deltas, and refresh the frozen rate snapshots when the round
+  /// cursor crosses into a new RIC epoch.
+  void OnBarrier(sim::SimTime round_start) override;
 
   /// Submits a continuous query from `owner`. The query is validated,
   /// compiled, and indexed in the network (attribute level). Returns the
@@ -206,6 +221,25 @@ class RJoinEngine : public dht::MessageHandler {
  private:
   NodeState& state(dht::NodeIndex n) { return *states_[n]; }
 
+  /// Virtual time for stamps and window math: the sharded runtime's clock
+  /// when attached (event time on workers, round cursor on the driver),
+  /// else the serial simulator's.
+  uint64_t Now() const {
+    return runtime_ != nullptr ? runtime_->Now() : simulator_->Now();
+  }
+
+  /// Registry the calling thread may write (shard delta on a worker).
+  stats::MetricsRegistry& Metrics() {
+    return runtime_ != nullptr ? *runtime_->ActiveMetrics() : *metrics_;
+  }
+
+  /// Rate of `key` at its responsible node `cand` — the one synchronous
+  /// cross-node read of the engine (RIC, Section 6). Worker threads read
+  /// the frozen per-epoch snapshot (S-invariant and race-free); the driver
+  /// and the serial path read the live tracker.
+  uint64_t ReadRate(dht::NodeIndex cand, const std::string& key,
+                    uint64_t now);
+
   /// Decides where to index `residual` (planner policies of Section 6,
   /// RIC gathering and candidate-table reuse of Section 7) and ships it.
   void IndexResidual(dht::NodeIndex src, Residual residual);
@@ -250,6 +284,33 @@ class RJoinEngine : public dht::MessageHandler {
   sim::Simulator* simulator_;
   stats::MetricsRegistry* metrics_;
   Rng rng_;
+
+  // ---- sharded-runtime state (unused on the serial path) ----
+
+  /// Per-shard staging: everything a worker would otherwise write to a
+  /// global. Answer order is reconstructed at barriers from EventKeys, so
+  /// answers_ ends up in the same order for any shard count. DISTINCT
+  /// owner-side state lives here too — a query's answers always arrive at
+  /// its owner, i.e. on one fixed shard.
+  struct alignas(64) ShardSink {
+    std::vector<std::pair<runtime::EventKey, Answer>> answers;
+    std::unordered_map<uint64_t, std::unordered_set<std::string>>
+        distinct_rows;
+    uint64_t distinct_suppressed = 0;
+    std::unordered_map<std::string, uint64_t> key_load;
+  };
+
+  runtime::ShardedRuntime* runtime_ = nullptr;
+  std::vector<ShardSink> sinks_;
+  /// Frozen Rate() snapshots per node, rebuilt at epoch barriers; read-only
+  /// while workers run.
+  std::vector<std::unordered_map<std::string, uint64_t>> frozen_rates_;
+  uint64_t frozen_epoch_ = 0;
+  bool frozen_valid_ = false;
+  /// Per-node draw counter for the kRandom policy under the runtime
+  /// (replaces the shared rng_, whose draw order would depend on thread
+  /// interleaving).
+  std::vector<uint64_t> planner_seq_;
 
   std::vector<std::unique_ptr<NodeState>> states_;
   std::unordered_map<uint64_t, InputQueryPtr> queries_;

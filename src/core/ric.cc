@@ -27,6 +27,17 @@ uint64_t RateTracker::Rate(const std::string& key, uint64_t now) const {
   return b.current + b.previous;
 }
 
+void RateTracker::SnapshotInto(
+    uint64_t now, std::unordered_map<std::string, uint64_t>* out) const {
+  const uint64_t epoch = EpochOf(now);
+  for (const auto& [key, bucket] : counts_) {
+    Bucket b = bucket;  // Roll a copy; lookups are logically const.
+    Roll(b, epoch);
+    const uint64_t rate = b.current + b.previous;
+    if (rate > 0) (*out)[key] = rate;
+  }
+}
+
 void CandidateTable::Merge(const RicEntry& entry) {
   auto [it, inserted] = entries_.emplace(entry.key_text, entry);
   if (!inserted && entry.timestamp >= it->second.timestamp) {

@@ -35,6 +35,13 @@ class RateTracker {
   /// Predicted arrivals over one observation window.
   uint64_t Rate(const std::string& key, uint64_t now) const;
 
+  /// Writes Rate(key, now) for every tracked key with a non-zero rate into
+  /// `out` (missing keys read as 0). The sharded runtime freezes these
+  /// snapshots at epoch barriers so worker threads can answer remote RIC
+  /// lookups without reading live cross-shard state.
+  void SnapshotInto(uint64_t now,
+                    std::unordered_map<std::string, uint64_t>* out) const;
+
   size_t tracked_keys() const { return counts_.size(); }
 
  private:

@@ -6,11 +6,41 @@ namespace rjoin::dht {
 
 size_t Transport::Send(NodeIndex src, const NodeId& key, MessagePtr msg,
                        bool ric) {
+  if (router_ != nullptr && !router_->InWorker()) {
+    // Driver-phase send: run the routing work as an event on src's shard.
+    auto holder = std::make_shared<MessagePtr>(std::move(msg));
+    router_->Defer(src, [this, src, key, holder, ric]() {
+      SendNow(src, key, std::move(*holder), ric);
+    });
+    return 0;
+  }
+  return SendNow(src, key, std::move(msg), ric);
+}
+
+size_t Transport::SendNow(NodeIndex src, const NodeId& key, MessagePtr msg,
+                          bool ric) {
   const std::vector<NodeIndex> path = network_->Route(src, key);
+  stats::MetricsRegistry& metrics = Metrics();
   sim::SimTime delay = 0;
-  // Each element of the path except the last transmits the message once.
+  if (router_ != nullptr) {
+    const uint64_t seq = router_->NextEmitSeq(src);
+    Rng msg_rng = router_->MessageRng(src, seq);
+    // Each element of the path except the last transmits the message once.
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      metrics.AddTraffic(path[i], 1, ric);
+      delay += latency_->Delay(msg_rng);
+    }
+    RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
+    auto holder = std::make_shared<MessagePtr>(std::move(msg));
+    MessageHandler* handler = handler_;
+    const NodeIndex dst = path.back();
+    router_->Deliver(src, seq, dst, delay, [handler, dst, holder]() {
+      handler->HandleMessage(dst, std::move(*holder));
+    });
+    return path.size() - 1;
+  }
   for (size_t i = 0; i + 1 < path.size(); ++i) {
-    metrics_->AddTraffic(path[i], 1, ric);
+    metrics.AddTraffic(path[i], 1, ric);
     delay += latency_->Delay(rng_);
   }
   Deliver(path.back(), std::move(msg), delay);
@@ -20,27 +50,65 @@ size_t Transport::Send(NodeIndex src, const NodeId& key, MessagePtr msg,
 size_t Transport::MultiSend(NodeIndex src,
                             std::vector<std::pair<NodeId, MessagePtr>> messages,
                             bool ric) {
+  if (router_ != nullptr && !router_->InWorker()) {
+    // One dispatch event carries the whole batch to src's shard; emission
+    // sequence numbers are drawn there, in batch order, exactly as a serial
+    // sequence of Send calls would draw them.
+    auto batch = std::make_shared<std::vector<std::pair<NodeId, MessagePtr>>>(
+        std::move(messages));
+    router_->Defer(src, [this, src, batch, ric]() {
+      for (auto& [key, msg] : *batch) {
+        SendNow(src, key, std::move(msg), ric);
+      }
+    });
+    return 0;
+  }
   size_t hops = 0;
   for (auto& [key, msg] : messages) {
-    hops += Send(src, key, std::move(msg), ric);
+    hops += SendNow(src, key, std::move(msg), ric);
   }
   return hops;
 }
 
 void Transport::SendDirect(NodeIndex src, NodeIndex dst, MessagePtr msg,
                            bool ric) {
-  metrics_->AddTraffic(src, 1, ric);
+  if (router_ != nullptr && !router_->InWorker()) {
+    auto holder = std::make_shared<MessagePtr>(std::move(msg));
+    router_->Defer(src, [this, src, dst, holder, ric]() {
+      SendDirectNow(src, dst, std::move(*holder), ric);
+    });
+    return;
+  }
+  SendDirectNow(src, dst, std::move(msg), ric);
+}
+
+void Transport::SendDirectNow(NodeIndex src, NodeIndex dst, MessagePtr msg,
+                              bool ric) {
+  Metrics().AddTraffic(src, 1, ric);
+  if (router_ != nullptr) {
+    const uint64_t seq = router_->NextEmitSeq(src);
+    Rng msg_rng = router_->MessageRng(src, seq);
+    const sim::SimTime delay = latency_->Delay(msg_rng);
+    RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
+    auto holder = std::make_shared<MessagePtr>(std::move(msg));
+    MessageHandler* handler = handler_;
+    router_->Deliver(src, seq, dst, delay, [handler, dst, holder]() {
+      handler->HandleMessage(dst, std::move(*holder));
+    });
+    return;
+  }
   Deliver(dst, std::move(msg), latency_->Delay(rng_));
 }
 
 void Transport::ChargeTraffic(NodeIndex node, uint64_t count, bool ric) {
-  metrics_->AddTraffic(node, count, ric);
+  Metrics().AddTraffic(node, count, ric);
 }
 
 size_t Transport::ChargeRoute(NodeIndex src, const NodeId& key, bool ric) {
   const std::vector<NodeIndex> path = network_->Route(src, key);
+  stats::MetricsRegistry& metrics = Metrics();
   for (size_t i = 0; i + 1 < path.size(); ++i) {
-    metrics_->AddTraffic(path[i], 1, ric);
+    metrics.AddTraffic(path[i], 1, ric);
   }
   return path.size() - 1;
 }

@@ -1,6 +1,7 @@
 #ifndef RJOIN_DHT_TRANSPORT_H_
 #define RJOIN_DHT_TRANSPORT_H_
 
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -31,6 +32,51 @@ class MessageHandler {
   virtual void HandleMessage(NodeIndex self, MessagePtr msg) = 0;
 };
 
+/// Scheduling backend the sharded runtime plugs into the transport
+/// (implemented by runtime::ShardRouter). When a router is attached, the
+/// transport stops scheduling deliveries on the serial simulator and instead:
+///  * tags every message with (src, per-src emission seq) — the
+///    deterministic identity its delivery order and latency draws hang off;
+///  * draws per-hop latency from an Rng derived from that identity, so
+///    delays do not depend on thread interleaving or shard count;
+///  * hands the delivery to the router, which places it in the destination
+///    shard's event heap or mailbox.
+/// Driver-phase sends (tuple publications, query submissions) are deferred
+/// as a dispatch event on the source node's shard, which moves the O(log N)
+/// routing work onto the worker threads.
+class DeliveryRouter {
+ public:
+  virtual ~DeliveryRouter() = default;
+
+  /// Virtual time at the caller (event time on a worker, round cursor on
+  /// the driver).
+  virtual sim::SimTime Now() const = 0;
+
+  /// True when the calling thread is a shard worker executing events.
+  virtual bool InWorker() const = 0;
+
+  /// Registry the calling thread may write (its shard's delta registry on
+  /// a worker, the main registry on the driver).
+  virtual stats::MetricsRegistry* ActiveMetrics() = 0;
+
+  /// Next emission sequence number of `src`.
+  virtual uint64_t NextEmitSeq(NodeIndex src) = 0;
+
+  /// Deterministic per-message RNG derived from (src, seq).
+  virtual Rng MessageRng(NodeIndex src, uint64_t seq) = 0;
+
+  /// Runs `dispatch` as an event on `src`'s shard at the current time
+  /// (driver-phase send deferral).
+  virtual void Defer(NodeIndex src, std::function<void()> dispatch) = 0;
+
+  /// Delivers `deliver` at Now() + delay on `dst`'s shard. Cross-node
+  /// deliveries are deferred to at least the end of the current round
+  /// (deterministically), preserving the round-lookahead invariant.
+  virtual void Deliver(NodeIndex src, uint64_t seq, NodeIndex dst,
+                       sim::SimTime delay,
+                       std::function<void()> deliver) = 0;
+};
+
 /// The messaging API of Section 2 (originally from [18]):
 ///   Send(msg, id)        — deliver msg to Successor(id) in O(log N) hops;
 ///   MultiSend(M, I)      — deliver message M_j to Successor(I_j) for all j;
@@ -39,8 +85,9 @@ class MessageHandler {
 /// Every message transmission (creation and every DHT-routing forward) is
 /// charged one unit of traffic to the transmitting node, matching the
 /// traffic definition of Section 8. Delivery is asynchronous through the
-/// discrete-event simulator, with per-hop latency drawn from the latency
-/// model (bounded by delta).
+/// discrete-event simulator — or, when a DeliveryRouter is attached, through
+/// the sharded parallel runtime — with per-hop latency drawn from the
+/// latency model (bounded by delta).
 class Transport {
  public:
   Transport(ChordNetwork* network, sim::Simulator* simulator,
@@ -57,14 +104,19 @@ class Transport {
 
   void set_handler(MessageHandler* handler) { handler_ = handler; }
 
-  /// Routes `msg` from `src` to Successor(key). Returns the number of hops.
+  /// Attaches the sharded runtime's router. nullptr restores the serial
+  /// simulator path.
+  void set_router(DeliveryRouter* router) { router_ = router; }
+
+  /// Routes `msg` from `src` to Successor(key). Returns the number of hops
+  /// (0 when the send was deferred onto a worker shard by the router).
   /// `ric` tags the traffic as RIC-request overhead (separate series in the
   /// paper's figures).
   size_t Send(NodeIndex src, const NodeId& key, MessagePtr msg,
               bool ric = false);
 
   /// The paper's multiSend(M, I): one message per identifier. Returns total
-  /// hops across all messages.
+  /// hops across all messages (0 when deferred).
   size_t MultiSend(NodeIndex src,
                    std::vector<std::pair<NodeId, MessagePtr>> messages,
                    bool ric = false);
@@ -87,6 +139,16 @@ class Transport {
   size_t ChargeRoute(NodeIndex src, const NodeId& key, bool ric);
 
  private:
+  /// Registry for the calling thread (shard delta under the router).
+  stats::MetricsRegistry& Metrics() {
+    return router_ != nullptr ? *router_->ActiveMetrics() : *metrics_;
+  }
+
+  /// The actual routing + delivery work of Send (runs on the source node's
+  /// shard when a router is attached).
+  size_t SendNow(NodeIndex src, const NodeId& key, MessagePtr msg, bool ric);
+  void SendDirectNow(NodeIndex src, NodeIndex dst, MessagePtr msg, bool ric);
+
   void Deliver(NodeIndex dst, MessagePtr msg, sim::SimTime delay);
 
   ChordNetwork* network_;
@@ -94,6 +156,7 @@ class Transport {
   sim::LatencyModel* latency_;
   stats::MetricsRegistry* metrics_;
   MessageHandler* handler_ = nullptr;
+  DeliveryRouter* router_ = nullptr;
   Rng rng_;
 };
 

@@ -1,0 +1,73 @@
+#ifndef RJOIN_RUNTIME_SHARD_ROUTER_H_
+#define RJOIN_RUNTIME_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "dht/transport.h"
+#include "runtime/sharded_runtime.h"
+#include "util/random.h"
+
+namespace rjoin::runtime {
+
+/// The dht::DeliveryRouter implementation backed by a ShardedRuntime:
+/// transport sends become shard events keyed by (delivery time, source
+/// node, per-source emission seq), with latency RNG derived from the same
+/// identity. This is the seam through which every message of the engine
+/// reaches the parallel runtime.
+class ShardRouter : public dht::DeliveryRouter {
+ public:
+  /// `seed` feeds the per-message latency RNG derivation (pass the same
+  /// seed the serial transport's Rng was built from to keep configs
+  /// comparable).
+  ShardRouter(ShardedRuntime* runtime, uint64_t seed)
+      : runtime_(runtime), seed_(seed) {}
+
+  sim::SimTime Now() const override { return runtime_->Now(); }
+
+  bool InWorker() const override {
+    return ShardedRuntime::CurrentShard() >= 0;
+  }
+
+  stats::MetricsRegistry* ActiveMetrics() override {
+    return runtime_->ActiveMetrics();
+  }
+
+  uint64_t NextEmitSeq(dht::NodeIndex src) override {
+    return runtime_->NextEmitSeq(src);
+  }
+
+  Rng MessageRng(dht::NodeIndex src, uint64_t seq) override {
+    return Rng(MixSeed(seed_, src, seq));
+  }
+
+  void Defer(dht::NodeIndex src, std::function<void()> dispatch) override {
+    // The dispatch event runs on src's own shard at the current time; as a
+    // self-event it is exempt from round deferral.
+    runtime_->ScheduleEvent({runtime_->Now(), src, runtime_->NextEmitSeq(src)},
+                            src, std::move(dispatch));
+  }
+
+  void Deliver(dht::NodeIndex src, uint64_t seq, dht::NodeIndex dst,
+               sim::SimTime delay, std::function<void()> deliver) override {
+    sim::SimTime when = runtime_->Now() + delay;
+    if (src != dst) {
+      // Round-lookahead invariant: a message to another node may not land
+      // inside the round that emitted it — whether or not the destination
+      // happens to share the shard — otherwise results would depend on the
+      // partitioning. Self-sends always stay on their own shard for any S,
+      // so zero-delay self-delivery (src == Successor(key)) keeps its
+      // serial-simulator timing.
+      when = std::max(when, runtime_->CurrentRoundEnd());
+    }
+    runtime_->ScheduleEvent({when, src, seq}, dst, std::move(deliver));
+  }
+
+ private:
+  ShardedRuntime* runtime_;
+  uint64_t seed_;
+};
+
+}  // namespace rjoin::runtime
+
+#endif  // RJOIN_RUNTIME_SHARD_ROUTER_H_

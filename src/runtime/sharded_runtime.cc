@@ -1,0 +1,275 @@
+#include "runtime/sharded_runtime.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace rjoin::runtime {
+
+namespace {
+/// Shard index the current thread works for; -1 on the driver (and on any
+/// thread that is not a runtime worker).
+thread_local int tls_current_shard = -1;
+
+constexpr int kSpinIterations = 2048;
+}  // namespace
+
+// ----------------------------------------------------------------- Gate
+
+void ShardedRuntime::Gate::Arrive() {
+  const uint64_t gen = gen_.load(std::memory_order_acquire);
+  if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    // Last arriver opens the gate. All other parties are inside Arrive()
+    // for this generation, so resetting the counter first is safe.
+    waiting_.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      gen_.store(gen + 1, std::memory_order_release);
+    }
+    cv_.notify_all();
+    return;
+  }
+  if (spin_) {
+    for (int i = 0; i < kSpinIterations; ++i) {
+      if (gen_.load(std::memory_order_acquire) != gen) return;
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock,
+           [&] { return gen_.load(std::memory_order_acquire) != gen; });
+}
+
+// -------------------------------------------------------- construction
+
+namespace {
+uint32_t BlockChunk(size_t num_nodes, uint32_t shards) {
+  const size_t chunk = (num_nodes + shards - 1) / shards;
+  return static_cast<uint32_t>(chunk > 0 ? chunk : 1);
+}
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(const Options& options, size_t num_nodes,
+                               stats::MetricsRegistry* main_metrics)
+    : num_shards_(std::max<uint32_t>(1, options.shards)),
+      num_nodes_(num_nodes),
+      round_width_(std::max<sim::SimTime>(1, options.round_width)),
+      chunk_(BlockChunk(num_nodes, std::max<uint32_t>(1, options.shards))),
+      emit_seq_(num_nodes, 0),
+      main_metrics_(main_metrics) {
+  RJOIN_CHECK(main_metrics_ != nullptr);
+  main_metrics_->Resize(num_nodes_);
+  shard_state_.reserve(num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    auto state = std::make_unique<ShardState>();
+    state->metrics = std::make_unique<stats::MetricsRegistry>(num_nodes_);
+    state->metrics->EnableDeltaTracking();
+    state->outbox.resize(num_shards_);
+    shard_state_.push_back(std::move(state));
+  }
+  // Spinning is counterproductive when the hardware cannot actually run the
+  // workers in parallel.
+  const bool spin = std::thread::hardware_concurrency() > num_shards_;
+  start_gate_.Init(num_shards_ + 1, spin);
+  end_gate_.Init(num_shards_ + 1, spin);
+  workers_.reserve(num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    workers_.emplace_back([this, s] { WorkerMain(s); });
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  stop_ = true;
+  start_gate_.Arrive();  // releases workers; they observe stop_ and exit
+  for (auto& w : workers_) w.join();
+}
+
+// --------------------------------------------------------- thread roles
+
+int ShardedRuntime::CurrentShard() { return tls_current_shard; }
+
+void ShardedRuntime::WorkerMain(uint32_t shard) {
+  tls_current_shard = static_cast<int>(shard);
+  shard_state_[shard]->metrics->BindOwnerThread();
+  for (;;) {
+    start_gate_.Arrive();
+    if (stop_) return;
+    RunShardRound(*shard_state_[shard]);
+    end_gate_.Arrive();
+  }
+}
+
+sim::SimTime ShardedRuntime::Now() const {
+  const int s = tls_current_shard;
+  return s >= 0 ? shard_state_[s]->now : now_;
+}
+
+sim::SimTime ShardedRuntime::CurrentRoundEnd() const {
+  return tls_current_shard >= 0 ? round_end_ : now_;
+}
+
+EventKey ShardedRuntime::CurrentEventKey() const {
+  const int s = tls_current_shard;
+  RJOIN_CHECK(s >= 0) << "CurrentEventKey outside a worker event";
+  return shard_state_[s]->current_key;
+}
+
+stats::MetricsRegistry* ShardedRuntime::ActiveMetrics() {
+  const int s = tls_current_shard;
+  return s >= 0 ? shard_state_[s]->metrics.get() : main_metrics_;
+}
+
+// ---------------------------------------------------------- scheduling
+
+void ShardedRuntime::PushLocal(ShardState& shard, Envelope ev) {
+  shard.heap.push_back(std::move(ev));
+  std::push_heap(shard.heap.begin(), shard.heap.end(), EnvelopeLater{});
+}
+
+void ShardedRuntime::ScheduleEvent(const EventKey& key, NodeIndex dst,
+                                   std::function<void()> action) {
+  RJOIN_CHECK(dst < num_nodes_) << "event for unknown node " << dst;
+  const uint32_t dst_shard = ShardOf(dst);
+  Envelope ev{key, dst, std::move(action)};
+  const int cur = tls_current_shard;
+  if (cur < 0) {
+    // Driver phase: workers are parked, every heap is safely writable.
+    PushLocal(*shard_state_[dst_shard], std::move(ev));
+    return;
+  }
+  if (static_cast<uint32_t>(cur) == dst_shard) {
+    PushLocal(*shard_state_[cur], std::move(ev));
+  } else {
+    shard_state_[cur]->outbox[dst_shard].push_back(std::move(ev));
+  }
+}
+
+// ------------------------------------------------------------ round loop
+
+void ShardedRuntime::RunShardRound(ShardState& shard) {
+  auto& heap = shard.heap;
+  while (!heap.empty() && heap.front().key.time < round_end_) {
+    std::pop_heap(heap.begin(), heap.end(), EnvelopeLater{});
+    Envelope ev = std::move(heap.back());
+    heap.pop_back();
+    shard.now = ev.key.time;
+    shard.current_key = ev.key;
+    ev.action();
+    ++shard.executed;
+    shard.last_executed = ev.key.time;
+    shard.executed_any = true;
+  }
+}
+
+void ShardedRuntime::SerialPhase() {
+  // Drain mailboxes in fixed shard order (order is irrelevant for the heap,
+  // but fixed order keeps the walk deterministic and cache-friendly).
+  for (auto& src : shard_state_) {
+    for (uint32_t d = 0; d < num_shards_; ++d) {
+      auto& box = src->outbox[d];
+      for (auto& ev : box) {
+        RJOIN_CHECK(ev.key.time >= now_)
+            << "cross-shard event scheduled into the past (missing round "
+               "deferral?)";
+        PushLocal(*shard_state_[d], std::move(ev));
+      }
+      box.clear();
+    }
+  }
+  // Merge metrics deltas; sums commute, so the totals match the serial run.
+  for (auto& shard : shard_state_) {
+    main_metrics_->MergeFrom(shard->metrics.get());
+  }
+}
+
+bool ShardedRuntime::AllHeapsEmpty() const {
+  for (const auto& shard : shard_state_) {
+    if (!shard->heap.empty()) return false;
+  }
+  return true;
+}
+
+sim::SimTime ShardedRuntime::MinHeapTime() const {
+  sim::SimTime min_time = std::numeric_limits<sim::SimTime>::max();
+  for (const auto& shard : shard_state_) {
+    if (!shard->heap.empty()) {
+      min_time = std::min(min_time, shard->heap.front().key.time);
+    }
+  }
+  return min_time;
+}
+
+uint64_t ShardedRuntime::RunLoop(bool bounded, sim::SimTime until) {
+  RJOIN_CHECK(tls_current_shard < 0)
+      << "Run()/RunUntil() must be called from the driver thread";
+  const uint64_t executed_before = total_executed_;
+  for (auto& shard : shard_state_) shard->executed_any = false;
+
+  for (;;) {
+    SerialPhase();
+    if (AllHeapsEmpty() || (bounded && MinHeapTime() > until)) {
+      // Final barrier: lets hooks publish what the last round staged.
+      for (BarrierHook* hook : hooks_) hook->OnBarrier(now_);
+      break;
+    }
+
+    now_ = std::max(now_, MinHeapTime());  // jump idle gaps in one step
+    sim::SimTime end = now_ + round_width_;
+    if (bounded && end > until) end = until + 1;  // until is inclusive
+    round_end_ = end;
+    for (BarrierHook* hook : hooks_) hook->OnBarrier(now_);
+    for (auto& shard : shard_state_) shard->now = now_;
+
+    start_gate_.Arrive();
+    end_gate_.Arrive();
+
+    uint64_t round_executed = 0;
+    for (auto& shard : shard_state_) {
+      round_executed += shard->executed;
+      shard->executed = 0;
+    }
+    total_executed_ += round_executed;
+    ++total_rounds_;
+    now_ = round_end_ - 1;  // events up to here have executed
+  }
+
+  // Mirror sim::Simulator clock semantics.
+  if (bounded) {
+    now_ = std::max(now_, until);
+  } else {
+    sim::SimTime last = sim::kTimeZero;
+    bool any = false;
+    for (const auto& shard : shard_state_) {
+      if (shard->executed_any) {
+        last = std::max(last, shard->last_executed);
+        any = true;
+      }
+    }
+    if (any) now_ = last;
+  }
+  return total_executed_ - executed_before;
+}
+
+uint64_t ShardedRuntime::Run() {
+  return RunLoop(/*bounded=*/false, /*until=*/0);
+}
+
+uint64_t ShardedRuntime::RunUntil(sim::SimTime until) {
+  return RunLoop(/*bounded=*/true, until);
+}
+
+bool ShardedRuntime::Idle() const { return PendingEvents() == 0; }
+
+size_t ShardedRuntime::PendingEvents() const {
+  size_t pending = 0;
+  for (const auto& shard : shard_state_) {
+    pending += shard->heap.size();
+    for (const auto& box : shard->outbox) pending += box.size();
+  }
+  return pending;
+}
+
+}  // namespace rjoin::runtime

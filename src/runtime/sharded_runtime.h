@@ -1,0 +1,219 @@
+#ifndef RJOIN_RUNTIME_SHARDED_RUNTIME_H_
+#define RJOIN_RUNTIME_SHARDED_RUNTIME_H_
+
+#include <atomic>
+#include <compare>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/time.h"
+#include "stats/metrics.h"
+
+namespace rjoin::runtime {
+
+using NodeIndex = stats::NodeIndex;
+
+/// Globally unique, shard-count-invariant identity of a scheduled event:
+/// its virtual delivery time, the node that emitted it, and that node's
+/// emission sequence number. Each shard executes its events in EventKey
+/// order, so the per-node execution order — and therefore every per-node
+/// emission order — is the same for any number of shards. This is the
+/// induction that makes parallel runs bit-identical to the 1-shard run.
+struct EventKey {
+  sim::SimTime time = 0;
+  NodeIndex src = 0;
+  uint64_t seq = 0;
+
+  auto operator<=>(const EventKey&) const = default;
+};
+
+/// Serial per-round callback, invoked on the driver thread at every round
+/// barrier (workers parked) and once more after the final round. The RJoin
+/// engine uses it to publish staged answers and to refresh the frozen
+/// rate snapshots that worker threads read in place of live cross-shard
+/// state.
+class BarrierHook {
+ public:
+  virtual ~BarrierHook() = default;
+  virtual void OnBarrier(sim::SimTime round_start) = 0;
+};
+
+/// A discrete-event runtime that partitions the NodeIndex space into S
+/// shards, each owned by a worker thread with its own event heap, metrics
+/// delta registry, and derived RNG streams. Virtual time advances in
+/// lockstep rounds of `round_width` ticks (the latency lookahead): within a
+/// round every shard executes its events independently; messages crossing
+/// shards are mailbox pushes drained at the barrier. Because the round
+/// width never exceeds the minimum hop latency, no message emitted inside a
+/// round can be due before the round ends, so the round schedule — and the
+/// full execution — is identical for any S (see docs/runtime.md for the
+/// equivalence argument).
+///
+/// The network topology (ChordNetwork) must not change while events are in
+/// flight: churn is a driver-phase operation.
+class ShardedRuntime {
+ public:
+  struct Options {
+    uint32_t shards = 1;
+    /// Lookahead: rounds span [T, T + round_width). Must not exceed the
+    /// latency model's min_delay(); deliveries that would violate the bound
+    /// are deferred to the next round boundary (deterministically).
+    sim::SimTime round_width = 1;
+  };
+
+  /// `main_metrics` is the registry experiments read; shard deltas are
+  /// drained into it at every barrier.
+  ShardedRuntime(const Options& options, size_t num_nodes,
+                 stats::MetricsRegistry* main_metrics);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  uint32_t shards() const { return num_shards_; }
+  size_t num_nodes() const { return num_nodes_; }
+  sim::SimTime round_width() const { return round_width_; }
+
+  /// Shard owning `node`: contiguous blocks of the NodeIndex space.
+  uint32_t ShardOf(NodeIndex node) const {
+    const uint32_t s = node / chunk_;
+    return s < num_shards_ ? s : num_shards_ - 1;
+  }
+
+  /// Shard the calling thread works for, or -1 on the driver thread.
+  static int CurrentShard();
+
+  /// Virtual time: the executing event's time on a worker, the round cursor
+  /// on the driver.
+  sim::SimTime Now() const;
+
+  /// End of the current round on a worker; Now() on the driver (where the
+  /// next round has not started, so no deferral is needed).
+  sim::SimTime CurrentRoundEnd() const;
+
+  /// Key of the event being executed (workers, during an event, only).
+  EventKey CurrentEventKey() const;
+
+  /// Next emission sequence number of `src`. Must be called either from the
+  /// worker owning `src`'s shard or from the driver between rounds.
+  uint64_t NextEmitSeq(NodeIndex src) { return ++emit_seq_[src]; }
+
+  /// Schedules `action` to run at `key.time` on `dst`'s shard. Callable
+  /// from the driver between rounds (pushes straight into the shard heap)
+  /// or from a worker (own shard: direct push; foreign shard: mailbox,
+  /// drained at the next barrier). Worker-emitted cross-node events must
+  /// not be due before the current round ends — ShardRouter's Deliver()
+  /// enforces that bound.
+  void ScheduleEvent(const EventKey& key, NodeIndex dst,
+                     std::function<void()> action);
+
+  /// Runs rounds until every shard heap and mailbox drains. Returns the
+  /// number of events executed. Leaves Now() at the last executed event's
+  /// time (mirrors sim::Simulator::Run).
+  uint64_t Run();
+
+  /// Runs events with time <= `until`; advances the clock to `until` even
+  /// if everything drains earlier (mirrors sim::Simulator::RunUntil).
+  uint64_t RunUntil(sim::SimTime until);
+
+  bool Idle() const;
+  size_t PendingEvents() const;
+  uint64_t TotalEventsExecuted() const { return total_executed_; }
+  uint64_t TotalRounds() const { return total_rounds_; }
+
+  /// Registers a serial barrier callback (driver thread, workers parked).
+  void AddBarrierHook(BarrierHook* hook) { hooks_.push_back(hook); }
+
+  /// Registry the calling thread must write: its shard's delta registry on
+  /// a worker, the main registry on the driver.
+  stats::MetricsRegistry* ActiveMetrics();
+
+  stats::MetricsRegistry* shard_metrics(uint32_t shard) {
+    return shard_state_[shard]->metrics.get();
+  }
+
+ private:
+  struct Envelope {
+    EventKey key;
+    NodeIndex dst = 0;
+    std::function<void()> action;
+  };
+
+  struct EnvelopeLater {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      return b.key < a.key;  // min-heap on EventKey
+    }
+  };
+
+  /// Reusable generation barrier for num_shards_ workers + the driver.
+  /// Spins briefly (cheap when rounds are dense), then sleeps on a condvar.
+  class Gate {
+   public:
+    void Init(uint32_t parties, bool spin) {
+      parties_ = parties;
+      spin_ = spin;
+    }
+    void Arrive();
+
+   private:
+    uint32_t parties_ = 0;
+    bool spin_ = true;
+    std::atomic<uint64_t> gen_{0};
+    std::atomic<uint32_t> waiting_{0};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+  };
+
+  struct alignas(64) ShardState {
+    std::vector<Envelope> heap;  // std::push_heap/pop_heap on EnvelopeLater
+    sim::SimTime now = 0;
+    sim::SimTime last_executed = 0;
+    bool executed_any = false;
+    uint64_t executed = 0;
+    EventKey current_key;
+    std::unique_ptr<stats::MetricsRegistry> metrics;
+    /// outbox[d]: events emitted this round for shard d (d != own shard);
+    /// written only by the owning worker, drained only at the barrier.
+    std::vector<std::vector<Envelope>> outbox;
+  };
+
+  void WorkerMain(uint32_t shard);
+  void RunShardRound(ShardState& shard);
+  void PushLocal(ShardState& shard, Envelope ev);
+
+  /// Barrier work (driver): drain mailboxes, merge metrics deltas, fire
+  /// hooks. Runs with all workers parked.
+  void SerialPhase();
+  bool AllHeapsEmpty() const;
+  sim::SimTime MinHeapTime() const;
+  uint64_t RunLoop(bool bounded, sim::SimTime until);
+
+  const uint32_t num_shards_;
+  const size_t num_nodes_;
+  const sim::SimTime round_width_;
+  const uint32_t chunk_;
+
+  std::vector<std::unique_ptr<ShardState>> shard_state_;
+  std::vector<uint64_t> emit_seq_;  // per node; owner-shard written
+  stats::MetricsRegistry* main_metrics_;
+  std::vector<BarrierHook*> hooks_;
+
+  sim::SimTime now_ = sim::kTimeZero;
+  sim::SimTime round_end_ = 0;  // stable while workers run
+  uint64_t total_executed_ = 0;
+  uint64_t total_rounds_ = 0;
+
+  std::vector<std::thread> workers_;
+  Gate start_gate_;
+  Gate end_gate_;
+  bool stop_ = false;  // read by workers after start_gate_ only
+};
+
+}  // namespace rjoin::runtime
+
+#endif  // RJOIN_RUNTIME_SHARDED_RUNTIME_H_

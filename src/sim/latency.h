@@ -20,6 +20,14 @@ class LatencyModel {
 
   /// The universal bound delta on a single hop.
   virtual SimTime max_delay() const = 0;
+
+  /// Lower bound on a single hop. The sharded runtime uses this as its
+  /// lookahead: virtual-time rounds of this width can run in parallel
+  /// because no message emitted inside a round can be due before the round
+  /// ends. Models whose hops can take 0 ticks must return 0 (the runtime
+  /// then defers such deliveries to the next round boundary, still
+  /// deterministically).
+  virtual SimTime min_delay() const { return 1; }
 };
 
 /// Every hop takes exactly `ticks`.
@@ -28,6 +36,7 @@ class FixedLatency : public LatencyModel {
   explicit FixedLatency(SimTime ticks = 1) : ticks_(ticks) {}
   SimTime Delay(Rng&) override { return ticks_; }
   SimTime max_delay() const override { return ticks_; }
+  SimTime min_delay() const override { return ticks_; }
 
  private:
   SimTime ticks_;
@@ -41,6 +50,7 @@ class UniformLatency : public LatencyModel {
     return lo_ + rng.NextBounded(hi_ - lo_ + 1);
   }
   SimTime max_delay() const override { return hi_; }
+  SimTime min_delay() const override { return lo_; }
 
  private:
   SimTime lo_;
@@ -60,6 +70,7 @@ class BurstyLatency : public LatencyModel {
     return rng.NextBernoulli(p_) ? burst_ : base_;
   }
   SimTime max_delay() const override { return burst_ > base_ ? burst_ : base_; }
+  SimTime min_delay() const override { return burst_ < base_ ? burst_ : base_; }
 
  private:
   SimTime base_;

@@ -24,6 +24,16 @@ double ScaleFromEnv(double default_factor) {
   return v > 0.0 ? v : default_factor;
 }
 
+uint32_t ResolveShardCount(uint32_t requested) {
+  if (requested == ExperimentConfig::kForceSerial) return 0;
+  if (requested >= 1) return std::min<uint32_t>(requested, 64);
+  const char* env = std::getenv("RJOIN_SHARDS");
+  if (env == nullptr || *env == '\0') return 0;
+  const long v = std::atol(env);
+  if (v <= 0) return 0;
+  return static_cast<uint32_t>(std::min<long>(v, 64));
+}
+
 double ExperimentResult::MsgsPerNodePerTuple() const {
   if (per_tuple.empty() || num_nodes == 0) return 0.0;
   const uint64_t tuple_msgs =
@@ -92,9 +102,44 @@ Experiment::Experiment(ExperimentConfig config)
                                                 network_.get(),
                                                 transport_.get(), &sim_,
                                                 &metrics_);
+
+  resolved_shards_ = ResolveShardCount(config_.shards);
+  if (resolved_shards_ >= 1) {
+    runtime::ShardedRuntime::Options opt;
+    opt.shards = resolved_shards_;
+    opt.round_width = config_.round_width != 0
+                          ? config_.round_width
+                          : std::max<sim::SimTime>(1, latency_.min_delay());
+    runtime_ = std::make_unique<runtime::ShardedRuntime>(
+        opt, network_->num_total(), &metrics_);
+    router_ = std::make_unique<runtime::ShardRouter>(runtime_.get(),
+                                                     config_.seed ^ 0xabcdef);
+    transport_->set_router(router_.get());
+    engine_->AttachRuntime(runtime_.get());
+  }
 }
 
 Experiment::~Experiment() = default;
+
+void Experiment::RunToQuiescence() {
+  if (runtime_ != nullptr) {
+    runtime_->Run();
+  } else {
+    sim_.Run();
+  }
+}
+
+void Experiment::RunUntilTime(sim::SimTime until) {
+  if (runtime_ != nullptr) {
+    runtime_->RunUntil(until);
+  } else {
+    sim_.RunUntil(until);
+  }
+}
+
+sim::SimTime Experiment::NowTime() const {
+  return runtime_ != nullptr ? runtime_->Now() : sim_.Now();
+}
 
 LoadSnapshot Experiment::Snapshot(size_t after_tuples) const {
   LoadSnapshot snap;
@@ -144,7 +189,7 @@ ExperimentResult Experiment::Run() {
     auto id = engine_->SubmitQuery(owner, qgen.Next(config_.way, window));
     RJOIN_CHECK(id.ok()) << id.status().ToString();
   }
-  sim_.Run();
+  RunToQuiescence();
   result.traffic_after_queries = metrics_.total_messages();
   result.ric_after_queries = metrics_.total_ric_messages();
 
@@ -159,7 +204,14 @@ ExperimentResult Experiment::Run() {
     TupleGenerator::Draw d = tgen.Next();
     auto t = engine_->PublishTuple(publisher, d.relation, std::move(d.values));
     RJOIN_CHECK(t.ok()) << t.status().ToString();
-    sim_.Run();
+    if (config_.pipeline_stream) {
+      // Streaming mode: advance one inter-arrival slot and keep cascades
+      // from multiple tuples in flight (the parallel runtime's bread and
+      // butter). The final drain happens after the loop.
+      RunUntilTime(NowTime() + config_.tuple_gap);
+    } else {
+      RunToQuiescence();
+    }
 
     PerTupleSample sample;
     sample.total_messages = metrics_.total_messages();
@@ -176,9 +228,13 @@ ExperimentResult Experiment::Run() {
       ++next_checkpoint;
     }
 
-    // Advance the stream clock to the next inter-arrival slot.
-    sim_.RunUntil(sim_.Now() + config_.tuple_gap);
+    // Advance the stream clock to the next inter-arrival slot (pipelined
+    // mode already did, right after the publication).
+    if (!config_.pipeline_stream) {
+      RunUntilTime(NowTime() + config_.tuple_gap);
+    }
   }
+  if (config_.pipeline_stream) RunToQuiescence();
   engine_->SweepWindows();
 
   result.final_snapshot = Snapshot(config_.num_tuples);

@@ -10,6 +10,8 @@
 #include "core/engine.h"
 #include "dht/chord_network.h"
 #include "dht/transport.h"
+#include "runtime/shard_router.h"
+#include "runtime/sharded_runtime.h"
 #include "sim/latency.h"
 #include "sim/simulator.h"
 #include "sql/schema.h"
@@ -61,6 +63,31 @@ struct ExperimentConfig {
 
   bool keep_history = false;  ///< record tuples for oracle checks
 
+  /// Worker shards of the parallel runtime. 0 (default) resolves from the
+  /// RJOIN_SHARDS environment variable; when that is unset/0 too, the
+  /// experiment runs on the serial sim::Simulator exactly as before. Any
+  /// value >= 1 (explicit or via env) runs on the ShardedRuntime — S=1
+  /// executes the identical round schedule serially, so S=1 vs S=4 runs
+  /// are bit-identical (see docs/runtime.md). kForceSerial pins the legacy
+  /// serial path even when RJOIN_SHARDS is set (baseline rows of the
+  /// scaling bench).
+  uint32_t shards = 0;
+
+  static constexpr uint32_t kForceSerial = UINT32_MAX;
+
+  /// Round width override for the sharded runtime; 0 derives it from the
+  /// latency model's min_delay() (the largest width that preserves exact
+  /// message timing).
+  sim::SimTime round_width = 0;
+
+  /// Stream tuples back-to-back (one publication per tuple_gap of virtual
+  /// time, with cascades from many tuples in flight at once) instead of
+  /// draining each tuple to quiescence before the next. This is the
+  /// steady-state streaming mode the scaling bench measures; per-tuple
+  /// samples then reflect what had completed by each publication slot
+  /// rather than each tuple's full cost.
+  bool pipeline_stream = false;
+
   uint64_t seed = 1;
 
   /// Stream-history draws observed (rates only, no publication) before any
@@ -80,6 +107,12 @@ struct ExperimentConfig {
 /// Reads the RJOIN_SCALE environment variable: "paper" => 1.0, a number =>
 /// that factor, unset => `default_factor`.
 double ScaleFromEnv(double default_factor = 0.25);
+
+/// Resolves the shard count an experiment will actually use: `requested`
+/// when >= 1, else the RJOIN_SHARDS environment variable (clamped to
+/// [1, 64]), else 0 = the serial simulator path.
+/// ExperimentConfig::kForceSerial always resolves to 0.
+uint32_t ResolveShardCount(uint32_t requested);
 
 /// Per-node load vectors captured at a checkpoint.
 struct LoadSnapshot {
@@ -140,6 +173,17 @@ class Experiment {
   dht::ChordNetwork& network() { return *network_; }
   const ExperimentConfig& config() const { return config_; }
 
+  /// Shard count actually in use; 0 = serial simulator path.
+  uint32_t shard_count() const { return resolved_shards_; }
+
+  /// The parallel runtime, or nullptr on the serial path.
+  runtime::ShardedRuntime* runtime() { return runtime_.get(); }
+
+  /// Event-pump seams (serial simulator or sharded runtime).
+  void RunToQuiescence();
+  void RunUntilTime(sim::SimTime until);
+  sim::SimTime NowTime() const;
+
  private:
   LoadSnapshot Snapshot(size_t after_tuples) const;
 
@@ -151,6 +195,11 @@ class Experiment {
   stats::MetricsRegistry metrics_;
   std::unique_ptr<dht::Transport> transport_;
   std::unique_ptr<core::RJoinEngine> engine_;
+  // Declared after engine_/transport_ so workers are joined (runtime_
+  // destroyed) first on teardown.
+  uint32_t resolved_shards_ = 0;
+  std::unique_ptr<runtime::ShardedRuntime> runtime_;
+  std::unique_ptr<runtime::ShardRouter> router_;
 };
 
 }  // namespace rjoin::workload
