@@ -9,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "core/messages.h"
 #include "core/planner.h"
 #include "util/logging.h"
 
@@ -157,7 +158,11 @@ JsonReporter::JsonReporter(std::string figure, std::string title,
     : figure_(std::move(figure)),
       title_(std::move(title)),
       config_(cfg),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()) {
+  const core::MessagePool::GlobalStats pool = core::MessagePool::Aggregate();
+  base_envelope_allocs_ = pool.envelopes_allocated;
+  base_messages_ = pool.acquired;
+}
 
 void JsonReporter::AddChart(const std::string& title,
                             const std::string& x_label,
@@ -198,7 +203,32 @@ void JsonReporter::AddRankedChart(
 }
 
 void JsonReporter::AddScalar(const std::string& name, double value) {
+  for (auto& [existing, existing_value] : scalars_) {
+    if (existing == name) {
+      existing_value = value;
+      return;
+    }
+  }
   scalars_.emplace_back(name, value);
+}
+
+void JsonReporter::PrintMessagePlane(std::ostream& os) const {
+  const core::MessagePool::GlobalStats pool = core::MessagePool::Aggregate();
+  stats::PrintMessagePlaneSummary(
+      os, pool.acquired - base_messages_,
+      pool.envelopes_allocated - base_envelope_allocs_,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count());
+}
+
+void JsonReporter::AddSpeedup(const std::string& name,
+                              double baseline_per_sec,
+                              double contender_per_sec) {
+  const double speedup =
+      baseline_per_sec > 0.0 ? contender_per_sec / baseline_per_sec : 0.0;
+  AddScalar("speedup", speedup);
+  AddScalar(name, speedup);
 }
 
 std::string JsonReporter::Write() const {
@@ -245,6 +275,22 @@ std::string JsonReporter::Write() const {
   AppendJsonNumber(os, wall_seconds > 0.0
                            ? static_cast<double>(tuples_processed_) /
                                  wall_seconds
+                           : 0.0);
+  // Message-plane scalars: every delivered message is one pooled-envelope
+  // acquire, and envelope allocations only happen while the in-flight
+  // high-water mark still grows — allocs_per_tuple near zero is the
+  // zero-allocation steady state of the typed message plane.
+  const core::MessagePool::GlobalStats pool = core::MessagePool::Aggregate();
+  const double messages =
+      static_cast<double>(pool.acquired - base_messages_);
+  const double envelope_allocs =
+      static_cast<double>(pool.envelopes_allocated - base_envelope_allocs_);
+  os << ", \"messages_per_sec\": ";
+  AppendJsonNumber(os, wall_seconds > 0.0 ? messages / wall_seconds : 0.0);
+  os << ", \"allocs_per_tuple\": ";
+  AppendJsonNumber(os, tuples_processed_ > 0
+                           ? envelope_allocs /
+                                 static_cast<double>(tuples_processed_)
                            : 0.0);
   os << ", \"hardware_threads\": ";
   AppendJsonNumber(os,

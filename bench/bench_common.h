@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -81,7 +82,21 @@ class JsonReporter {
                       size_t sample_points = 10);
 
   /// A single named number under "scalars" (e.g. a Gini coefficient).
+  /// Re-adding a name overwrites the previous value, so the emitted JSON
+  /// object never carries duplicate keys (duplicate keys made downstream
+  /// trajectory parsers drop the whole scalar set).
   void AddScalar(const std::string& name, double value);
+
+  /// Records the canonical "speedup" scalar (plus an explicitly named
+  /// alias) from a baseline and a contender throughput — the number the
+  /// cross-PR perf trajectory tracks for bench_runtime_scaling.
+  void AddSpeedup(const std::string& name, double baseline_per_sec,
+                  double contender_per_sec);
+
+  /// Prints stats::PrintMessagePlaneSummary from the same baselines the
+  /// JSON scalars use (pool counters and wall clock captured at
+  /// construction), so console and BENCH_*.json never diverge.
+  void PrintMessagePlane(std::ostream& os) const;
 
   /// Counts tuples the figure's experiments streamed; Write() turns the
   /// total plus the reporter's wall clock into the "tuples_per_sec"
@@ -91,8 +106,12 @@ class JsonReporter {
   /// Writes BENCH_<figure>.json into $RJOIN_BENCH_OUT (default: the working
   /// directory) and returns the path. Logs the path to stdout. Every file
   /// carries "wall_seconds" (construction to Write), "tuples_processed",
-  /// "tuples_per_sec", "shards", and "hardware_threads" scalars so the
-  /// bench trajectory records measured time, not just virtual-cost curves.
+  /// "tuples_per_sec", "messages_per_sec" (envelopes dispatched through the
+  /// message plane per wall second), "allocs_per_tuple" (envelope heap
+  /// allocations per tuple — near zero once the pools reach their
+  /// steady-state high-water mark), and "hardware_threads" scalars so the
+  /// bench trajectory records measured time and allocation behavior, not
+  /// just virtual-cost curves.
   std::string Write() const;
 
  private:
@@ -107,6 +126,9 @@ class JsonReporter {
   std::string title_;
   workload::ExperimentConfig config_;
   std::chrono::steady_clock::time_point start_;
+  /// Message-plane counters at construction; Write() reports the delta.
+  uint64_t base_envelope_allocs_ = 0;
+  uint64_t base_messages_ = 0;
   uint64_t tuples_processed_ = 0;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<Chart> charts_;

@@ -166,7 +166,7 @@ StatusOr<sql::TuplePtr> RJoinEngine::PublishTuple(
 
   // Procedure 1: index the tuple under 2k keys — one attribute-level and
   // one value-level key per attribute — with one multiSend.
-  std::vector<std::pair<dht::NodeId, dht::MessagePtr>> batch;
+  std::vector<std::pair<dht::NodeId, MessageTask>> batch;
   batch.reserve(2 * schema->arity());
   // Under attribute-level replication ([18]), each tuple's attribute-level
   // copy goes to exactly one shard of the replica set.
@@ -175,18 +175,20 @@ StatusOr<sql::TuplePtr> RJoinEngine::PublishTuple(
           ? static_cast<uint32_t>(t->seq_no % config_.attr_replication)
           : 0;
   for (size_t i = 0; i < schema->arity(); ++i) {
-    auto attr_msg = std::make_unique<NewTupleMsg>();
-    attr_msg->tuple = t;
-    attr_msg->key =
+    TuplePublish attr_msg;
+    attr_msg.tuple = t;
+    attr_msg.key =
         WithShard(AttributeKey(relation, schema->attributes()[i]), shard);
-    attr_msg->publisher = publisher;
-    batch.emplace_back(KeyId(attr_msg->key), std::move(attr_msg));
+    attr_msg.publisher = publisher;
+    dht::NodeId attr_id = KeyId(attr_msg.key);
+    batch.emplace_back(attr_id, MessageTask(std::move(attr_msg)));
 
-    auto value_msg = std::make_unique<NewTupleMsg>();
-    value_msg->tuple = t;
-    value_msg->key = ValueKey(relation, schema->attributes()[i], t->values[i]);
-    value_msg->publisher = publisher;
-    batch.emplace_back(KeyId(value_msg->key), std::move(value_msg));
+    TuplePublish value_msg;
+    value_msg.tuple = t;
+    value_msg.key = ValueKey(relation, schema->attributes()[i], t->values[i]);
+    value_msg.publisher = publisher;
+    dht::NodeId value_id = KeyId(value_msg.key);
+    batch.emplace_back(value_id, MessageTask(std::move(value_msg)));
   }
   transport_->MultiSend(publisher, std::move(batch));
   return t;
@@ -235,7 +237,7 @@ StatusOr<std::vector<sql::TuplePtr>> RJoinEngine::PublishBatch(
 
   std::vector<sql::TuplePtr> published;
   published.reserve(rows.size());
-  std::vector<std::pair<dht::NodeId, dht::MessagePtr>> batch;
+  std::vector<std::pair<dht::NodeId, MessageTask>> batch;
   batch.reserve(2 * k * rows.size());
 
   for (auto& row : rows) {
@@ -246,18 +248,19 @@ StatusOr<std::vector<sql::TuplePtr>> RJoinEngine::PublishBatch(
         replication > 1 ? static_cast<uint32_t>(t->seq_no % replication) : 0;
     const std::vector<AttrTarget>& targets = shard_targets(shard);
     for (size_t i = 0; i < k; ++i) {
-      auto attr_msg = std::make_unique<NewTupleMsg>();
-      attr_msg->tuple = t;
-      attr_msg->key = targets[i].key;
-      attr_msg->publisher = publisher;
-      batch.emplace_back(targets[i].id, std::move(attr_msg));
+      TuplePublish attr_msg;
+      attr_msg.tuple = t;
+      attr_msg.key = targets[i].key;
+      attr_msg.publisher = publisher;
+      batch.emplace_back(targets[i].id, MessageTask(std::move(attr_msg)));
 
-      auto value_msg = std::make_unique<NewTupleMsg>();
-      value_msg->tuple = t;
-      value_msg->key =
+      TuplePublish value_msg;
+      value_msg.tuple = t;
+      value_msg.key =
           ValueKey(relation, schema->attributes()[i], t->values[i]);
-      value_msg->publisher = publisher;
-      batch.emplace_back(KeyId(value_msg->key), std::move(value_msg));
+      value_msg.publisher = publisher;
+      dht::NodeId value_id = KeyId(value_msg.key);
+      batch.emplace_back(value_id, MessageTask(std::move(value_msg)));
     }
     published.push_back(std::move(t));
   }
@@ -313,16 +316,56 @@ Status RJoinEngine::ObserveStreamHistory(
   return Status::Ok();
 }
 
-void RJoinEngine::HandleMessage(dht::NodeIndex self, dht::MessagePtr msg) {
-  if (auto* nt = dynamic_cast<NewTupleMsg*>(msg.get())) {
-    OnNewTuple(self, *nt);
-  } else if (auto* ev = dynamic_cast<EvalMsg*>(msg.get())) {
-    OnEval(self, *ev);
-  } else if (auto* an = dynamic_cast<AnswerMsg*>(msg.get())) {
-    OnAnswer(self, *an);
-  } else {
-    RJOIN_CHECK(false) << "unknown message type";
+void RJoinEngine::HandleMessage(dht::NodeIndex self, MessageTask&& task) {
+  switch (task.kind()) {
+    case MessageKind::kTuplePublish:
+      OnNewTuple(self, task.tuple_publish());
+      return;
+    case MessageKind::kQueryIndex: {
+      QueryIndex& m = task.query_index();
+      OnEval(self, m.key, std::move(m.residual), m.piggyback);
+      return;
+    }
+    case MessageKind::kRewrite: {
+      Rewrite& m = task.rewrite();
+      OnEval(self, m.key, std::move(m.residual), m.piggyback);
+      return;
+    }
+    case MessageKind::kRicRequest:
+      OnRicRequest(self, task.ric_request());
+      return;
+    case MessageKind::kRicReply:
+      OnRicReply(self, task.ric_reply());
+      return;
+    case MessageKind::kAnswerDeliver:
+      OnAnswer(self, task.answer());
+      return;
+    case MessageKind::kControl:
+      task.control().run();
+      return;
+    case MessageKind::kNone:
+      break;
   }
+  RJOIN_CHECK(false) << "undispatchable message kind "
+                     << MessageKindName(task.kind());
+}
+
+void RJoinEngine::PrefetchRic(dht::NodeIndex src, const IndexKey& key) {
+  transport_->Send(src, KeyId(key),
+                   MessageTask(RicRequest{key.text, src}), /*ric=*/true);
+}
+
+void RJoinEngine::OnRicRequest(dht::NodeIndex self, const RicRequest& msg) {
+  RicReply reply;
+  const uint64_t now = Now();
+  reply.entry =
+      RicEntry{msg.key_text, ReadRate(self, msg.key_text, now), now, self};
+  transport_->SendDirect(self, msg.requester, MessageTask(std::move(reply)),
+                         /*ric=*/true);
+}
+
+void RJoinEngine::OnRicReply(dht::NodeIndex self, const RicReply& msg) {
+  state(self).ct.Merge(msg.entry);
 }
 
 bool RJoinEngine::IsExpired(const Residual& r) const {
@@ -400,17 +443,18 @@ void RJoinEngine::TryTrigger(dht::NodeIndex self, StoredQuery& sq,
 
 void RJoinEngine::CompleteOrForward(dht::NodeIndex self, Residual next) {
   if (next.IsComplete()) {
-    auto msg = std::make_unique<AnswerMsg>();
-    msg->query_id = next.origin()->query_id();
-    msg->row = next.ExtractAnswer();
-    msg->completed_at = Now();
-    transport_->SendDirect(self, next.origin()->owner(), std::move(msg));
+    AnswerDeliver msg;
+    msg.query_id = next.origin()->query_id();
+    msg.row = next.ExtractAnswer();
+    msg.completed_at = Now();
+    transport_->SendDirect(self, next.origin()->owner(),
+                           MessageTask(std::move(msg)));
     return;
   }
   IndexResidual(self, std::move(next));
 }
 
-void RJoinEngine::OnNewTuple(dht::NodeIndex self, NewTupleMsg& msg) {
+void RJoinEngine::OnNewTuple(dht::NodeIndex self, TuplePublish& msg) {
   Metrics().AddQpl(self);
   NodeState& st = state(self);
   st.rates.Record(msg.key.text, Now());
@@ -453,38 +497,40 @@ void RJoinEngine::OnNewTuple(dht::NodeIndex self, NewTupleMsg& msg) {
   }
 }
 
-void RJoinEngine::OnEval(dht::NodeIndex self, EvalMsg& msg) {
+void RJoinEngine::OnEval(dht::NodeIndex self, const IndexKey& key,
+                         Residual&& residual,
+                         const std::vector<RicEntry>& piggyback) {
   Metrics().AddQpl(self);
   NodeState& st = state(self);
-  for (const RicEntry& e : msg.piggyback) st.ct.Merge(e);
+  for (const RicEntry& e : piggyback) st.ct.Merge(e);
 
   // DISTINCT set semantics: identical rewritten queries are handled once.
-  const bool distinct = msg.residual.origin()->spec().distinct;
+  const bool distinct = residual.origin()->spec().distinct;
   std::string fp;
   if (distinct) {
-    fp = msg.key.text + msg.residual.ContentFingerprint();
+    fp = key.text + residual.ContentFingerprint();
     if (st.distinct_fingerprints.contains(fp)) return;
   }
 
   // Procedure 3: probe already-present tuples first — stored tuples can be
   // older than the residual, so this must happen even if the residual's
   // window admits no *future* tuples anymore.
-  StoredQuery sq{std::move(msg.residual), nullptr};
-  if (msg.key.level == Level::kValue) {
-    auto it = st.tuples.find(msg.key.text);
+  StoredQuery sq{std::move(residual), nullptr};
+  if (key.level == Level::kValue) {
+    auto it = st.tuples.find(key.text);
     if (it != st.tuples.end()) {
       // Probing only emits async messages; the tuple list is stable.
       for (const sql::TuplePtr& t : it->second) {
-        TryTrigger(self, sq, msg.key, t);
+        TryTrigger(self, sq, key, t);
       }
     }
   } else if (config_.enable_altt) {
-    auto it = st.altt.find(msg.key.text);
+    auto it = st.altt.find(key.text);
     if (it != st.altt.end()) {
       const uint64_t now = Now();
       for (const AlttEntry& e : it->second) {
         if (e.expires < now) continue;
-        TryTrigger(self, sq, msg.key, e.tuple);
+        TryTrigger(self, sq, key, e.tuple);
       }
     }
   }
@@ -496,12 +542,12 @@ void RJoinEngine::OnEval(dht::NodeIndex self, EvalMsg& msg) {
   // (Section 5's status reduction).
   if (IsExpired(sq.residual)) return;
   if (distinct) st.distinct_fingerprints.insert(fp);
-  st.queries[msg.key.text].push_back(std::move(sq));
+  st.queries[key.text].push_back(std::move(sq));
   Metrics().AddStore(self);
-  RecordKeyLoad(msg.key.text);
+  RecordKeyLoad(key.text);
 }
 
-void RJoinEngine::OnAnswer(dht::NodeIndex self, const AnswerMsg& msg) {
+void RJoinEngine::OnAnswer(dht::NodeIndex self, AnswerDeliver& msg) {
   (void)self;
   const bool distinct = [&] {
     auto it = queries_.find(msg.query_id);
@@ -521,8 +567,9 @@ void RJoinEngine::OnAnswer(dht::NodeIndex self, const AnswerMsg& msg) {
         return;
       }
     }
-    sink.answers.emplace_back(runtime_->CurrentEventKey(),
-                              Answer{msg.query_id, msg.row, Now()});
+    sink.answers.emplace_back(
+        runtime_->CurrentEventKey(),
+        Answer{msg.query_id, std::move(msg.row), Now()});
     Metrics().AddAnswer();
     return;
   }
@@ -535,7 +582,7 @@ void RJoinEngine::OnAnswer(dht::NodeIndex self, const AnswerMsg& msg) {
       return;
     }
   }
-  answers_.push_back(Answer{msg.query_id, msg.row, Now()});
+  answers_.push_back(Answer{msg.query_id, std::move(msg.row), Now()});
   Metrics().AddAnswer();
 }
 
@@ -689,24 +736,27 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
   // Attribute-level placements are replicated across the shard positions of
   // [18]; each tuple reaches exactly one shard, so replicas split the load
   // without duplicating answers. Value-level placements are single-copy.
+  // Input queries ship as kQueryIndex (Procedure 2), rewritten residuals as
+  // kRewrite (Procedure 3) — same wire shape, separable traffic.
+  const bool is_input = residual.IsInputQuery();
   const uint32_t copies = (key.level == Level::kAttribute)
                               ? config_.attr_replication
                               : 1;
   for (uint32_t s = 0; s < copies; ++s) {
-    auto msg = std::make_unique<EvalMsg>();
-    msg->key = copies > 1 ? WithShard(key, s) : key;
-    msg->piggyback = piggyback;
-    if (s + 1 == copies) {
-      msg->residual = std::move(residual);
-    } else {
-      msg->residual = residual;
-    }
-    const dht::NodeId target = KeyId(msg->key);
+    IndexKey copy_key = copies > 1 ? WithShard(key, s) : key;
+    Residual copy_residual =
+        (s + 1 == copies) ? std::move(residual) : residual;
+    const dht::NodeId target = KeyId(copy_key);
+    MessageTask task =
+        is_input ? MessageTask(QueryIndex{std::move(copy_residual),
+                                          std::move(copy_key), piggyback})
+                 : MessageTask(Rewrite{std::move(copy_residual),
+                                       std::move(copy_key), piggyback});
     if (address_known && copies == 1) {
       // The RIC exchange told us the responsible node's address: one hop.
-      transport_->SendDirect(src, chosen_node, std::move(msg));
+      transport_->SendDirect(src, chosen_node, std::move(task));
     } else {
-      transport_->Send(src, target, std::move(msg));
+      transport_->Send(src, target, std::move(task));
     }
   }
 }

@@ -180,8 +180,24 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
       const std::string& relation,
       const std::vector<std::vector<sql::Value>>& rows);
 
-  /// dht::MessageHandler: dispatches NewTuple / Eval / Answer messages.
-  void HandleMessage(dht::NodeIndex self, dht::MessagePtr msg) override;
+  /// dht::MessageHandler: the dispatch switch of the typed message plane —
+  /// TuplePublish / QueryIndex / Rewrite / RicRequest / RicReply /
+  /// AnswerDeliver / Control, one handler per MessageKind.
+  void HandleMessage(dht::NodeIndex self, core::MessageTask&& task) override;
+
+  /// Asynchronously warms `src`'s candidate table for `key`: a RicRequest
+  /// routes to the responsible node, whose RicReply (one direct hop back)
+  /// merges the observed rate into src's CT — Section 7's direct exchange
+  /// as explicit wire messages. A later IndexResidual whose candidate set
+  /// contains `key` then hits the cache instead of paying the chained
+  /// O(log N) RIC route. Both messages are charged as RIC traffic.
+  void PrefetchRic(dht::NodeIndex src, const IndexKey& key);
+
+  /// True when `node`'s candidate table holds an entry for `key_text`
+  /// (tests of the RicRequest/RicReply plumbing).
+  bool HasCachedRic(dht::NodeIndex node, const std::string& key_text) const {
+    return states_[node]->ct.Find(key_text) != nullptr;
+  }
 
   /// Garbage collection: drops expired window residuals everywhere, and —
   /// when every live query is windowed and gc_stored_tuples is set — stored
@@ -250,9 +266,14 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
                  std::vector<uint64_t>* rates,
                  std::vector<dht::NodeIndex>* nodes);
 
-  void OnNewTuple(dht::NodeIndex self, NewTupleMsg& msg);
-  void OnEval(dht::NodeIndex self, EvalMsg& msg);
-  void OnAnswer(dht::NodeIndex self, const AnswerMsg& msg);
+  void OnNewTuple(dht::NodeIndex self, TuplePublish& msg);
+  /// Shared body of kQueryIndex and kRewrite (Procedures 2 and 3 store and
+  /// probe identically; only the message kind differs on the wire).
+  void OnEval(dht::NodeIndex self, const IndexKey& key, Residual&& residual,
+              const std::vector<RicEntry>& piggyback);
+  void OnAnswer(dht::NodeIndex self, AnswerDeliver& msg);
+  void OnRicRequest(dht::NodeIndex self, const RicRequest& msg);
+  void OnRicReply(dht::NodeIndex self, const RicReply& msg);
 
   /// Shared trigger step: try to bind `t` into the stored query `sq`
   /// (temporal check, predicate match, window admission, DISTINCT rule).

@@ -1,0 +1,166 @@
+#include "core/messages.h"
+
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace rjoin::core {
+
+const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kNone:
+      return "none";
+    case MessageKind::kTuplePublish:
+      return "tuple_publish";
+    case MessageKind::kQueryIndex:
+      return "query_index";
+    case MessageKind::kRewrite:
+      return "rewrite";
+    case MessageKind::kRicRequest:
+      return "ric_request";
+    case MessageKind::kRicReply:
+      return "ric_reply";
+    case MessageKind::kAnswerDeliver:
+      return "answer_deliver";
+    case MessageKind::kControl:
+      return "control";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Totals of pools that have been destroyed, plus a registry of live pools
+// so Aggregate() can fold in their current counters. The mutex guards only
+// registration and aggregation — never the per-message hot path.
+std::mutex g_pools_mutex;
+std::vector<const MessagePool*>& LivePools() {
+  static std::vector<const MessagePool*> pools;
+  return pools;
+}
+std::atomic<uint64_t> g_retired_envelopes_allocated{0};
+std::atomic<uint64_t> g_retired_acquired{0};
+
+}  // namespace
+
+void EnvelopeRef::Reset() {
+  if (env_ != nullptr) {
+    MessagePool::Release(env_);
+    env_ = nullptr;
+  }
+}
+
+MessagePool::MessagePool(size_t slab_envelopes)
+    : slab_size_(slab_envelopes > 0 ? slab_envelopes : 1),
+      owner_(std::this_thread::get_id()) {
+  std::lock_guard<std::mutex> lock(g_pools_mutex);
+  LivePools().push_back(this);
+}
+
+MessagePool::~MessagePool() {
+  // Deregister and fold the counters into the retired totals under one
+  // lock, so a concurrent Aggregate() sees the pool either live or
+  // retired — never both (which would double-count it).
+  std::lock_guard<std::mutex> lock(g_pools_mutex);
+  auto& pools = LivePools();
+  for (size_t i = 0; i < pools.size(); ++i) {
+    if (pools[i] == this) {
+      pools[i] = pools.back();
+      pools.pop_back();
+      break;
+    }
+  }
+  g_retired_envelopes_allocated.fetch_add(
+      envelopes_allocated_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  g_retired_acquired.fetch_add(acquired_.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+}
+
+Envelope* MessagePool::NewEnvelope() {
+  if (slabs_.empty() || last_slab_used_ == slab_size_) {
+    slabs_.push_back(std::make_unique<Envelope[]>(slab_size_));
+    last_slab_used_ = 0;
+    slabs_allocated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Envelope* env = &slabs_.back()[last_slab_used_++];
+  env->origin = this;
+  envelopes_allocated_.fetch_add(1, std::memory_order_relaxed);
+  return env;
+}
+
+EnvelopeRef MessagePool::Acquire() {
+  acquired_.fetch_add(1, std::memory_order_relaxed);
+  Envelope* env = free_;
+  if (env == nullptr) {
+    // Reclaim everything other threads returned since the last miss.
+    env = remote_free_.exchange(nullptr, std::memory_order_acquire);
+  }
+  if (env != nullptr) {
+    free_ = env->link;
+    env->link = nullptr;
+    recycled_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    env = NewEnvelope();
+  }
+  // Hand out a clean envelope; Release() already dropped the payload.
+  env->time = 0;
+  env->src = dht::kInvalidNode;
+  env->seq = 0;
+  env->order = 0;
+  env->dst = dht::kInvalidNode;
+  env->stage = EnvelopeStage::kDeliver;
+  env->ric = false;
+  return EnvelopeRef(env);
+}
+
+void MessagePool::Release(Envelope* env) {
+  // An envelope may still carry a MultiSend chain behind it (teardown of a
+  // never-dispatched batch); `link` doubles as the freelist pointer, so
+  // walk the chain before repurposing it.
+  while (env != nullptr) {
+    Envelope* next = env->link;
+    RJOIN_DCHECK(env->origin != nullptr);
+    env->task.Reset();  // free payload internals on the releasing thread
+    MessagePool* pool = env->origin;
+    if (std::this_thread::get_id() == pool->owner_) {
+      env->link = pool->free_;
+      pool->free_ = env;
+    } else {
+      Envelope* head = pool->remote_free_.load(std::memory_order_relaxed);
+      do {
+        env->link = head;
+      } while (!pool->remote_free_.compare_exchange_weak(
+          head, env, std::memory_order_release, std::memory_order_relaxed));
+    }
+    env = next;
+  }
+}
+
+MessagePool::Stats MessagePool::stats() const {
+  Stats s;
+  s.slabs_allocated = slabs_allocated_.load(std::memory_order_relaxed);
+  s.envelopes_allocated =
+      envelopes_allocated_.load(std::memory_order_relaxed);
+  s.acquired = acquired_.load(std::memory_order_relaxed);
+  s.recycled = recycled_.load(std::memory_order_relaxed);
+  return s;
+}
+
+MessagePool::GlobalStats MessagePool::Aggregate() {
+  GlobalStats g;
+  // Retired totals and the live list are read under the same lock the
+  // destructor folds them under, so every pool counts exactly once.
+  std::lock_guard<std::mutex> lock(g_pools_mutex);
+  g.envelopes_allocated =
+      g_retired_envelopes_allocated.load(std::memory_order_relaxed);
+  g.acquired = g_retired_acquired.load(std::memory_order_relaxed);
+  for (const MessagePool* pool : LivePools()) {
+    g.envelopes_allocated +=
+        pool->envelopes_allocated_.load(std::memory_order_relaxed);
+    g.acquired += pool->acquired_.load(std::memory_order_relaxed);
+  }
+  return g;
+}
+
+}  // namespace rjoin::core

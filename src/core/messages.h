@@ -1,42 +1,329 @@
 #ifndef RJOIN_CORE_MESSAGES_H_
 #define RJOIN_CORE_MESSAGES_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
 #include <vector>
 
 #include "core/key.h"
 #include "core/residual.h"
 #include "core/ric.h"
-#include "dht/transport.h"
+#include "dht/chord_node.h"
+#include "dht/id.h"
+#include "sim/time.h"
 #include "sql/tuple.h"
 #include "sql/value.h"
 
 namespace rjoin::core {
 
+// ---------------------------------------------------------------------------
+// The typed message plane. Every payload that crosses the (simulated)
+// network is one of the alternatives below, defined once and dispatched by
+// a switch in the engine — no virtual message hierarchy, no dynamic_cast,
+// and no type-erased closure per delivery. Payloads travel inside pooled
+// Envelopes (see MessagePool), so the steady-state delivery path performs
+// zero heap allocations per message.
+// ---------------------------------------------------------------------------
+
+/// Discriminator of MessageTask. Values mirror the variant's alternative
+/// indices (static_asserted below), so kind() is a free read.
+enum class MessageKind : uint8_t {
+  kNone = 0,       ///< empty task (pooled envelope at rest)
+  kTuplePublish,   ///< Procedure 1: a tuple indexed under one of its 2k keys
+  kQueryIndex,     ///< Procedure 2: an *input* query being indexed
+  kRewrite,        ///< Procedure 3: a rewritten residual being (re)indexed
+  kRicRequest,     ///< Section 7: direct rate lookup at a responsible node
+  kRicReply,       ///< Section 7: the rate answer, merged into the CT
+  kAnswerDeliver,  ///< a completed join row returning to Owner(q)
+  kControl,        ///< runtime plumbing: timers, deferred driver work, tests
+};
+
+const char* MessageKindName(MessageKind kind);
+
 /// Procedure 1's newTuple(t, Key, IP(x), Level): a tuple indexed under one
 /// of its 2k keys (k attribute-level + k value-level).
-struct NewTupleMsg : public dht::Message {
+struct TuplePublish {
   sql::TuplePtr tuple;
   IndexKey key;
   dht::NodeIndex publisher = dht::kInvalidNode;
 };
 
-/// Procedures 2/3's Eval(q', Key, Owner(q)): an input or rewritten query
-/// being (re)indexed at the node responsible for `key`. Carries piggy-backed
-/// RIC info (Section 7) so the receiver can index further rewrites cheaply.
-struct EvalMsg : public dht::Message {
+/// Procedure 2's Eval(q, Key, Owner(q)): an input query being indexed at
+/// the node responsible for `key`. Carries piggy-backed RIC info
+/// (Section 7) so the receiver can index further rewrites cheaply.
+struct QueryIndex {
   Residual residual;
   IndexKey key;
   std::vector<RicEntry> piggyback;
 };
 
+/// Procedure 3's Eval(q', Key, Owner(q)): a rewritten residual being
+/// re-indexed after a binding. Same wire shape as QueryIndex; the distinct
+/// kind keeps tuple-triggered traffic separable from query-submission
+/// traffic at every dispatch point.
+struct Rewrite {
+  Residual residual;
+  IndexKey key;
+  std::vector<RicEntry> piggyback;
+};
+
+/// Section 7's direct RIC exchange, request half: "what is the rate of
+/// `key_text` at your node?" — sent to the responsible node, answered with
+/// a RicReply to `requester`.
+struct RicRequest {
+  std::string key_text;
+  dht::NodeIndex requester = dht::kInvalidNode;
+};
+
+/// Section 7's direct RIC exchange, reply half: the rate observation,
+/// merged into the requester's candidate table.
+struct RicReply {
+  RicEntry entry;
+};
+
 /// An answer tuple sent back to the node that submitted the input query
 /// (sendDirect to Owner(q)).
-struct AnswerMsg : public dht::Message {
+struct AnswerDeliver {
   uint64_t query_id = 0;
   std::vector<sql::Value> row;
   uint64_t completed_at = 0;
 };
+
+/// Non-protocol work riding the event plane: simulator timers, deferred
+/// driver-phase dispatches in tests, GC sweeps. Not a network message; the
+/// closure may allocate, which is fine off the steady-state delivery path.
+struct Control {
+  std::function<void()> run;
+};
+
+/// Move-only tagged union of every payload kind. The alternative order
+/// must match MessageKind (see the static_asserts below).
+class MessageTask {
+ public:
+  MessageTask() = default;
+  MessageTask(TuplePublish&& p) : v_(std::move(p)) {}
+  MessageTask(QueryIndex&& p) : v_(std::move(p)) {}
+  MessageTask(Rewrite&& p) : v_(std::move(p)) {}
+  MessageTask(RicRequest&& p) : v_(std::move(p)) {}
+  MessageTask(RicReply&& p) : v_(std::move(p)) {}
+  MessageTask(AnswerDeliver&& p) : v_(std::move(p)) {}
+  MessageTask(Control&& p) : v_(std::move(p)) {}
+
+  MessageTask(MessageTask&&) noexcept = default;
+  MessageTask& operator=(MessageTask&&) noexcept = default;
+  MessageTask(const MessageTask&) = delete;
+  MessageTask& operator=(const MessageTask&) = delete;
+
+  MessageKind kind() const { return static_cast<MessageKind>(v_.index()); }
+  bool empty() const { return kind() == MessageKind::kNone; }
+
+  TuplePublish& tuple_publish() { return std::get<TuplePublish>(v_); }
+  QueryIndex& query_index() { return std::get<QueryIndex>(v_); }
+  Rewrite& rewrite() { return std::get<Rewrite>(v_); }
+  RicRequest& ric_request() { return std::get<RicRequest>(v_); }
+  RicReply& ric_reply() { return std::get<RicReply>(v_); }
+  AnswerDeliver& answer() { return std::get<AnswerDeliver>(v_); }
+  Control& control() { return std::get<Control>(v_); }
+
+  /// Drops the payload (back to kNone), releasing whatever it owned.
+  void Reset() { v_.emplace<std::monostate>(); }
+
+ private:
+  using Variant =
+      std::variant<std::monostate, TuplePublish, QueryIndex, Rewrite,
+                   RicRequest, RicReply, AnswerDeliver, Control>;
+
+  template <MessageKind K, typename T>
+  static constexpr bool kMatches =
+      std::is_same_v<std::variant_alternative_t<static_cast<size_t>(K),
+                                                Variant>,
+                     T>;
+  static_assert(kMatches<MessageKind::kNone, std::monostate>);
+  static_assert(kMatches<MessageKind::kTuplePublish, TuplePublish>);
+  static_assert(kMatches<MessageKind::kQueryIndex, QueryIndex>);
+  static_assert(kMatches<MessageKind::kRewrite, Rewrite>);
+  static_assert(kMatches<MessageKind::kRicRequest, RicRequest>);
+  static_assert(kMatches<MessageKind::kRicReply, RicReply>);
+  static_assert(kMatches<MessageKind::kAnswerDeliver, AnswerDeliver>);
+  static_assert(kMatches<MessageKind::kControl, Control>);
+
+  Variant v_;
+};
+
+// ---------------------------------------------------------------------------
+// Envelope: the one in-flight message representation, shared by the serial
+// sim::EventQueue, the dht::Transport, and the runtime::ShardedRuntime
+// shard heaps/mailboxes. Envelopes are slab-allocated by a MessagePool and
+// recycled through a freelist, so a message in steady state costs zero heap
+// allocations end to end.
+// ---------------------------------------------------------------------------
+
+class MessagePool;
+
+/// Routing state of an in-flight envelope. Deferred driver-phase sends are
+/// scheduled on the emitting node's shard still in the kRoute/kDirect
+/// stage; the worker performs the routing work (or the one-hop charge) and
+/// reschedules the same envelope in the kDeliver stage — no intermediate
+/// allocation.
+enum class EnvelopeStage : uint8_t {
+  kDeliver = 0,  ///< dst/time final; dispatch hands the task to the engine
+  kRoute,        ///< still needs the O(log N) route toward `route_key`
+  kDirect,       ///< still needs the one-hop direct-send charge + latency
+};
+
+struct Envelope {
+  // --- scheduling identity -------------------------------------------------
+  sim::SimTime time = 0;             ///< virtual delivery time
+  dht::NodeIndex src = dht::kInvalidNode;  ///< emitting node
+  uint64_t seq = 0;     ///< per-src emission seq (the runtime ordering key)
+  uint64_t order = 0;   ///< serial EventQueue insertion seq (FIFO on ties)
+  dht::NodeIndex dst = dht::kInvalidNode;  ///< receiving node
+
+  // --- payload -------------------------------------------------------------
+  MessageTask task;
+
+  // --- routing stage (see EnvelopeStage) -----------------------------------
+  dht::NodeId route_key;  ///< target identifier while stage != kDeliver
+  EnvelopeStage stage = EnvelopeStage::kDeliver;
+  bool ric = false;  ///< charge traffic as RIC overhead
+
+  // --- plumbing ------------------------------------------------------------
+  Envelope* link = nullptr;   ///< MultiSend batch chain / pool freelist
+  MessagePool* origin = nullptr;  ///< pool the storage belongs to
+};
+
+/// Move-only owner of a pooled Envelope; releasing returns the envelope
+/// (payload dropped) to its pool's freelist.
+class EnvelopeRef {
+ public:
+  EnvelopeRef() = default;
+  explicit EnvelopeRef(Envelope* env) : env_(env) {}
+  EnvelopeRef(EnvelopeRef&& other) noexcept : env_(other.env_) {
+    other.env_ = nullptr;
+  }
+  EnvelopeRef& operator=(EnvelopeRef&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      env_ = other.env_;
+      other.env_ = nullptr;
+    }
+    return *this;
+  }
+  EnvelopeRef(const EnvelopeRef&) = delete;
+  EnvelopeRef& operator=(const EnvelopeRef&) = delete;
+  ~EnvelopeRef() { Reset(); }
+
+  /// Returns the envelope to its pool (no-op when empty).
+  void Reset();
+
+  Envelope* get() const { return env_; }
+  Envelope* release() {
+    Envelope* e = env_;
+    env_ = nullptr;
+    return e;
+  }
+  Envelope* operator->() const { return env_; }
+  Envelope& operator*() const { return *env_; }
+  explicit operator bool() const { return env_ != nullptr; }
+
+ private:
+  Envelope* env_ = nullptr;
+};
+
+/// Slab/freelist allocator for Envelopes. One pool per event-executing
+/// context: the serial simulator owns one, and every shard of the parallel
+/// runtime owns one. Acquire() is owner-thread-only (or any thread while
+/// the owner is parked at a barrier — the runtime's driver phase); Release
+/// from the owner thread pushes the local freelist, Release from any other
+/// thread pushes a lock-free remote list that the owner reclaims in bulk.
+/// Slabs are never freed until the pool dies, so pointers stay valid for
+/// the pool's whole lifetime.
+class MessagePool {
+ public:
+  static constexpr size_t kDefaultSlabEnvelopes = 256;
+
+  explicit MessagePool(size_t slab_envelopes = kDefaultSlabEnvelopes);
+  ~MessagePool();
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+
+  /// Hands out a clean envelope (freelist hit in steady state; slab growth
+  /// only while the in-flight high-water mark is still rising).
+  EnvelopeRef Acquire();
+
+  /// Returns `env` to its origin pool. Callable from any thread; drops the
+  /// payload first. Used by EnvelopeRef — call that instead where possible.
+  static void Release(Envelope* env);
+
+  /// Re-binds the owner thread (the thread whose Release calls may touch
+  /// the non-atomic freelist). Runtime workers call this once on startup.
+  void BindOwnerThread() { owner_ = std::this_thread::get_id(); }
+
+  /// Allocation counters of this pool. `envelopes_allocated` only grows
+  /// while the high-water mark of in-flight messages grows; in steady state
+  /// every Acquire is a `recycled` freelist hit — the zero-allocation
+  /// property the messaging tests assert.
+  struct Stats {
+    uint64_t slabs_allocated = 0;
+    uint64_t envelopes_allocated = 0;
+    uint64_t acquired = 0;
+    uint64_t recycled = 0;
+  };
+  Stats stats() const;
+
+  /// Process-wide totals across all pools, live and destroyed. The bench
+  /// reporter diffs these around a figure to derive `allocs_per_tuple` and
+  /// `messages_per_sec`.
+  struct GlobalStats {
+    uint64_t envelopes_allocated = 0;
+    uint64_t acquired = 0;
+  };
+  static GlobalStats Aggregate();
+
+ private:
+  friend class EnvelopeRef;
+
+  Envelope* NewEnvelope();
+
+  const size_t slab_size_;
+  std::vector<std::unique_ptr<Envelope[]>> slabs_;
+  size_t last_slab_used_ = 0;
+  Envelope* free_ = nullptr;                    // owner-thread freelist
+  std::atomic<Envelope*> remote_free_{nullptr};  // cross-thread returns
+  std::thread::id owner_;
+
+  // Relaxed atomics: written by the owner thread, read by Aggregate().
+  std::atomic<uint64_t> slabs_allocated_{0};
+  std::atomic<uint64_t> envelopes_allocated_{0};
+  std::atomic<uint64_t> acquired_{0};
+  std::atomic<uint64_t> recycled_{0};
+};
+
+/// Executes due envelopes. dht::Transport is the one implementation: it
+/// finishes kRoute/kDirect stages (rescheduling the same envelope) and
+/// hands kDeliver payloads to the engine's dispatch switch. Both the serial
+/// simulator and the sharded runtime call this for every non-Control
+/// envelope they pop.
+class EnvelopeDispatcher {
+ public:
+  virtual ~EnvelopeDispatcher() = default;
+  virtual void DispatchEnvelope(EnvelopeRef env) = 0;
+};
+
+/// Executes a Control envelope: the closure moves out and the envelope
+/// recycles *before* the closure runs, so anything it schedules reuses the
+/// freed envelope first. Every event pump shares this one definition of
+/// the recycle-before-run contract.
+inline void RunControl(EnvelopeRef env) {
+  std::function<void()> run = std::move(env->task.control().run);
+  env.Reset();
+  run();
+}
 
 }  // namespace rjoin::core
 

@@ -264,14 +264,21 @@ NodeIndex ChordNetwork::ClosestPrecedingFinger(NodeIndex from,
 
 std::vector<NodeIndex> ChordNetwork::Route(NodeIndex src,
                                            const NodeId& key) const {
+  std::vector<NodeIndex> path;
+  RoutePath(src, key, &path);
+  return path;
+}
+
+void ChordNetwork::RoutePath(NodeIndex src, const NodeId& key,
+                             std::vector<NodeIndex>* path) const {
   RJOIN_CHECK(src < nodes_.size() && nodes_[src]->alive());
   const NodeIndex responsible = SuccessorOf(key);
-  std::vector<NodeIndex> path;
-  path.push_back(src);
+  path->clear();
+  path->push_back(src);
   NodeIndex cur = src;
   // Greedy Chord routing; the loop bound guards against a broken overlay.
   const size_t kMaxHops = 2 * ring_.size() + NodeId::kBits;
-  while (cur != responsible && path.size() <= kMaxHops) {
+  while (cur != responsible && path->size() <= kMaxHops) {
     const ChordNode& nd = *nodes_[cur];
     const NodeIndex succ = nd.successor();
     NodeIndex next;
@@ -281,11 +288,10 @@ std::vector<NodeIndex> ChordNetwork::Route(NodeIndex src,
       next = ClosestPrecedingFinger(cur, key);
       if (next == cur) next = succ;
     }
-    path.push_back(next);
+    path->push_back(next);
     cur = next;
   }
   RJOIN_CHECK(cur == responsible) << "routing failed to converge";
-  return path;
 }
 
 size_t ChordNetwork::RouteHops(NodeIndex src, const NodeId& key) const {

@@ -104,6 +104,12 @@ class ChordNetwork {
   /// transmissions is path.size() - 1; O(log N) with high probability.
   std::vector<NodeIndex> Route(NodeIndex src, const NodeId& key) const;
 
+  /// Route() into a caller-owned buffer (cleared first). The transport's
+  /// per-message hot path reuses one thread-local buffer so routing does
+  /// not heap-allocate a fresh path vector per message.
+  void RoutePath(NodeIndex src, const NodeId& key,
+                 std::vector<NodeIndex>* path) const;
+
   /// Number of hops of Route() without materializing the path.
   size_t RouteHops(NodeIndex src, const NodeId& key) const;
 

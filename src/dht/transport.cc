@@ -4,100 +4,163 @@
 
 namespace rjoin::dht {
 
-size_t Transport::Send(NodeIndex src, const NodeId& key, MessagePtr msg,
-                       bool ric) {
-  if (router_ != nullptr && !router_->InWorker()) {
-    // Driver-phase send: run the routing work as an event on src's shard.
-    auto holder = std::make_shared<MessagePtr>(std::move(msg));
-    router_->Defer(src, [this, src, key, holder, ric]() {
-      SendNow(src, key, std::move(*holder), ric);
-    });
-    return 0;
-  }
-  return SendNow(src, key, std::move(msg), ric);
+std::vector<NodeIndex>& Transport::RouteScratch() {
+  static thread_local std::vector<NodeIndex> path;
+  return path;
 }
 
-size_t Transport::SendNow(NodeIndex src, const NodeId& key, MessagePtr msg,
-                          bool ric) {
-  const std::vector<NodeIndex> path = network_->Route(src, key);
+core::EnvelopeRef Transport::MakeRouted(NodeIndex src, const NodeId& key,
+                                        core::MessageTask task, bool ric,
+                                        core::EnvelopeStage stage) {
+  core::EnvelopeRef env = router_->AcquireEnvelope(src);
+  env->src = src;
+  env->route_key = key;
+  env->stage = stage;
+  env->ric = ric;
+  env->task = std::move(task);
+  return env;
+}
+
+size_t Transport::Send(NodeIndex src, const NodeId& key,
+                       core::MessageTask task, bool ric) {
+  if (router_ != nullptr) {
+    core::EnvelopeRef env =
+        MakeRouted(src, key, std::move(task), ric, core::EnvelopeStage::kRoute);
+    if (!router_->InWorker()) {
+      // Driver-phase send: run the routing work as an event on src's shard.
+      router_->Defer(src, std::move(env));
+      return 0;
+    }
+    return FinishRoute(std::move(env));
+  }
+  return SerialSend(src, key, std::move(task), ric);
+}
+
+size_t Transport::SerialSend(NodeIndex src, const NodeId& key,
+                             core::MessageTask task, bool ric) {
+  std::vector<NodeIndex>& path = RouteScratch();
+  network_->RoutePath(src, key, &path);
   stats::MetricsRegistry& metrics = Metrics();
   sim::SimTime delay = 0;
-  if (router_ != nullptr) {
-    const uint64_t seq = router_->NextEmitSeq(src);
-    Rng msg_rng = router_->MessageRng(src, seq);
-    // Each element of the path except the last transmits the message once.
-    for (size_t i = 0; i + 1 < path.size(); ++i) {
-      metrics.AddTraffic(path[i], 1, ric);
-      delay += latency_->Delay(msg_rng);
-    }
-    RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
-    auto holder = std::make_shared<MessagePtr>(std::move(msg));
-    MessageHandler* handler = handler_;
-    const NodeIndex dst = path.back();
-    router_->Deliver(src, seq, dst, delay, [handler, dst, holder]() {
-      handler->HandleMessage(dst, std::move(*holder));
-    });
-    return path.size() - 1;
-  }
+  // Each element of the path except the last transmits the message once.
   for (size_t i = 0; i + 1 < path.size(); ++i) {
     metrics.AddTraffic(path[i], 1, ric);
     delay += latency_->Delay(rng_);
   }
-  Deliver(path.back(), std::move(msg), delay);
+  SerialDeliver(path.back(), std::move(task), delay);
   return path.size() - 1;
 }
 
-size_t Transport::MultiSend(NodeIndex src,
-                            std::vector<std::pair<NodeId, MessagePtr>> messages,
-                            bool ric) {
+size_t Transport::FinishRoute(core::EnvelopeRef env) {
+  std::vector<NodeIndex>& path = RouteScratch();
+  network_->RoutePath(env->src, env->route_key, &path);
+  stats::MetricsRegistry& metrics = Metrics();
+  const uint64_t seq = router_->NextEmitSeq(env->src);
+  Rng msg_rng = router_->MessageRng(env->src, seq);
+  sim::SimTime delay = 0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    metrics.AddTraffic(path[i], 1, env->ric);
+    delay += latency_->Delay(msg_rng);
+  }
+  RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
+  env->dst = path.back();
+  env->stage = core::EnvelopeStage::kDeliver;
+  const NodeIndex src = env->src;
+  router_->Deliver(src, seq, delay, std::move(env));
+  return path.size() - 1;
+}
+
+void Transport::FinishDirect(core::EnvelopeRef env) {
+  Metrics().AddTraffic(env->src, 1, env->ric);
+  const uint64_t seq = router_->NextEmitSeq(env->src);
+  Rng msg_rng = router_->MessageRng(env->src, seq);
+  const sim::SimTime delay = latency_->Delay(msg_rng);
+  RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
+  env->stage = core::EnvelopeStage::kDeliver;
+  const NodeIndex src = env->src;
+  router_->Deliver(src, seq, delay, std::move(env));
+}
+
+size_t Transport::MultiSend(
+    NodeIndex src, std::vector<std::pair<NodeId, core::MessageTask>> messages,
+    bool ric) {
   if (router_ != nullptr && !router_->InWorker()) {
-    // One dispatch event carries the whole batch to src's shard; emission
-    // sequence numbers are drawn there, in batch order, exactly as a serial
-    // sequence of Send calls would draw them.
-    auto batch = std::make_shared<std::vector<std::pair<NodeId, MessagePtr>>>(
-        std::move(messages));
-    router_->Defer(src, [this, src, batch, ric]() {
-      for (auto& [key, msg] : *batch) {
-        SendNow(src, key, std::move(msg), ric);
+    // One defer event carries the whole batch to src's shard as an intrusive
+    // envelope chain; emission sequence numbers are drawn there, in batch
+    // order, exactly as a serial sequence of Send calls would draw them.
+    core::EnvelopeRef head;
+    core::Envelope* tail = nullptr;
+    for (auto& [key, task] : messages) {
+      core::EnvelopeRef env = MakeRouted(src, key, std::move(task), ric,
+                                         core::EnvelopeStage::kRoute);
+      if (tail == nullptr) {
+        head = std::move(env);
+        tail = head.get();
+      } else {
+        tail->link = env.release();
+        tail = tail->link;
       }
-    });
+    }
+    if (head) router_->Defer(src, std::move(head));
     return 0;
   }
   size_t hops = 0;
-  for (auto& [key, msg] : messages) {
-    hops += SendNow(src, key, std::move(msg), ric);
+  for (auto& [key, task] : messages) {
+    hops += Send(src, key, std::move(task), ric);
   }
   return hops;
 }
 
-void Transport::SendDirect(NodeIndex src, NodeIndex dst, MessagePtr msg,
-                           bool ric) {
-  if (router_ != nullptr && !router_->InWorker()) {
-    auto holder = std::make_shared<MessagePtr>(std::move(msg));
-    router_->Defer(src, [this, src, dst, holder, ric]() {
-      SendDirectNow(src, dst, std::move(*holder), ric);
-    });
+void Transport::SendDirect(NodeIndex src, NodeIndex dst,
+                           core::MessageTask task, bool ric) {
+  if (router_ != nullptr) {
+    core::EnvelopeRef env = MakeRouted(src, NodeId(), std::move(task), ric,
+                                       core::EnvelopeStage::kDirect);
+    env->dst = dst;
+    if (!router_->InWorker()) {
+      router_->Defer(src, std::move(env));
+      return;
+    }
+    FinishDirect(std::move(env));
     return;
   }
-  SendDirectNow(src, dst, std::move(msg), ric);
+  Metrics().AddTraffic(src, 1, ric);
+  SerialDeliver(dst, std::move(task), latency_->Delay(rng_));
 }
 
-void Transport::SendDirectNow(NodeIndex src, NodeIndex dst, MessagePtr msg,
-                              bool ric) {
-  Metrics().AddTraffic(src, 1, ric);
-  if (router_ != nullptr) {
-    const uint64_t seq = router_->NextEmitSeq(src);
-    Rng msg_rng = router_->MessageRng(src, seq);
-    const sim::SimTime delay = latency_->Delay(msg_rng);
-    RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
-    auto holder = std::make_shared<MessagePtr>(std::move(msg));
-    MessageHandler* handler = handler_;
-    router_->Deliver(src, seq, dst, delay, [handler, dst, holder]() {
-      handler->HandleMessage(dst, std::move(*holder));
-    });
+void Transport::DispatchEnvelope(core::EnvelopeRef env) {
+  core::EnvelopeRef cur = std::move(env);
+  while (cur) {
+    core::EnvelopeRef next(cur->link);
+    cur->link = nullptr;
+    DispatchOne(std::move(cur));
+    cur = std::move(next);
+  }
+}
+
+void Transport::DispatchOne(core::EnvelopeRef env) {
+  switch (env->stage) {
+    case core::EnvelopeStage::kRoute:
+      FinishRoute(std::move(env));
+      return;
+    case core::EnvelopeStage::kDirect:
+      FinishDirect(std::move(env));
+      return;
+    case core::EnvelopeStage::kDeliver:
+      break;
+  }
+  if (env->task.kind() == core::MessageKind::kControl) {
+    core::RunControl(std::move(env));
     return;
   }
-  Deliver(dst, std::move(msg), latency_->Delay(rng_));
+  RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
+  const NodeIndex dst = env->dst;
+  core::MessageTask task = std::move(env->task);
+  // Recycle before handling: anything the handler emits reuses this
+  // envelope first, keeping the pool's high-water mark at the true number
+  // of concurrently in-flight messages.
+  env.Reset();
+  handler_->HandleMessage(dst, std::move(task));
 }
 
 void Transport::ChargeTraffic(NodeIndex node, uint64_t count, bool ric) {
@@ -105,7 +168,8 @@ void Transport::ChargeTraffic(NodeIndex node, uint64_t count, bool ric) {
 }
 
 size_t Transport::ChargeRoute(NodeIndex src, const NodeId& key, bool ric) {
-  const std::vector<NodeIndex> path = network_->Route(src, key);
+  std::vector<NodeIndex>& path = RouteScratch();
+  network_->RoutePath(src, key, &path);
   stats::MetricsRegistry& metrics = Metrics();
   for (size_t i = 0; i + 1 < path.size(); ++i) {
     metrics.AddTraffic(path[i], 1, ric);
@@ -113,15 +177,13 @@ size_t Transport::ChargeRoute(NodeIndex src, const NodeId& key, bool ric) {
   return path.size() - 1;
 }
 
-void Transport::Deliver(NodeIndex dst, MessagePtr msg, sim::SimTime delay) {
+void Transport::SerialDeliver(NodeIndex dst, core::MessageTask task,
+                              sim::SimTime delay) {
   RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
-  // std::function requires copyable callables; wrap the move-only payload
-  // in a shared holder and move it out at delivery time.
-  auto holder = std::make_shared<MessagePtr>(std::move(msg));
-  MessageHandler* handler = handler_;
-  simulator_->ScheduleAfter(delay, [handler, dst, holder]() {
-    handler->HandleMessage(dst, std::move(*holder));
-  });
+  core::EnvelopeRef env = simulator_->pool().Acquire();
+  env->dst = dst;
+  env->task = std::move(task);
+  simulator_->Schedule(simulator_->Now() + delay, std::move(env));
 }
 
 }  // namespace rjoin::dht

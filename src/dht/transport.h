@@ -1,11 +1,10 @@
 #ifndef RJOIN_DHT_TRANSPORT_H_
 #define RJOIN_DHT_TRANSPORT_H_
 
-#include <functional>
-#include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/messages.h"
 #include "dht/chord_network.h"
 #include "dht/id.h"
 #include "sim/latency.h"
@@ -15,35 +14,29 @@
 
 namespace rjoin::dht {
 
-/// Opaque payload routed through the overlay. The application layer (RJoin)
-/// defines concrete message types.
-class Message {
- public:
-  virtual ~Message() = default;
-};
-
-using MessagePtr = std::unique_ptr<Message>;
-
-/// Receiver interface: the RJoin engine implements this to get messages
-/// delivered to individual nodes.
+/// Receiver interface: the RJoin engine implements this to get typed
+/// message tasks delivered to individual nodes (a switch over
+/// core::MessageKind replaces the old dynamic_cast chain).
 class MessageHandler {
  public:
   virtual ~MessageHandler() = default;
-  virtual void HandleMessage(NodeIndex self, MessagePtr msg) = 0;
+  virtual void HandleMessage(NodeIndex self, core::MessageTask&& task) = 0;
 };
 
 /// Scheduling backend the sharded runtime plugs into the transport
 /// (implemented by runtime::ShardRouter). When a router is attached, the
-/// transport stops scheduling deliveries on the serial simulator and instead:
+/// transport stops scheduling deliveries on the serial simulator and
+/// instead:
 ///  * tags every message with (src, per-src emission seq) — the
 ///    deterministic identity its delivery order and latency draws hang off;
 ///  * draws per-hop latency from an Rng derived from that identity, so
 ///    delays do not depend on thread interleaving or shard count;
-///  * hands the delivery to the router, which places it in the destination
-///    shard's event heap or mailbox.
-/// Driver-phase sends (tuple publications, query submissions) are deferred
-/// as a dispatch event on the source node's shard, which moves the O(log N)
-/// routing work onto the worker threads.
+///  * hands the pooled envelope to the router, which places it in the
+///    destination shard's event heap or mailbox.
+/// Driver-phase sends (tuple publications, query submissions) defer the
+/// envelope — still in its kRoute/kDirect stage — onto the source node's
+/// shard, which moves the O(log N) routing work onto the worker threads
+/// without any closure allocation.
 class DeliveryRouter {
  public:
   virtual ~DeliveryRouter() = default;
@@ -65,16 +58,23 @@ class DeliveryRouter {
   /// Deterministic per-message RNG derived from (src, seq).
   virtual Rng MessageRng(NodeIndex src, uint64_t seq) = 0;
 
-  /// Runs `dispatch` as an event on `src`'s shard at the current time
-  /// (driver-phase send deferral).
-  virtual void Defer(NodeIndex src, std::function<void()> dispatch) = 0;
+  /// Envelope from the pool of the shard that will execute the next stage:
+  /// the calling worker's own pool, or `src`'s shard pool on the driver.
+  virtual core::EnvelopeRef AcquireEnvelope(NodeIndex src) = 0;
 
-  /// Delivers `deliver` at Now() + delay on `dst`'s shard. Cross-node
+  /// Runs `env` (and its `link` chain) as one event on `src`'s shard at
+  /// the current time (driver-phase send deferral).
+  virtual void Defer(NodeIndex src, core::EnvelopeRef env) = 0;
+
+  /// Delivers `env` at Now() + delay on `env->dst`'s shard. Cross-node
   /// deliveries are deferred to at least the end of the current round
   /// (deterministically), preserving the round-lookahead invariant.
-  virtual void Deliver(NodeIndex src, uint64_t seq, NodeIndex dst,
-                       sim::SimTime delay,
-                       std::function<void()> deliver) = 0;
+  virtual void Deliver(NodeIndex src, uint64_t seq, sim::SimTime delay,
+                       core::EnvelopeRef env) = 0;
+
+  /// Attaches the dispatcher the runtime must hand typed envelopes to
+  /// (called by Transport::set_router).
+  virtual void BindDispatcher(core::EnvelopeDispatcher* dispatcher) = 0;
 };
 
 /// The messaging API of Section 2 (originally from [18]):
@@ -88,7 +88,14 @@ class DeliveryRouter {
 /// discrete-event simulator — or, when a DeliveryRouter is attached, through
 /// the sharded parallel runtime — with per-hop latency drawn from the
 /// latency model (bounded by delta).
-class Transport {
+///
+/// Messages are typed core::MessageTask payloads carried in pooled
+/// core::Envelopes: the transport is the core::EnvelopeDispatcher both
+/// event pumps call, finishing deferred routing stages and handing
+/// delivered payloads to the MessageHandler. The steady-state path —
+/// acquire envelope, route, schedule, pop, dispatch, recycle — performs
+/// zero heap allocations per message.
+class Transport : public core::EnvelopeDispatcher {
  public:
   Transport(ChordNetwork* network, sim::Simulator* simulator,
             sim::LatencyModel* latency, stats::MetricsRegistry* metrics,
@@ -97,7 +104,9 @@ class Transport {
         simulator_(simulator),
         latency_(latency),
         metrics_(metrics),
-        rng_(rng) {}
+        rng_(rng) {
+    simulator_->set_dispatcher(this);
+  }
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
@@ -106,24 +115,36 @@ class Transport {
 
   /// Attaches the sharded runtime's router. nullptr restores the serial
   /// simulator path.
-  void set_router(DeliveryRouter* router) { router_ = router; }
+  void set_router(DeliveryRouter* router) {
+    router_ = router;
+    if (router_ != nullptr) router_->BindDispatcher(this);
+  }
 
-  /// Routes `msg` from `src` to Successor(key). Returns the number of hops
+  /// Routes `task` from `src` to Successor(key). Returns the number of hops
   /// (0 when the send was deferred onto a worker shard by the router).
   /// `ric` tags the traffic as RIC-request overhead (separate series in the
   /// paper's figures).
-  size_t Send(NodeIndex src, const NodeId& key, MessagePtr msg,
+  size_t Send(NodeIndex src, const NodeId& key, core::MessageTask task,
               bool ric = false);
 
   /// The paper's multiSend(M, I): one message per identifier. Returns total
-  /// hops across all messages (0 when deferred).
+  /// hops across all messages (0 when deferred). Under the router the whole
+  /// batch defers as one envelope chain — a single event on src's shard
+  /// that draws emission seqs in batch order, exactly as sequential Send
+  /// calls would.
   size_t MultiSend(NodeIndex src,
-                   std::vector<std::pair<NodeId, MessagePtr>> messages,
+                   std::vector<std::pair<NodeId, core::MessageTask>> messages,
                    bool ric = false);
 
   /// One-hop delivery to a node whose address is already known.
-  void SendDirect(NodeIndex src, NodeIndex dst, MessagePtr msg,
+  void SendDirect(NodeIndex src, NodeIndex dst, core::MessageTask task,
                   bool ric = false);
+
+  /// core::EnvelopeDispatcher: executes a due envelope (and any MultiSend
+  /// chain linked behind it) — kRoute/kDirect stages finish their routing
+  /// work and reschedule the same envelope; kDeliver recycles the envelope
+  /// and hands the payload to the handler; kControl closures run inline.
+  void DispatchEnvelope(core::EnvelopeRef env) override;
 
   ChordNetwork* network() { return network_; }
   sim::Simulator* simulator() { return simulator_; }
@@ -144,12 +165,31 @@ class Transport {
     return router_ != nullptr ? *router_->ActiveMetrics() : *metrics_;
   }
 
-  /// The actual routing + delivery work of Send (runs on the source node's
-  /// shard when a router is attached).
-  size_t SendNow(NodeIndex src, const NodeId& key, MessagePtr msg, bool ric);
-  void SendDirectNow(NodeIndex src, NodeIndex dst, MessagePtr msg, bool ric);
+  /// Scratch path buffer for the calling thread (workers dispatch
+  /// concurrently, so the buffer cannot live on the transport).
+  static std::vector<NodeIndex>& RouteScratch();
 
-  void Deliver(NodeIndex dst, MessagePtr msg, sim::SimTime delay);
+  /// Fills a fresh route-stage envelope (router path).
+  core::EnvelopeRef MakeRouted(NodeIndex src, const NodeId& key,
+                               core::MessageTask task, bool ric,
+                               core::EnvelopeStage stage);
+
+  /// Executes one envelope stage (no chain walking).
+  void DispatchOne(core::EnvelopeRef env);
+
+  /// Finishes the O(log N) routing of a kRoute envelope and reschedules it
+  /// as kDeliver (router path). Returns the hop count.
+  size_t FinishRoute(core::EnvelopeRef env);
+
+  /// Finishes a kDirect envelope: one traffic unit, derived latency,
+  /// reschedule as kDeliver (router path).
+  void FinishDirect(core::EnvelopeRef env);
+
+  /// Serial-path send bodies (route/charge/schedule on the simulator).
+  size_t SerialSend(NodeIndex src, const NodeId& key, core::MessageTask task,
+                    bool ric);
+  void SerialDeliver(NodeIndex dst, core::MessageTask task,
+                     sim::SimTime delay);
 
   ChordNetwork* network_;
   sim::Simulator* simulator_;

@@ -1,9 +1,11 @@
 #ifndef RJOIN_RUNTIME_SHARD_ROUTER_H_
 #define RJOIN_RUNTIME_SHARD_ROUTER_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <utility>
 
+#include "core/messages.h"
 #include "dht/transport.h"
 #include "runtime/sharded_runtime.h"
 #include "util/random.h"
@@ -11,10 +13,11 @@
 namespace rjoin::runtime {
 
 /// The dht::DeliveryRouter implementation backed by a ShardedRuntime:
-/// transport sends become shard events keyed by (delivery time, source
-/// node, per-source emission seq), with latency RNG derived from the same
-/// identity. This is the seam through which every message of the engine
-/// reaches the parallel runtime.
+/// transport sends become pooled shard envelopes keyed by (delivery time,
+/// source node, per-source emission seq), with latency RNG derived from the
+/// same identity. This is the seam through which every message of the
+/// engine reaches the parallel runtime — no closure, no per-message heap
+/// allocation, just the envelope moving between shard heaps and mailboxes.
 class ShardRouter : public dht::DeliveryRouter {
  public:
   /// `seed` feeds the per-message latency RNG derivation (pass the same
@@ -41,17 +44,27 @@ class ShardRouter : public dht::DeliveryRouter {
     return Rng(MixSeed(seed_, src, seq));
   }
 
-  void Defer(dht::NodeIndex src, std::function<void()> dispatch) override {
-    // The dispatch event runs on src's own shard at the current time; as a
-    // self-event it is exempt from round deferral.
-    runtime_->ScheduleEvent({runtime_->Now(), src, runtime_->NextEmitSeq(src)},
-                            src, std::move(dispatch));
+  core::EnvelopeRef AcquireEnvelope(dht::NodeIndex src) override {
+    // The deferred stage executes on src's shard (the driver borrows that
+    // pool while workers are parked; a worker uses its own).
+    return runtime_->AcquireFor(src);
   }
 
-  void Deliver(dht::NodeIndex src, uint64_t seq, dht::NodeIndex dst,
-               sim::SimTime delay, std::function<void()> deliver) override {
+  void Defer(dht::NodeIndex src, core::EnvelopeRef env) override {
+    // The deferred stage runs on src's own shard at the current time; as a
+    // self-event it is exempt from round deferral. env->dst is left alone —
+    // a kDirect envelope already carries its true destination — because
+    // ScheduleEnvelope places pre-delivery stages on src's shard anyway.
+    env->time = runtime_->Now();
+    env->src = src;
+    env->seq = runtime_->NextEmitSeq(src);
+    runtime_->ScheduleEnvelope(std::move(env));
+  }
+
+  void Deliver(dht::NodeIndex src, uint64_t seq, sim::SimTime delay,
+               core::EnvelopeRef env) override {
     sim::SimTime when = runtime_->Now() + delay;
-    if (src != dst) {
+    if (src != env->dst) {
       // Round-lookahead invariant: a message to another node may not land
       // inside the round that emitted it — whether or not the destination
       // happens to share the shard — otherwise results would depend on the
@@ -60,7 +73,14 @@ class ShardRouter : public dht::DeliveryRouter {
       // serial-simulator timing.
       when = std::max(when, runtime_->CurrentRoundEnd());
     }
-    runtime_->ScheduleEvent({when, src, seq}, dst, std::move(deliver));
+    env->time = when;
+    env->src = src;
+    env->seq = seq;
+    runtime_->ScheduleEnvelope(std::move(env));
+  }
+
+  void BindDispatcher(core::EnvelopeDispatcher* dispatcher) override {
+    runtime_->set_dispatcher(dispatcher);
   }
 
  private:

@@ -15,6 +15,10 @@ thread_local int tls_current_shard = -1;
 constexpr int kSpinIterations = 2048;
 }  // namespace
 
+sim::SimTime AutoRoundWidth(const sim::LatencyModel& latency) {
+  return std::max<sim::SimTime>(1, latency.min_delay());
+}
+
 // ----------------------------------------------------------------- Gate
 
 void ShardedRuntime::Gate::Arrive() {
@@ -65,6 +69,7 @@ ShardedRuntime::ShardedRuntime(const Options& options, size_t num_nodes,
   shard_state_.reserve(num_shards_);
   for (uint32_t s = 0; s < num_shards_; ++s) {
     auto state = std::make_unique<ShardState>();
+    state->pool = std::make_unique<core::MessagePool>();
     state->metrics = std::make_unique<stats::MetricsRegistry>(num_nodes_);
     state->metrics->EnableDeltaTracking();
     state->outbox.resize(num_shards_);
@@ -85,6 +90,13 @@ ShardedRuntime::~ShardedRuntime() {
   stop_ = true;
   start_gate_.Arrive();  // releases workers; they observe stop_ and exit
   for (auto& w : workers_) w.join();
+  // Drain heaps and mailboxes while every shard's pool is still alive:
+  // releasing an EnvelopeRef returns the envelope to its origin pool, which
+  // may belong to a different shard than the heap holding it.
+  for (auto& shard : shard_state_) {
+    shard->heap.clear();
+    for (auto& box : shard->outbox) box.clear();
+  }
 }
 
 // --------------------------------------------------------- thread roles
@@ -94,6 +106,7 @@ int ShardedRuntime::CurrentShard() { return tls_current_shard; }
 void ShardedRuntime::WorkerMain(uint32_t shard) {
   tls_current_shard = static_cast<int>(shard);
   shard_state_[shard]->metrics->BindOwnerThread();
+  shard_state_[shard]->pool->BindOwnerThread();
   for (;;) {
     start_gate_.Arrive();
     if (stop_) return;
@@ -124,42 +137,63 @@ stats::MetricsRegistry* ShardedRuntime::ActiveMetrics() {
 
 // ---------------------------------------------------------- scheduling
 
-void ShardedRuntime::PushLocal(ShardState& shard, Envelope ev) {
-  shard.heap.push_back(std::move(ev));
+void ShardedRuntime::PushLocal(ShardState& shard, core::EnvelopeRef env) {
+  shard.heap.push_back(std::move(env));
   std::push_heap(shard.heap.begin(), shard.heap.end(), EnvelopeLater{});
+}
+
+void ShardedRuntime::ScheduleEnvelope(core::EnvelopeRef env) {
+  // Routing stages (kRoute/kDirect) execute on the *emitting* node's shard
+  // — that is where the O(log N) work and the emission-seq draw belong;
+  // only finished deliveries place by destination.
+  const NodeIndex place =
+      env->stage == core::EnvelopeStage::kDeliver ? env->dst : env->src;
+  RJOIN_CHECK(place < num_nodes_) << "event for unknown node " << place;
+  const uint32_t dst_shard = ShardOf(place);
+  const int cur = tls_current_shard;
+  if (cur < 0) {
+    // Driver phase: workers are parked, every heap is safely writable.
+    PushLocal(*shard_state_[dst_shard], std::move(env));
+    return;
+  }
+  if (static_cast<uint32_t>(cur) == dst_shard) {
+    PushLocal(*shard_state_[cur], std::move(env));
+  } else {
+    shard_state_[cur]->outbox[dst_shard].push_back(std::move(env));
+  }
 }
 
 void ShardedRuntime::ScheduleEvent(const EventKey& key, NodeIndex dst,
                                    std::function<void()> action) {
-  RJOIN_CHECK(dst < num_nodes_) << "event for unknown node " << dst;
-  const uint32_t dst_shard = ShardOf(dst);
-  Envelope ev{key, dst, std::move(action)};
-  const int cur = tls_current_shard;
-  if (cur < 0) {
-    // Driver phase: workers are parked, every heap is safely writable.
-    PushLocal(*shard_state_[dst_shard], std::move(ev));
-    return;
-  }
-  if (static_cast<uint32_t>(cur) == dst_shard) {
-    PushLocal(*shard_state_[cur], std::move(ev));
-  } else {
-    shard_state_[cur]->outbox[dst_shard].push_back(std::move(ev));
-  }
+  core::EnvelopeRef env = AcquireFor(dst);
+  env->time = key.time;
+  env->src = key.src;
+  env->seq = key.seq;
+  env->dst = dst;
+  env->task = core::MessageTask(core::Control{std::move(action)});
+  ScheduleEnvelope(std::move(env));
 }
 
 // ------------------------------------------------------------ round loop
 
 void ShardedRuntime::RunShardRound(ShardState& shard) {
   auto& heap = shard.heap;
-  while (!heap.empty() && heap.front().key.time < round_end_) {
+  while (!heap.empty() && heap.front()->time < round_end_) {
     std::pop_heap(heap.begin(), heap.end(), EnvelopeLater{});
-    Envelope ev = std::move(heap.back());
+    core::EnvelopeRef env = std::move(heap.back());
     heap.pop_back();
-    shard.now = ev.key.time;
-    shard.current_key = ev.key;
-    ev.action();
+    shard.now = env->time;
+    shard.current_key = EventKey{env->time, env->src, env->seq};
+    if (env->stage == core::EnvelopeStage::kDeliver &&
+        env->task.kind() == core::MessageKind::kControl) {
+      core::RunControl(std::move(env));
+    } else {
+      RJOIN_CHECK(dispatcher_ != nullptr)
+          << "typed envelope popped without a dispatcher";
+      dispatcher_->DispatchEnvelope(std::move(env));
+    }
     ++shard.executed;
-    shard.last_executed = ev.key.time;
+    shard.last_executed = shard.current_key.time;
     shard.executed_any = true;
   }
 }
@@ -170,11 +204,11 @@ void ShardedRuntime::SerialPhase() {
   for (auto& src : shard_state_) {
     for (uint32_t d = 0; d < num_shards_; ++d) {
       auto& box = src->outbox[d];
-      for (auto& ev : box) {
-        RJOIN_CHECK(ev.key.time >= now_)
+      for (auto& env : box) {
+        RJOIN_CHECK(env->time >= now_)
             << "cross-shard event scheduled into the past (missing round "
                "deferral?)";
-        PushLocal(*shard_state_[d], std::move(ev));
+        PushLocal(*shard_state_[d], std::move(env));
       }
       box.clear();
     }
@@ -196,7 +230,7 @@ sim::SimTime ShardedRuntime::MinHeapTime() const {
   sim::SimTime min_time = std::numeric_limits<sim::SimTime>::max();
   for (const auto& shard : shard_state_) {
     if (!shard->heap.empty()) {
-      min_time = std::min(min_time, shard->heap.front().key.time);
+      min_time = std::min(min_time, shard->heap.front()->time);
     }
   }
   return min_time;

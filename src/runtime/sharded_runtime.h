@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/messages.h"
+#include "sim/latency.h"
 #include "sim/time.h"
 #include "stats/metrics.h"
 
@@ -32,6 +34,15 @@ struct EventKey {
   auto operator<=>(const EventKey&) const = default;
 };
 
+/// The largest round width that preserves exact per-hop delivery timing
+/// under `latency`: its minimum hop delay (the lookahead — no message
+/// emitted inside a round of this width can be due before the round ends).
+/// Zero-latency-capable models fall back to width 1, where every delivery
+/// defers to the next round boundary, still deterministically. Experiments
+/// use this when ExperimentConfig::round_width is left unset; wider rounds
+/// (coarser virtual latency, fewer barriers) remain an explicit opt-in.
+sim::SimTime AutoRoundWidth(const sim::LatencyModel& latency);
+
 /// Serial per-round callback, invoked on the driver thread at every round
 /// barrier (workers parked) and once more after the final round. The RJoin
 /// engine uses it to publish staged answers and to refresh the frozen
@@ -44,15 +55,22 @@ class BarrierHook {
 };
 
 /// A discrete-event runtime that partitions the NodeIndex space into S
-/// shards, each owned by a worker thread with its own event heap, metrics
-/// delta registry, and derived RNG streams. Virtual time advances in
-/// lockstep rounds of `round_width` ticks (the latency lookahead): within a
-/// round every shard executes its events independently; messages crossing
-/// shards are mailbox pushes drained at the barrier. Because the round
-/// width never exceeds the minimum hop latency, no message emitted inside a
-/// round can be due before the round ends, so the round schedule — and the
-/// full execution — is identical for any S (see docs/runtime.md for the
-/// equivalence argument).
+/// shards, each owned by a worker thread with its own event heap, message
+/// pool, metrics delta registry, and derived RNG streams. Virtual time
+/// advances in lockstep rounds of `round_width` ticks (the latency
+/// lookahead): within a round every shard executes its events
+/// independently; messages crossing shards are mailbox pushes drained at
+/// the barrier. Because the round width never exceeds the minimum hop
+/// latency, no message emitted inside a round can be due before the round
+/// ends, so the round schedule — and the full execution — is identical for
+/// any S (see docs/runtime.md for the equivalence argument).
+///
+/// Events are pooled core::Envelopes, identical to the serial simulator's:
+/// heaps and mailboxes move EnvelopeRefs, typed envelopes go to the
+/// attached core::EnvelopeDispatcher (the transport), Control envelopes
+/// run inline. Each shard's pool recycles envelopes through freelists
+/// (cross-shard returns ride a lock-free remote list), so the steady-state
+/// delivery path performs zero heap allocations per message.
 ///
 /// The network topology (ChordNetwork) must not change while events are in
 /// flight: churn is a driver-phase operation.
@@ -63,6 +81,8 @@ class ShardedRuntime {
     /// Lookahead: rounds span [T, T + round_width). Must not exceed the
     /// latency model's min_delay(); deliveries that would violate the bound
     /// are deferred to the next round boundary (deterministically).
+    /// AutoRoundWidth() derives the exact-timing value from a latency
+    /// model.
     sim::SimTime round_width = 1;
   };
 
@@ -103,12 +123,40 @@ class ShardedRuntime {
   /// worker owning `src`'s shard or from the driver between rounds.
   uint64_t NextEmitSeq(NodeIndex src) { return ++emit_seq_[src]; }
 
-  /// Schedules `action` to run at `key.time` on `dst`'s shard. Callable
-  /// from the driver between rounds (pushes straight into the shard heap)
-  /// or from a worker (own shard: direct push; foreign shard: mailbox,
-  /// drained at the next barrier). Worker-emitted cross-node events must
-  /// not be due before the current round ends — ShardRouter's Deliver()
-  /// enforces that bound.
+  /// Envelope pool of one shard. Acquire only on the owning worker thread,
+  /// or on the driver while workers are parked.
+  core::MessagePool* shard_pool(uint32_t shard) {
+    return shard_state_[shard]->pool.get();
+  }
+
+  /// Envelope for an event that `executor`'s shard will run: drawn from the
+  /// calling worker's own pool (the freelist is owner-thread-only), or from
+  /// the executing shard's pool on the driver (workers parked). The single
+  /// definition of the pool-borrowing rule.
+  core::EnvelopeRef AcquireFor(NodeIndex executor) {
+    const int cur = CurrentShard();
+    const uint32_t shard =
+        cur >= 0 ? static_cast<uint32_t>(cur) : ShardOf(executor);
+    return shard_state_[shard]->pool->Acquire();
+  }
+
+  /// Receiver of typed envelopes (the transport); Control envelopes run
+  /// without it.
+  void set_dispatcher(core::EnvelopeDispatcher* dispatcher) {
+    dispatcher_ = dispatcher;
+  }
+
+  /// Schedules `env` to run at `env->time` on `env->dst`'s shard, ordered
+  /// by its (time, src, seq) key. Callable from the driver between rounds
+  /// (pushes straight into the shard heap) or from a worker (own shard:
+  /// direct push; foreign shard: mailbox, drained at the next barrier).
+  /// Worker-emitted cross-node events must not be due before the current
+  /// round ends — ShardRouter's Deliver() enforces that bound.
+  void ScheduleEnvelope(core::EnvelopeRef env);
+
+  /// Closure convenience over ScheduleEnvelope (tests, driver-phase
+  /// plumbing): wraps `action` in a Control envelope from the appropriate
+  /// shard pool.
   void ScheduleEvent(const EventKey& key, NodeIndex dst,
                      std::function<void()> action);
 
@@ -138,15 +186,13 @@ class ShardedRuntime {
   }
 
  private:
-  struct Envelope {
-    EventKey key;
-    NodeIndex dst = 0;
-    std::function<void()> action;
-  };
-
   struct EnvelopeLater {
-    bool operator()(const Envelope& a, const Envelope& b) const {
-      return b.key < a.key;  // min-heap on EventKey
+    bool operator()(const core::EnvelopeRef& a,
+                    const core::EnvelopeRef& b) const {
+      // min-heap on the EventKey ordering — the single definition of the
+      // deterministic execution order.
+      return EventKey{b->time, b->src, b->seq} <
+             EventKey{a->time, a->src, a->seq};
     }
   };
 
@@ -170,21 +216,23 @@ class ShardedRuntime {
   };
 
   struct alignas(64) ShardState {
-    std::vector<Envelope> heap;  // std::push_heap/pop_heap on EnvelopeLater
+    std::vector<core::EnvelopeRef> heap;  // push_heap/pop_heap, EnvelopeLater
     sim::SimTime now = 0;
     sim::SimTime last_executed = 0;
     bool executed_any = false;
     uint64_t executed = 0;
     EventKey current_key;
+    std::unique_ptr<core::MessagePool> pool;
     std::unique_ptr<stats::MetricsRegistry> metrics;
-    /// outbox[d]: events emitted this round for shard d (d != own shard);
-    /// written only by the owning worker, drained only at the barrier.
-    std::vector<std::vector<Envelope>> outbox;
+    /// outbox[d]: envelopes emitted this round for shard d (d != own
+    /// shard); written only by the owning worker, drained only at the
+    /// barrier.
+    std::vector<std::vector<core::EnvelopeRef>> outbox;
   };
 
   void WorkerMain(uint32_t shard);
   void RunShardRound(ShardState& shard);
-  void PushLocal(ShardState& shard, Envelope ev);
+  void PushLocal(ShardState& shard, core::EnvelopeRef env);
 
   /// Barrier work (driver): drain mailboxes, merge metrics deltas, fire
   /// hooks. Runs with all workers parked.
@@ -201,6 +249,7 @@ class ShardedRuntime {
   std::vector<std::unique_ptr<ShardState>> shard_state_;
   std::vector<uint64_t> emit_seq_;  // per node; owner-shard written
   stats::MetricsRegistry* main_metrics_;
+  core::EnvelopeDispatcher* dispatcher_ = nullptr;
   std::vector<BarrierHook*> hooks_;
 
   sim::SimTime now_ = sim::kTimeZero;

@@ -1,24 +1,26 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace rjoin::sim {
 
-void EventQueue::Push(SimTime time, std::function<void()> action) {
-  heap_.push(Event{time, next_seq_++, std::move(action)});
+void EventQueue::Push(core::EnvelopeRef env) {
+  env->order = next_order_++;
+  heap_.push_back(std::move(env));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
-Event EventQueue::Pop() {
-  // std::priority_queue::top() is const; the event is copied out. The
-  // function object is small (captures are pointers), so this is cheap.
-  Event ev = heap_.top();
-  heap_.pop();
-  return ev;
+core::EnvelopeRef EventQueue::Pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  core::EnvelopeRef env = std::move(heap_.back());
+  heap_.pop_back();
+  return env;
 }
 
 void EventQueue::Clear() {
-  while (!heap_.empty()) heap_.pop();
-  next_seq_ = 0;
+  heap_.clear();
+  next_order_ = 0;
 }
 
 }  // namespace rjoin::sim

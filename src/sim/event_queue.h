@@ -2,54 +2,54 @@
 #define RJOIN_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "core/messages.h"
 #include "sim/time.h"
 
 namespace rjoin::sim {
 
-/// A scheduled callback. Events with equal timestamps execute in insertion
-/// order (FIFO), which keeps runs fully deterministic.
-struct Event {
-  SimTime time = 0;
-  uint64_t seq = 0;
-  std::function<void()> action;
-};
-
-/// Min-heap of events ordered by (time, seq).
+/// Min-heap of scheduled envelopes ordered by (time, insertion order).
+/// Events with equal timestamps execute in insertion order (FIFO), which
+/// keeps runs fully deterministic. Envelopes are pooled (core::MessagePool)
+/// and moved in and out of the heap's flat vector, so pushing and popping a
+/// message performs no heap allocation in steady state — the old
+/// std::function-of-closure representation cost two to three allocations
+/// per message (closure box plus shared payload holder plus the
+/// priority_queue's copy-out).
 class EventQueue {
  public:
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Enqueues an event at absolute time `time`.
-  void Push(SimTime time, std::function<void()> action);
+  /// Enqueues `env` at absolute time `env->time`, stamping `env->order`
+  /// with the FIFO tie-break sequence.
+  void Push(core::EnvelopeRef env);
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event. Requires !empty().
-  SimTime PeekTime() const { return heap_.top().time; }
+  SimTime PeekTime() const { return heap_.front()->time; }
 
   /// Removes and returns the earliest pending event. Requires !empty().
-  Event Pop();
+  core::EnvelopeRef Pop();
 
-  /// Discards all pending events.
+  /// Discards all pending events (envelopes return to their pools).
   void Clear();
 
  private:
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+    bool operator()(const core::EnvelopeRef& a,
+                    const core::EnvelopeRef& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->order > b->order;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  uint64_t next_seq_ = 0;
+  std::vector<core::EnvelopeRef> heap_;  // std::push_heap/pop_heap on Later
+  uint64_t next_order_ = 0;
 };
 
 }  // namespace rjoin::sim

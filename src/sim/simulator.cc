@@ -4,16 +4,29 @@
 
 namespace rjoin::sim {
 
-void Simulator::ScheduleAt(SimTime when, std::function<void()> action) {
+void Simulator::Schedule(SimTime when, core::EnvelopeRef env) {
   RJOIN_CHECK(when >= now_) << "cannot schedule events in the past";
-  queue_.Push(when, std::move(action));
+  env->time = when;
+  queue_.Push(std::move(env));
+}
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> action) {
+  core::EnvelopeRef env = pool_.Acquire();
+  env->task = core::MessageTask(core::Control{std::move(action)});
+  Schedule(when, std::move(env));
 }
 
 void Simulator::Step() {
-  Event ev = queue_.Pop();
-  now_ = ev.time;
+  core::EnvelopeRef env = queue_.Pop();
+  now_ = env->time;
   ++executed_;
-  ev.action();
+  if (env->task.kind() == core::MessageKind::kControl) {
+    core::RunControl(std::move(env));
+    return;
+  }
+  RJOIN_CHECK(dispatcher_ != nullptr)
+      << "typed envelope popped without a dispatcher (no transport attached)";
+  dispatcher_->DispatchEnvelope(std::move(env));
 }
 
 uint64_t Simulator::Run() {

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
+#include "core/messages.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -13,6 +15,13 @@ namespace rjoin::sim {
 /// hops, timers, garbage-collection sweeps) is scheduled here. The paper's
 /// evaluation ran "multiple Chord nodes in one machine"; this is the C++
 /// equivalent of that harness.
+///
+/// Events are pooled envelopes (core::Envelope). Typed message envelopes
+/// are handed to the attached core::EnvelopeDispatcher (the transport);
+/// Control envelopes — timers and test closures scheduled through
+/// ScheduleAfter/ScheduleAt — run inline. The simulator owns the serial
+/// path's MessagePool, declared before the queue so pending envelopes are
+/// released into a still-live pool on destruction.
 class Simulator {
  public:
   Simulator() = default;
@@ -21,9 +30,21 @@ class Simulator {
 
   SimTime Now() const { return now_; }
 
-  /// Schedules `action` to run `delay` ticks from now.
+  /// Pool the serial delivery path draws envelopes from.
+  core::MessagePool& pool() { return pool_; }
+
+  /// Receiver of typed (non-Control) envelopes; the transport attaches
+  /// itself here. Without a dispatcher, popping a typed envelope aborts.
+  void set_dispatcher(core::EnvelopeDispatcher* dispatcher) {
+    dispatcher_ = dispatcher;
+  }
+
+  /// Schedules `env` (delivery fields already set) at absolute time `when`.
+  void Schedule(SimTime when, core::EnvelopeRef env);
+
+  /// Schedules `action` to run `delay` ticks from now (Control envelope).
   void ScheduleAfter(SimTime delay, std::function<void()> action) {
-    queue_.Push(now_ + delay, std::move(action));
+    ScheduleAt(now_ + delay, std::move(action));
   }
 
   /// Schedules `action` at an absolute time (must be >= Now()).
@@ -49,7 +70,9 @@ class Simulator {
  private:
   void Step();
 
+  core::MessagePool pool_;  // before queue_: members destroy in reverse
   EventQueue queue_;
+  core::EnvelopeDispatcher* dispatcher_ = nullptr;
   SimTime now_ = kTimeZero;
   uint64_t executed_ = 0;
 };

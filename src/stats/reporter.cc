@@ -62,4 +62,23 @@ void PrintRankedFigure(std::ostream& os, const std::string& title,
   os << "\n\n";
 }
 
+void PrintMessagePlaneSummary(std::ostream& os, uint64_t messages,
+                              uint64_t envelope_allocs,
+                              double wall_seconds) {
+  os << "== message plane ==\n";
+  os << "messages dispatched:     " << messages << "\n";
+  os << "messages/sec (wall):     "
+     << (wall_seconds > 0.0
+             ? static_cast<uint64_t>(static_cast<double>(messages) /
+                                     wall_seconds)
+             : 0)
+     << "\n";
+  os << "envelope heap allocs:    " << envelope_allocs << "\n";
+  os << "allocs per message:      "
+     << (messages > 0 ? static_cast<double>(envelope_allocs) /
+                            static_cast<double>(messages)
+                      : 0.0)
+     << "\n\n";
+}
+
 }  // namespace rjoin::stats

@@ -53,6 +53,15 @@ void PrintRankedFigure(std::ostream& os, const std::string& title,
                        const std::vector<RankedDistribution>& dists,
                        size_t sample_points = 10);
 
+/// Prints the message-plane allocation summary for a measured interval:
+/// messages dispatched (pooled-envelope acquires), envelope heap
+/// allocations, and the allocs-per-message ratio — near zero once the
+/// pools reach their steady-state high-water mark. The counter values come
+/// from core::MessagePool::Aggregate() deltas; this keeps the rendering
+/// next to the other bench reporters.
+void PrintMessagePlaneSummary(std::ostream& os, uint64_t messages,
+                              uint64_t envelope_allocs, double wall_seconds);
+
 }  // namespace rjoin::stats
 
 #endif  // RJOIN_STATS_REPORTER_H_

@@ -60,4 +60,13 @@ struct Voidify {
                    .stream()                                              \
                    << "Check failed: " #cond " "
 
+/// Debug-build-only check for per-message hot paths (message-pool
+/// invariants, dispatch preconditions) where a release-build branch per
+/// delivery would be measurable.
+#ifdef NDEBUG
+#define RJOIN_DCHECK(cond) ((void)sizeof(cond))  // syntax-checked, not run
+#else
+#define RJOIN_DCHECK(cond) RJOIN_CHECK(cond)
+#endif
+
 #endif  // RJOIN_UTIL_LOGGING_H_

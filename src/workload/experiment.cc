@@ -107,9 +107,11 @@ Experiment::Experiment(ExperimentConfig config)
   if (resolved_shards_ >= 1) {
     runtime::ShardedRuntime::Options opt;
     opt.shards = resolved_shards_;
+    // Unset knob: auto-tune from the latency model's lookahead (the widest
+    // round that preserves exact per-hop delivery timing).
     opt.round_width = config_.round_width != 0
                           ? config_.round_width
-                          : std::max<sim::SimTime>(1, latency_.min_delay());
+                          : runtime::AutoRoundWidth(latency_);
     runtime_ = std::make_unique<runtime::ShardedRuntime>(
         opt, network_->num_total(), &metrics_);
     router_ = std::make_unique<runtime::ShardRouter>(runtime_.get(),

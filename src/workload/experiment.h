@@ -75,9 +75,11 @@ struct ExperimentConfig {
 
   static constexpr uint32_t kForceSerial = UINT32_MAX;
 
-  /// Round width override for the sharded runtime; 0 derives it from the
-  /// latency model's min_delay() (the largest width that preserves exact
-  /// message timing).
+  /// Round width override for the sharded runtime; 0 (default) auto-tunes
+  /// via runtime::AutoRoundWidth — the latency model's lookahead
+  /// (min_delay()), the largest width that preserves exact message timing.
+  /// Explicit wider values trade coarser virtual latency for fewer
+  /// barriers (see bench_runtime_scaling).
   sim::SimTime round_width = 0;
 
   /// Stream tuples back-to-back (one publication per tuple_gap of virtual

@@ -173,15 +173,18 @@ TEST(ChordNetworkTest, SizeEstimateIsRightOrderOfMagnitude) {
 
 // ------------------------------------------------------------- Transport --
 
-struct TestMsg : public Message {
-  explicit TestMsg(int v) : value(v) {}
-  int value;
-};
+// Typed test payload: an AnswerDeliver whose query_id carries the value.
+core::MessageTask TestMsg(int v) {
+  core::AnswerDeliver msg;
+  msg.query_id = static_cast<uint64_t>(v);
+  return core::MessageTask(std::move(msg));
+}
 
 class Collector : public MessageHandler {
  public:
-  void HandleMessage(NodeIndex self, MessagePtr msg) override {
-    received.emplace_back(self, static_cast<TestMsg*>(msg.get())->value);
+  void HandleMessage(NodeIndex self, core::MessageTask&& task) override {
+    ASSERT_EQ(task.kind(), core::MessageKind::kAnswerDeliver);
+    received.emplace_back(self, static_cast<int>(task.answer().query_id));
   }
   std::vector<std::pair<NodeIndex, int>> received;
 };
@@ -207,7 +210,7 @@ class TransportTest : public ::testing::Test {
 TEST_F(TransportTest, SendDeliversToResponsibleNode) {
   const NodeId key = NodeId::FromKey("t-key");
   const NodeIndex src = net_->AliveNodes()[0];
-  const size_t hops = transport_->Send(src, key, std::make_unique<TestMsg>(7));
+  const size_t hops = transport_->Send(src, key, TestMsg(7));
   sim_.Run();
   ASSERT_EQ(collector_.received.size(), 1u);
   EXPECT_EQ(collector_.received[0].first, net_->SuccessorOf(key));
@@ -220,7 +223,7 @@ TEST_F(TransportTest, SendChargesEachForwarderOnce) {
   const NodeId key = NodeId::FromKey("charge-key");
   const NodeIndex src = net_->AliveNodes()[0];
   const auto path = net_->Route(src, key);
-  transport_->Send(src, key, std::make_unique<TestMsg>(1));
+  transport_->Send(src, key, TestMsg(1));
   sim_.Run();
   for (size_t i = 0; i + 1 < path.size(); ++i) {
     EXPECT_GE(metrics_.node(path[i]).messages_sent, 1u);
@@ -234,17 +237,16 @@ TEST_F(TransportTest, SendChargesEachForwarderOnce) {
 TEST_F(TransportTest, DeliveryDelayEqualsHopCount) {
   const NodeId key = NodeId::FromKey("delay-key");
   const NodeIndex src = net_->AliveNodes()[0];
-  const size_t hops = transport_->Send(src, key, std::make_unique<TestMsg>(2));
+  const size_t hops = transport_->Send(src, key, TestMsg(2));
   sim_.Run();
   EXPECT_EQ(sim_.Now(), hops);  // FixedLatency(1) per hop.
 }
 
 TEST_F(TransportTest, MultiSendDeliversAll) {
   const NodeIndex src = net_->AliveNodes()[0];
-  std::vector<std::pair<NodeId, MessagePtr>> batch;
+  std::vector<std::pair<NodeId, core::MessageTask>> batch;
   for (int i = 0; i < 10; ++i) {
-    batch.emplace_back(NodeId::FromKey("k" + std::to_string(i)),
-                       std::make_unique<TestMsg>(i));
+    batch.emplace_back(NodeId::FromKey("k" + std::to_string(i)), TestMsg(i));
   }
   transport_->MultiSend(src, std::move(batch));
   sim_.Run();
@@ -254,7 +256,7 @@ TEST_F(TransportTest, MultiSendDeliversAll) {
 TEST_F(TransportTest, SendDirectIsOneMessageOneHop) {
   const NodeIndex src = net_->AliveNodes()[0];
   const NodeIndex dst = net_->AliveNodes()[5];
-  transport_->SendDirect(src, dst, std::make_unique<TestMsg>(3));
+  transport_->SendDirect(src, dst, TestMsg(3));
   sim_.Run();
   ASSERT_EQ(collector_.received.size(), 1u);
   EXPECT_EQ(collector_.received[0].first, dst);
@@ -264,10 +266,10 @@ TEST_F(TransportTest, SendDirectIsOneMessageOneHop) {
 
 TEST_F(TransportTest, RicTrafficTaggedSeparately) {
   const NodeIndex src = net_->AliveNodes()[0];
-  transport_->SendDirect(src, net_->AliveNodes()[1],
-                         std::make_unique<TestMsg>(4), /*ric=*/true);
-  transport_->SendDirect(src, net_->AliveNodes()[2],
-                         std::make_unique<TestMsg>(5), /*ric=*/false);
+  transport_->SendDirect(src, net_->AliveNodes()[1], TestMsg(4),
+                         /*ric=*/true);
+  transport_->SendDirect(src, net_->AliveNodes()[2], TestMsg(5),
+                         /*ric=*/false);
   sim_.Run();
   EXPECT_EQ(metrics_.total_messages(), 2u);
   EXPECT_EQ(metrics_.total_ric_messages(), 1u);

@@ -13,6 +13,8 @@
 #include "core/engine.h"
 #include "dht/chord_network.h"
 #include "dht/transport.h"
+#include "runtime/shard_router.h"
+#include "runtime/sharded_runtime.h"
 #include "sim/latency.h"
 #include "sim/simulator.h"
 #include "sql/evaluator.h"
@@ -24,7 +26,10 @@ namespace rjoin::core {
 namespace {
 
 struct Harness {
-  Harness(size_t nodes, EngineConfig cfg, uint64_t seed = 7)
+  /// `shards` > 0 routes the engine through the sharded parallel runtime
+  /// (the RJOIN_SHARDS path); 0 keeps the serial simulator.
+  Harness(size_t nodes, EngineConfig cfg, uint64_t seed = 7,
+          uint32_t shards = 0)
       : catalog(TestCatalog()),
         network(dht::ChordNetwork::Create(nodes, seed)),
         latency(std::make_unique<sim::FixedLatency>(1)),
@@ -32,7 +37,26 @@ struct Harness {
         transport(network.get(), &simulator, latency.get(), &metrics,
                   Rng(seed * 31)),
         engine(cfg, &catalog, network.get(), &transport, &simulator,
-               &metrics) {}
+               &metrics) {
+    if (shards > 0) {
+      runtime = std::make_unique<runtime::ShardedRuntime>(
+          runtime::ShardedRuntime::Options{shards,
+                                           runtime::AutoRoundWidth(*latency)},
+          network->num_total(), &metrics);
+      router =
+          std::make_unique<runtime::ShardRouter>(runtime.get(), seed * 31);
+      transport.set_router(router.get());
+      engine.AttachRuntime(runtime.get());
+    }
+  }
+
+  void Run() {
+    if (runtime != nullptr) {
+      runtime->Run();
+    } else {
+      simulator.Run();
+    }
+  }
 
   static sql::Catalog TestCatalog() {
     sql::Catalog c;
@@ -45,7 +69,7 @@ struct Harness {
   uint64_t Submit(dht::NodeIndex owner, const std::string& text) {
     auto id = engine.SubmitQuerySql(owner, text);
     EXPECT_TRUE(id.ok()) << id.status().ToString();
-    simulator.Run();
+    Run();
     return *id;
   }
 
@@ -56,6 +80,10 @@ struct Harness {
   stats::MetricsRegistry metrics;
   dht::Transport transport;
   RJoinEngine engine;
+  // Declared last so worker threads join (and shard heaps drain into
+  // still-live pools) before the rest of the stack is destroyed.
+  std::unique_ptr<runtime::ShardedRuntime> runtime;
+  std::unique_ptr<runtime::ShardRouter> router;
 };
 
 std::vector<sql::Value> Row(std::vector<int64_t> ints) {
@@ -347,6 +375,111 @@ TEST(TupleGeneratorBatchTest, NextBatchGroupsByRelationPreservingOrder) {
       EXPECT_NE(batches[i].relation, batches[j].relation);
     }
   }
+}
+
+// ------------------------------------------- sharded-runtime equivalence --
+//
+// Batched ingest must stay observationally identical to per-tuple ingest
+// when the engine runs on the sharded parallel runtime (the RJOIN_SHARDS
+// path): same MultiSend envelope chains, same emission-seq draws, same
+// barrier schedule.
+
+/// Runs the standard two-query workload with `batched` choosing the ingest
+/// path, on `shards` workers (0 = serial).
+std::unique_ptr<Harness> RunShardedWorkload(bool batched, uint32_t shards) {
+  auto harness =
+      std::make_unique<Harness>(64, EngineConfig{}, /*seed=*/7, shards);
+  Harness& h = *harness;
+  RunQueries(h);
+  if (batched) {
+    // Group consecutive same-relation rows exactly as the stream emits
+    // them, preserving the global publication order.
+    const auto stream = StreamRows();
+    size_t i = 0;
+    while (i < stream.size()) {
+      const std::string rel = stream[i].first;
+      std::vector<std::vector<sql::Value>> rows;
+      while (i < stream.size() && stream[i].first == rel) {
+        rows.push_back(Row(stream[i].second));
+        ++i;
+      }
+      EXPECT_TRUE(h.engine.PublishBatch(3, rel, std::move(rows)).ok());
+      h.Run();
+    }
+  } else {
+    for (const auto& [rel, ints] : StreamRows()) {
+      EXPECT_TRUE(h.engine.PublishTuple(3, rel, Row(ints)).ok());
+      h.Run();
+    }
+  }
+  return harness;
+}
+
+void ExpectEquivalent(Harness& a, Harness& b) {
+  EXPECT_EQ(a.metrics.total_messages(), b.metrics.total_messages());
+  EXPECT_EQ(a.metrics.total_qpl(), b.metrics.total_qpl());
+  EXPECT_EQ(a.metrics.total_storage(), b.metrics.total_storage());
+  EXPECT_EQ(a.engine.CountStoredTuples(), b.engine.CountStoredTuples());
+  EXPECT_EQ(a.engine.CountStoredQueries(), b.engine.CountStoredQueries());
+  EXPECT_FALSE(a.engine.answers().empty());
+  EXPECT_EQ(SortedRowKeys(a.engine.answers()),
+            SortedRowKeys(b.engine.answers()));
+}
+
+TEST(ShardedBatchTest, BatchEqualsSinglesOnTheShardedRuntime) {
+  auto singles = RunShardedWorkload(/*batched=*/false, /*shards=*/4);
+  auto batched = RunShardedWorkload(/*batched=*/true, /*shards=*/4);
+  ExpectEquivalent(*singles, *batched);
+}
+
+TEST(ShardedBatchTest, ShardedBatchMatchesOneShardBitIdentically) {
+  auto s1p = RunShardedWorkload(/*batched=*/true, /*shards=*/1);
+  auto s4p = RunShardedWorkload(/*batched=*/true, /*shards=*/4);
+  Harness& s1 = *s1p;
+  Harness& s4 = *s4p;
+  ExpectEquivalent(s1, s4);
+  // Bit-identical, not just same multiset: delivery order and times match.
+  ASSERT_EQ(s1.engine.answers().size(), s4.engine.answers().size());
+  for (size_t i = 0; i < s1.engine.answers().size(); ++i) {
+    EXPECT_EQ(s1.engine.answers()[i].query_id,
+              s4.engine.answers()[i].query_id);
+    EXPECT_EQ(s1.engine.answers()[i].delivered_at,
+              s4.engine.answers()[i].delivered_at);
+    EXPECT_EQ(sql::AnswerRowKey(s1.engine.answers()[i].row),
+              sql::AnswerRowKey(s4.engine.answers()[i].row));
+  }
+}
+
+TEST(ShardedBatchTest, ObserveBulkMatchesSinglesOnTheShardedRuntime) {
+  // Identical stream history — bulk vs per-tuple — then the same RIC-driven
+  // workload on 4 shards: any rate divergence changes indexing decisions
+  // and therefore traffic.
+  Harness bulk(64, EngineConfig{}, /*seed=*/7, /*shards=*/4);
+  Harness singles(64, EngineConfig{}, /*seed=*/7, /*shards=*/4);
+
+  std::vector<std::pair<std::string, std::vector<int64_t>>> history = {
+      {"R", {1, 10, 100}}, {"R", {1, 11, 101}}, {"S", {1, 5, 50}},
+      {"S", {2, 5, 51}},   {"P", {9, 5, 90}},
+  };
+  std::vector<std::vector<sql::Value>> r_rows, s_rows, p_rows;
+  for (const auto& [rel, ints] : history) {
+    ASSERT_TRUE(singles.engine.ObserveStreamHistory(rel, Row(ints)).ok());
+    auto& bucket = rel == "R" ? r_rows : (rel == "S" ? s_rows : p_rows);
+    bucket.push_back(Row(ints));
+  }
+  ASSERT_TRUE(bulk.engine.ObserveStreamHistoryBulk("R", r_rows).ok());
+  ASSERT_TRUE(bulk.engine.ObserveStreamHistoryBulk("S", s_rows).ok());
+  ASSERT_TRUE(bulk.engine.ObserveStreamHistoryBulk("P", p_rows).ok());
+
+  RunQueries(bulk);
+  RunQueries(singles);
+  for (const auto& [rel, ints] : StreamRows()) {
+    ASSERT_TRUE(bulk.engine.PublishTuple(3, rel, Row(ints)).ok());
+    ASSERT_TRUE(singles.engine.PublishTuple(3, rel, Row(ints)).ok());
+    bulk.Run();
+    singles.Run();
+  }
+  ExpectEquivalent(bulk, singles);
 }
 
 }  // namespace

@@ -9,33 +9,62 @@
 namespace rjoin::sim {
 namespace {
 
+// Wraps a closure in a pooled Control envelope at absolute time `when`.
+core::EnvelopeRef ControlAt(core::MessagePool& pool, SimTime when,
+                            std::function<void()> action) {
+  core::EnvelopeRef env = pool.Acquire();
+  env->time = when;
+  env->task = core::MessageTask(core::Control{std::move(action)});
+  return env;
+}
+
+void RunEnvelope(core::EnvelopeRef env) { core::RunControl(std::move(env)); }
+
 TEST(EventQueueTest, OrdersByTime) {
+  core::MessagePool pool;
   EventQueue q;
   std::vector<int> order;
-  q.Push(30, [&] { order.push_back(3); });
-  q.Push(10, [&] { order.push_back(1); });
-  q.Push(20, [&] { order.push_back(2); });
-  while (!q.empty()) q.Pop().action();
+  q.Push(ControlAt(pool, 30, [&] { order.push_back(3); }));
+  q.Push(ControlAt(pool, 10, [&] { order.push_back(1); }));
+  q.Push(ControlAt(pool, 20, [&] { order.push_back(2); }));
+  while (!q.empty()) RunEnvelope(q.Pop());
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EventQueueTest, FifoOnTies) {
+  core::MessagePool pool;
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    q.Push(5, [&order, i] { order.push_back(i); });
+    q.Push(ControlAt(pool, 5, [&order, i] { order.push_back(i); }));
   }
-  while (!q.empty()) q.Pop().action();
+  while (!q.empty()) RunEnvelope(q.Pop());
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
 TEST(EventQueueTest, ClearEmpties) {
+  core::MessagePool pool;
   EventQueue q;
-  q.Push(1, [] {});
-  q.Push(2, [] {});
+  q.Push(ControlAt(pool, 1, [] {}));
+  q.Push(ControlAt(pool, 2, [] {}));
   q.Clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PoppedEnvelopesRecycleThroughThePool) {
+  core::MessagePool pool;
+  EventQueue q;
+  for (int round = 0; round < 100; ++round) {
+    q.Push(ControlAt(pool, static_cast<SimTime>(round), [] {}));
+    RunEnvelope(q.Pop());
+  }
+  const core::MessagePool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.acquired, 100u);
+  // One envelope in flight at a time: the first Acquire allocates, the
+  // other 99 are freelist hits — zero allocations in steady state.
+  EXPECT_EQ(stats.envelopes_allocated, 1u);
+  EXPECT_EQ(stats.recycled, 99u);
 }
 
 TEST(SimulatorTest, ClockAdvancesWithEvents) {
