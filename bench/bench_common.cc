@@ -9,8 +9,10 @@
 #include <sstream>
 #include <thread>
 
+#include "core/interner.h"
 #include "core/messages.h"
 #include "core/planner.h"
+#include "runtime/sharded_runtime.h"
 #include "util/logging.h"
 
 namespace rjoin::bench {
@@ -162,6 +164,34 @@ JsonReporter::JsonReporter(std::string figure, std::string title,
   const core::MessagePool::GlobalStats pool = core::MessagePool::Aggregate();
   base_envelope_allocs_ = pool.envelopes_allocated;
   base_messages_ = pool.acquired;
+  const core::KeyInterner::Stats interner =
+      core::KeyInterner::Global().stats();
+  base_interner_hits_ = interner.hits;
+  base_interner_misses_ = interner.misses;
+  const runtime::ShardedRuntime::MailboxStats mailbox =
+      runtime::ShardedRuntime::AggregateMailbox();
+  base_mailbox_batches_ = mailbox.batches;
+  base_mailbox_envelopes_ = mailbox.envelopes;
+}
+
+stats::MessagePlaneSummary JsonReporter::PlaneDelta() const {
+  stats::MessagePlaneSummary s;
+  const core::MessagePool::GlobalStats pool = core::MessagePool::Aggregate();
+  s.messages = pool.acquired - base_messages_;
+  s.envelope_allocs = pool.envelopes_allocated - base_envelope_allocs_;
+  s.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const core::KeyInterner::Stats interner =
+      core::KeyInterner::Global().stats();
+  s.interned_keys = interner.entries;  // absolute: the dictionary is global
+  s.interner_hits = interner.hits - base_interner_hits_;
+  s.interner_misses = interner.misses - base_interner_misses_;
+  const runtime::ShardedRuntime::MailboxStats mailbox =
+      runtime::ShardedRuntime::AggregateMailbox();
+  s.mailbox_batches = mailbox.batches - base_mailbox_batches_;
+  s.mailbox_envelopes = mailbox.envelopes - base_mailbox_envelopes_;
+  return s;
 }
 
 void JsonReporter::AddChart(const std::string& title,
@@ -213,13 +243,7 @@ void JsonReporter::AddScalar(const std::string& name, double value) {
 }
 
 void JsonReporter::PrintMessagePlane(std::ostream& os) const {
-  const core::MessagePool::GlobalStats pool = core::MessagePool::Aggregate();
-  stats::PrintMessagePlaneSummary(
-      os, pool.acquired - base_messages_,
-      pool.envelopes_allocated - base_envelope_allocs_,
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    start_)
-          .count());
+  stats::PrintMessagePlaneSummary(os, PlaneDelta());
 }
 
 void JsonReporter::AddSpeedup(const std::string& name,
@@ -279,18 +303,34 @@ std::string JsonReporter::Write() const {
   // Message-plane scalars: every delivered message is one pooled-envelope
   // acquire, and envelope allocations only happen while the in-flight
   // high-water mark still grows — allocs_per_tuple near zero is the
-  // zero-allocation steady state of the typed message plane.
-  const core::MessagePool::GlobalStats pool = core::MessagePool::Aggregate();
-  const double messages =
-      static_cast<double>(pool.acquired - base_messages_);
-  const double envelope_allocs =
-      static_cast<double>(pool.envelopes_allocated - base_envelope_allocs_);
+  // zero-allocation steady state of the typed message plane. The interner
+  // scalars track the key-id plane: hit rate near one means steady-state
+  // key construction neither allocates nor hashes beyond the dictionary
+  // probe; the mailbox scalars track cross-shard batching (sharded runs).
+  const stats::MessagePlaneSummary plane = PlaneDelta();
+  const double messages = static_cast<double>(plane.messages);
+  const double envelope_allocs = static_cast<double>(plane.envelope_allocs);
   os << ", \"messages_per_sec\": ";
   AppendJsonNumber(os, wall_seconds > 0.0 ? messages / wall_seconds : 0.0);
   os << ", \"allocs_per_tuple\": ";
   AppendJsonNumber(os, tuples_processed_ > 0
                            ? envelope_allocs /
                                  static_cast<double>(tuples_processed_)
+                           : 0.0);
+  const double interns =
+      static_cast<double>(plane.interner_hits + plane.interner_misses);
+  os << ", \"interned_keys\": ";
+  AppendJsonNumber(os, static_cast<double>(plane.interned_keys));
+  os << ", \"interner_hit_rate\": ";
+  AppendJsonNumber(
+      os, interns > 0.0 ? static_cast<double>(plane.interner_hits) / interns
+                        : 0.0);
+  os << ", \"mailbox_batches\": ";
+  AppendJsonNumber(os, static_cast<double>(plane.mailbox_batches));
+  os << ", \"mailbox_batch_width\": ";
+  AppendJsonNumber(os, plane.mailbox_batches > 0
+                           ? static_cast<double>(plane.mailbox_envelopes) /
+                                 static_cast<double>(plane.mailbox_batches)
                            : 0.0);
   os << ", \"hardware_threads\": ";
   AppendJsonNumber(os,

@@ -122,6 +122,10 @@ class JsonReporter {
     std::vector<stats::Series> series;
   };
 
+  /// Message-plane counters (envelope pools, key interner, cross-shard
+  /// mailboxes) measured since construction.
+  stats::MessagePlaneSummary PlaneDelta() const;
+
   std::string figure_;
   std::string title_;
   workload::ExperimentConfig config_;
@@ -129,6 +133,10 @@ class JsonReporter {
   /// Message-plane counters at construction; Write() reports the delta.
   uint64_t base_envelope_allocs_ = 0;
   uint64_t base_messages_ = 0;
+  uint64_t base_interner_hits_ = 0;
+  uint64_t base_interner_misses_ = 0;
+  uint64_t base_mailbox_batches_ = 0;
+  uint64_t base_mailbox_envelopes_ = 0;
   uint64_t tuples_processed_ = 0;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<Chart> charts_;

@@ -12,6 +12,7 @@
 
 #include "bench/bench_common.h"
 #include "core/engine.h"
+#include "core/interner.h"
 #include "core/key.h"
 #include "core/planner.h"
 #include "core/residual.h"
@@ -48,6 +49,30 @@ void BM_Sha1Block(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Sha1Block)->Arg(64)->Arg(1024)->Arg(16384);
+
+// The key-id plane hot path: interning an already-seen key (lock-free
+// dictionary probe, no allocation) vs. the SHA-1 the string-keyed plane
+// paid per message (BM_Sha1Short above).
+void BM_InternHitValueKey(benchmark::State& state) {
+  core::KeyInterner interner;
+  const sql::Value v = sql::Value::Int(42);
+  interner.InternValue("R0", "A3", v);  // first sight outside the loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interner.InternValue("R0", "A3", v));
+  }
+}
+BENCHMARK(BM_InternHitValueKey);
+
+// Resolving the cached ring id from an interned key (what Transport's
+// SendKey routes on) — replaces a per-message SHA-1.
+void BM_InternedRingId(benchmark::State& state) {
+  core::KeyInterner interner;
+  const core::KeyId key = interner.InternValue("R0", "A3", sql::Value::Int(7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interner.ring_id(key));
+  }
+}
+BENCHMARK(BM_InternedRingId);
 
 void BM_NodeIdArithmetic(benchmark::State& state) {
   const dht::NodeId a = dht::NodeId::FromKey("a");

@@ -4,10 +4,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace rjoin::core {
+
+namespace {
+
+/// Reusable per-thread scratch for projection rendering: the DISTINCT
+/// trigger rule fingerprints a projection per matching tuple, which must
+/// not allocate on the delivery hot path.
+std::string& ProjectionBuffer() {
+  static thread_local std::string buf;
+  buf.clear();
+  return buf;
+}
+
+constexpr uint32_t kNil = SlabPool<StoredQuery>::kNil;
+
+}  // namespace
 
 RJoinEngine::RJoinEngine(EngineConfig config, const sql::Catalog* catalog,
                          dht::ChordNetwork* network, dht::Transport* transport,
@@ -74,9 +91,8 @@ void RJoinEngine::OnBarrier(sim::SimTime round_start) {
   for (ShardSink& sink : sinks_) {
     distinct_suppressed_ += sink.distinct_suppressed;
     sink.distinct_suppressed = 0;
-    for (const auto& [key_text, count] : sink.key_load) {
-      key_load_[key_text] += count;
-    }
+    sink.key_load.ForEach(
+        [this](KeyId key, uint64_t count) { key_load_[key] += count; });
     sink.key_load.clear();
   }
 
@@ -96,12 +112,11 @@ void RJoinEngine::OnBarrier(sim::SimTime round_start) {
   }
 }
 
-uint64_t RJoinEngine::ReadRate(dht::NodeIndex cand, const std::string& key,
+uint64_t RJoinEngine::ReadRate(dht::NodeIndex cand, KeyId key,
                                uint64_t now) {
   if (runtime_ != nullptr && runtime::ShardedRuntime::CurrentShard() >= 0) {
-    const auto& frozen = frozen_rates_[cand];
-    auto it = frozen.find(key);
-    return it == frozen.end() ? 0 : it->second;
+    const uint64_t* rate = frozen_rates_[cand].Find(key);
+    return rate == nullptr ? 0 : *rate;
   }
   return state(cand).rates.Rate(key, now);
 }
@@ -165,7 +180,9 @@ StatusOr<sql::TuplePtr> RJoinEngine::PublishTuple(
   if (config_.keep_history) history_.push_back(t);
 
   // Procedure 1: index the tuple under 2k keys — one attribute-level and
-  // one value-level key per attribute — with one multiSend.
+  // one value-level key per attribute — with one multiSend. Keys are
+  // interned once here; every later layer carries the u32 id and routes on
+  // the entry's cached ring identifier.
   std::vector<std::pair<dht::NodeId, MessageTask>> batch;
   batch.reserve(2 * schema->arity());
   // Under attribute-level replication ([18]), each tuple's attribute-level
@@ -177,17 +194,18 @@ StatusOr<sql::TuplePtr> RJoinEngine::PublishTuple(
   for (size_t i = 0; i < schema->arity(); ++i) {
     TuplePublish attr_msg;
     attr_msg.tuple = t;
-    attr_msg.key =
-        WithShard(AttributeKey(relation, schema->attributes()[i]), shard);
+    attr_msg.key = interner_->WithShard(
+        interner_->InternAttribute(relation, schema->attributes()[i]), shard);
     attr_msg.publisher = publisher;
-    dht::NodeId attr_id = KeyId(attr_msg.key);
+    const dht::NodeId& attr_id = interner_->ring_id(attr_msg.key);
     batch.emplace_back(attr_id, MessageTask(std::move(attr_msg)));
 
     TuplePublish value_msg;
     value_msg.tuple = t;
-    value_msg.key = ValueKey(relation, schema->attributes()[i], t->values[i]);
+    value_msg.key = interner_->InternValue(relation, schema->attributes()[i],
+                                           t->values[i]);
     value_msg.publisher = publisher;
-    dht::NodeId value_id = KeyId(value_msg.key);
+    const dht::NodeId& value_id = interner_->ring_id(value_msg.key);
     batch.emplace_back(value_id, MessageTask(std::move(value_msg)));
   }
   transport_->MultiSend(publisher, std::move(batch));
@@ -213,11 +231,11 @@ StatusOr<std::vector<sql::TuplePtr>> RJoinEngine::PublishBatch(
   const uint32_t replication = std::max<uint32_t>(1, config_.attr_replication);
 
   // Attribute-level keys do not depend on the row, only on its shard, so
-  // hash each (attribute, shard) pair once per batch instead of once per
+  // intern each (attribute, shard) pair once per batch instead of once per
   // tuple. Shards cycle with seq_no, exactly as sequential PublishTuple
   // calls would assign them.
   struct AttrTarget {
-    IndexKey key;
+    KeyId key = kInvalidKeyId;
     dht::NodeId id;
   };
   std::vector<std::vector<AttrTarget>> attr_targets(replication);
@@ -226,10 +244,10 @@ StatusOr<std::vector<sql::TuplePtr>> RJoinEngine::PublishBatch(
     if (targets.empty()) {
       targets.reserve(k);
       for (size_t i = 0; i < k; ++i) {
-        IndexKey key = AttributeKey(relation, schema->attributes()[i]);
-        if (replication > 1) key = WithShard(key, shard);
-        dht::NodeId id = KeyId(key);
-        targets.push_back(AttrTarget{std::move(key), id});
+        KeyId key = interner_->InternAttribute(relation,
+                                               schema->attributes()[i]);
+        if (replication > 1) key = interner_->WithShard(key, shard);
+        targets.push_back(AttrTarget{key, interner_->ring_id(key)});
       }
     }
     return targets;
@@ -256,10 +274,10 @@ StatusOr<std::vector<sql::TuplePtr>> RJoinEngine::PublishBatch(
 
       TuplePublish value_msg;
       value_msg.tuple = t;
-      value_msg.key =
-          ValueKey(relation, schema->attributes()[i], t->values[i]);
+      value_msg.key = interner_->InternValue(relation, schema->attributes()[i],
+                                             t->values[i]);
       value_msg.publisher = publisher;
-      dht::NodeId value_id = KeyId(value_msg.key);
+      const dht::NodeId& value_id = interner_->ring_id(value_msg.key);
       batch.emplace_back(value_id, MessageTask(std::move(value_msg)));
     }
     published.push_back(std::move(t));
@@ -284,14 +302,17 @@ Status RJoinEngine::ObserveStreamHistoryBulk(
   // Attribute-level observations are row-independent: resolve the
   // responsible node once per attribute and record one arrival per row.
   for (size_t i = 0; i < schema->arity(); ++i) {
-    const IndexKey ak = AttributeKey(relation, schema->attributes()[i]);
-    NodeState& st = state(network_->SuccessorOf(KeyId(ak)));
-    for (size_t r = 0; r < rows.size(); ++r) st.rates.Record(ak.text, now);
+    const KeyId ak = interner_->InternAttribute(relation,
+                                                schema->attributes()[i]);
+    NodeState& st = state(network_->SuccessorOf(interner_->ring_id(ak)));
+    for (size_t r = 0; r < rows.size(); ++r) st.rates.Record(ak, now);
   }
   for (const auto& row : rows) {
     for (size_t i = 0; i < schema->arity(); ++i) {
-      const IndexKey vk = ValueKey(relation, schema->attributes()[i], row[i]);
-      state(network_->SuccessorOf(KeyId(vk))).rates.Record(vk.text, now);
+      const KeyId vk =
+          interner_->InternValue(relation, schema->attributes()[i], row[i]);
+      state(network_->SuccessorOf(interner_->ring_id(vk)))
+          .rates.Record(vk, now);
     }
   }
   return Status::Ok();
@@ -308,10 +329,12 @@ Status RJoinEngine::ObserveStreamHistory(
   }
   const uint64_t now = Now();
   for (size_t i = 0; i < schema->arity(); ++i) {
-    const IndexKey ak = AttributeKey(relation, schema->attributes()[i]);
-    state(network_->SuccessorOf(KeyId(ak))).rates.Record(ak.text, now);
-    const IndexKey vk = ValueKey(relation, schema->attributes()[i], values[i]);
-    state(network_->SuccessorOf(KeyId(vk))).rates.Record(vk.text, now);
+    const KeyId ak = interner_->InternAttribute(relation,
+                                                schema->attributes()[i]);
+    state(network_->SuccessorOf(interner_->ring_id(ak))).rates.Record(ak, now);
+    const KeyId vk =
+        interner_->InternValue(relation, schema->attributes()[i], values[i]);
+    state(network_->SuccessorOf(interner_->ring_id(vk))).rates.Record(vk, now);
   }
   return Status::Ok();
 }
@@ -351,15 +374,18 @@ void RJoinEngine::HandleMessage(dht::NodeIndex self, MessageTask&& task) {
 }
 
 void RJoinEngine::PrefetchRic(dht::NodeIndex src, const IndexKey& key) {
-  transport_->Send(src, KeyId(key),
-                   MessageTask(RicRequest{key.text, src}), /*ric=*/true);
+  const KeyId id = interner_->Intern(key);
+  transport_->SendKey(src, id, MessageTask(RicRequest{id, src}),
+                      /*ric=*/true);
 }
 
 void RJoinEngine::OnRicRequest(dht::NodeIndex self, const RicRequest& msg) {
   RicReply reply;
   const uint64_t now = Now();
-  reply.entry =
-      RicEntry{msg.key_text, ReadRate(self, msg.key_text, now), now, self};
+  reply.entry = RicEntry{.key = msg.key,
+                         .node = self,
+                         .rate = ReadRate(self, msg.key, now),
+                         .timestamp = now};
   transport_->SendDirect(self, msg.requester, MessageTask(std::move(reply)),
                          /*ric=*/true);
 }
@@ -396,20 +422,35 @@ bool RJoinEngine::WindowClosedByTuple(const Residual& r,
   return pos / w.size > r.window_min() / w.size;
 }
 
-void RJoinEngine::DropStoredQuery(dht::NodeIndex self, const IndexKey& key,
-                                  std::vector<StoredQuery>& bucket,
-                                  size_t i) {
-  if (bucket[i].residual.origin()->spec().distinct) {
-    state(self).distinct_fingerprints.erase(
-        key.text + bucket[i].residual.ContentFingerprint());
+std::string RJoinEngine::StoredFingerprint(KeyId key, const Residual& r) {
+  std::string fp(sizeof(KeyId), '\0');
+  std::memcpy(fp.data(), &key, sizeof(key));
+  fp += r.ContentFingerprint();
+  return fp;
+}
+
+void RJoinEngine::DropStoredQuery(dht::NodeIndex self, KeyId key,
+                                  BucketList& bucket, uint32_t prev_idx,
+                                  uint32_t idx) {
+  NodeState& st = state(self);
+  StoredQuery& sq = st.query_pool.at(idx).value;
+  if (sq.residual.origin()->spec().distinct) {
+    st.distinct_fingerprints.erase(StoredFingerprint(key, sq.residual));
   }
   Metrics().RemoveStore(self);
-  bucket[i] = std::move(bucket.back());
-  bucket.pop_back();
+  BucketUnlink(st.query_pool, bucket, prev_idx, idx);
+}
+
+StoredQuery& RJoinEngine::AppendStoredQuery(NodeState& st, BucketList& bucket,
+                                            StoredQuery&& sq) {
+  const uint32_t idx = BucketAppend(st.query_pool, bucket);
+  auto& node = st.query_pool.at(idx);
+  node.value = std::move(sq);
+  return node.value;
 }
 
 void RJoinEngine::TryTrigger(dht::NodeIndex self, StoredQuery& sq,
-                             const IndexKey& key, const sql::TuplePtr& t) {
+                             KeyId key, const sql::TuplePtr& t) {
   Residual& r = sq.residual;
   const int rel = r.origin()->RelIndex(t->relation);
   if (rel < 0 || r.IsBound(rel)) return;
@@ -424,18 +465,17 @@ void RJoinEngine::TryTrigger(dht::NodeIndex self, StoredQuery& sq,
   if (!r.Matches(rel, *t)) return;
 
   // DISTINCT rule of Section 4: a new tuple triggers this stored query only
-  // if its projection over the referenced attributes is new.
-  if (r.origin()->spec().distinct && key.level == Level::kValue) {
-    std::string proj;
+  // if its projection over the referenced attributes is new. Projections
+  // are kept as 64-bit fingerprints in an inline set (see ProjectionSet),
+  // rendered into a reusable buffer — no allocation per trigger.
+  if (r.origin()->spec().distinct &&
+      interner_->level(key) == Level::kValue) {
+    std::string& proj = ProjectionBuffer();
     for (int attr : r.origin()->projection_attrs(rel)) {
-      proj += t->values[static_cast<size_t>(attr)].ToKeyString();
+      t->values[static_cast<size_t>(attr)].AppendKeyString(&proj);
       proj += '|';
     }
-    if (sq.seen_projections == nullptr) {
-      sq.seen_projections =
-          std::make_unique<std::unordered_set<std::string>>();
-    }
-    if (!sq.seen_projections->insert(proj).second) return;
+    if (!sq.seen_projections.Insert(Fnv1a64(proj))) return;
   }
 
   CompleteOrForward(self, r.Bind(rel, t));
@@ -457,48 +497,55 @@ void RJoinEngine::CompleteOrForward(dht::NodeIndex self, Residual next) {
 void RJoinEngine::OnNewTuple(dht::NodeIndex self, TuplePublish& msg) {
   Metrics().AddQpl(self);
   NodeState& st = state(self);
-  st.rates.Record(msg.key.text, Now());
+  st.rates.Record(msg.key, Now());
 
-  auto it = st.queries.find(msg.key.text);
-  if (it != st.queries.end()) {
-    auto& bucket = it->second;
-    for (size_t i = 0; i < bucket.size();) {
+  if (BucketList* bucket = st.queries.Find(msg.key)) {
+    // Walk the intrusive list in arrival order; drops unlink in place.
+    uint32_t prev = kNil;
+    uint32_t cur = bucket->head;
+    while (cur != kNil) {
+      StoredQuery& sq = st.query_pool.at(cur).value;
       // Section 5: a triggering tuple that falls beyond the residual's
       // window proves the window closed — the residual is deleted.
-      if (WindowClosedByTuple(bucket[i].residual, *msg.tuple)) {
-        DropStoredQuery(self, msg.key, bucket, i);
-        continue;  // Swap-erase: re-examine index i.
+      if (WindowClosedByTuple(sq.residual, *msg.tuple)) {
+        const uint32_t next = st.query_pool.at(cur).next;
+        DropStoredQuery(self, msg.key, *bucket, prev, cur);
+        cur = next;
+        continue;
       }
-      TryTrigger(self, bucket[i], msg.key, msg.tuple);
-      ++i;
+      TryTrigger(self, sq, msg.key, msg.tuple);
+      prev = cur;
+      cur = st.query_pool.at(cur).next;
     }
   }
 
-  if (msg.key.level == Level::kValue) {
+  if (interner_->level(msg.key) == Level::kValue) {
     // Procedure 2: value-level tuples are stored for future rewritten
     // queries.
-    st.tuples[msg.key.text].push_back(msg.tuple);
+    st.tuples[msg.key].push_back(msg.tuple);
     Metrics().AddStore(self);
-    RecordKeyLoad(msg.key.text);
+    RecordKeyLoad(msg.key);
   } else if (config_.enable_altt) {
     // Section 4 fix: keep attribute-level tuples for Delta so that delayed
     // input queries are not starved (Example 1).
-    auto& dq = st.altt[msg.key.text];
+    BucketList& dq = st.altt[msg.key];
     const uint64_t now = Now();
     const uint64_t expires = altt_delta_ > UINT64_MAX - now
                                  ? UINT64_MAX
                                  : now + altt_delta_;  // Saturating.
-    dq.push_back({msg.tuple, expires});
+    const uint32_t idx = BucketAppend(st.altt_pool, dq);
+    st.altt_pool.at(idx).value = AlttEntry{msg.tuple, expires};
     Metrics().AddAlttStore(self);
-    // Amortized expiry: drop stale entries from the front.
-    while (!dq.empty() && dq.front().expires < now) {
-      dq.pop_front();
+    // Amortized expiry: entries append in arrival order, so stale ones
+    // cluster at the head.
+    while (dq.head != kNil &&
+           st.altt_pool.at(dq.head).value.expires < now) {
+      BucketUnlink(st.altt_pool, dq, kNil, dq.head);
     }
   }
 }
 
-void RJoinEngine::OnEval(dht::NodeIndex self, const IndexKey& key,
-                         Residual&& residual,
+void RJoinEngine::OnEval(dht::NodeIndex self, KeyId key, Residual&& residual,
                          const std::vector<RicEntry>& piggyback) {
   Metrics().AddQpl(self);
   NodeState& st = state(self);
@@ -508,27 +555,27 @@ void RJoinEngine::OnEval(dht::NodeIndex self, const IndexKey& key,
   const bool distinct = residual.origin()->spec().distinct;
   std::string fp;
   if (distinct) {
-    fp = key.text + residual.ContentFingerprint();
+    fp = StoredFingerprint(key, residual);
     if (st.distinct_fingerprints.contains(fp)) return;
   }
 
   // Procedure 3: probe already-present tuples first — stored tuples can be
   // older than the residual, so this must happen even if the residual's
   // window admits no *future* tuples anymore.
-  StoredQuery sq{std::move(residual), nullptr};
-  if (key.level == Level::kValue) {
-    auto it = st.tuples.find(key.text);
-    if (it != st.tuples.end()) {
+  StoredQuery sq{std::move(residual), {}};
+  if (interner_->level(key) == Level::kValue) {
+    if (const auto* bucket = st.tuples.Find(key)) {
       // Probing only emits async messages; the tuple list is stable.
-      for (const sql::TuplePtr& t : it->second) {
+      for (const sql::TuplePtr& t : *bucket) {
         TryTrigger(self, sq, key, t);
       }
     }
   } else if (config_.enable_altt) {
-    auto it = st.altt.find(key.text);
-    if (it != st.altt.end()) {
+    if (const BucketList* dq = st.altt.Find(key)) {
       const uint64_t now = Now();
-      for (const AlttEntry& e : it->second) {
+      for (uint32_t cur = dq->head; cur != kNil;
+           cur = st.altt_pool.at(cur).next) {
+        const AlttEntry& e = st.altt_pool.at(cur).value;
         if (e.expires < now) continue;
         TryTrigger(self, sq, key, e.tuple);
       }
@@ -541,10 +588,10 @@ void RJoinEngine::OnEval(dht::NodeIndex self, const IndexKey& key,
   // Store for future tuples unless the window has already closed
   // (Section 5's status reduction).
   if (IsExpired(sq.residual)) return;
-  if (distinct) st.distinct_fingerprints.insert(fp);
-  st.queries[key.text].push_back(std::move(sq));
+  if (distinct) st.distinct_fingerprints.insert(std::move(fp));
+  AppendStoredQuery(st, st.queries[key], std::move(sq));
   Metrics().AddStore(self);
-  RecordKeyLoad(key.text);
+  RecordKeyLoad(key);
 }
 
 void RJoinEngine::OnAnswer(dht::NodeIndex self, AnswerDeliver& msg) {
@@ -587,7 +634,7 @@ void RJoinEngine::OnAnswer(dht::NodeIndex self, AnswerDeliver& msg) {
 }
 
 void RJoinEngine::GatherRic(dht::NodeIndex src,
-                            const std::vector<IndexKey>& candidates,
+                            const std::vector<KeyId>& candidates,
                             std::vector<uint64_t>* rates,
                             std::vector<dht::NodeIndex>* nodes) {
   const uint64_t now = Now();
@@ -597,7 +644,7 @@ void RJoinEngine::GatherRic(dht::NodeIndex src,
 
   std::vector<size_t> unknown;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    const std::string& key = candidates[i].text;
+    const KeyId key = candidates[i];
     const RicEntry* cached =
         config_.reuse_ric_info ? st.ct.Find(key) : nullptr;
     if (cached != nullptr && now - cached->timestamp <= config_.ct_validity) {
@@ -607,7 +654,8 @@ void RJoinEngine::GatherRic(dht::NodeIndex src,
     } else if (cached != nullptr) {
       // Stale but the responsible node's address is known: refresh with a
       // 2-message direct exchange instead of an O(log N) route.
-      const dht::NodeIndex cand = network_->SuccessorOf(KeyId(candidates[i]));
+      const dht::NodeIndex cand =
+          network_->SuccessorOf(interner_->ring_id(key));
       if (config_.charge_ric_messages) {
         transport_->ChargeTraffic(src, 1, /*ric=*/true);
         transport_->ChargeTraffic(cand, 1, /*ric=*/true);
@@ -615,7 +663,8 @@ void RJoinEngine::GatherRic(dht::NodeIndex src,
       const uint64_t rate = ReadRate(cand, key, now);
       (*rates)[i] = rate;
       (*nodes)[i] = cand;
-      st.ct.Merge(RicEntry{key, rate, now, cand});
+      st.ct.Merge(
+          RicEntry{.key = key, .node = cand, .rate = rate, .timestamp = now});
     } else {
       unknown.push_back(i);
     }
@@ -629,14 +678,16 @@ void RJoinEngine::GatherRic(dht::NodeIndex src,
   // messages; the later index message is the "+1" more.
   dht::NodeIndex prev = src;
   for (size_t i : unknown) {
-    const dht::NodeIndex cand = network_->SuccessorOf(KeyId(candidates[i]));
+    const dht::NodeId& ring = interner_->ring_id(candidates[i]);
+    const dht::NodeIndex cand = network_->SuccessorOf(ring);
     if (config_.charge_ric_messages) {
-      transport_->ChargeRoute(prev, KeyId(candidates[i]), /*ric=*/true);
+      transport_->ChargeRoute(prev, ring, /*ric=*/true);
     }
-    const uint64_t rate = ReadRate(cand, candidates[i].text, now);
+    const uint64_t rate = ReadRate(cand, candidates[i], now);
     (*rates)[i] = rate;
     (*nodes)[i] = cand;
-    st.ct.Merge(RicEntry{candidates[i].text, rate, now, cand});
+    st.ct.Merge(RicEntry{
+        .key = candidates[i], .node = cand, .rate = rate, .timestamp = now});
     prev = cand;
   }
   if (config_.charge_ric_messages) {
@@ -645,8 +696,8 @@ void RJoinEngine::GatherRic(dht::NodeIndex src,
 }
 
 void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
-  const std::vector<IndexKey> candidates =
-      IndexingCandidates(residual, config_.rewrite_levels);
+  const std::vector<KeyId> candidates =
+      IndexingCandidates(residual, config_.rewrite_levels, *interner_);
   RJOIN_CHECK(!candidates.empty())
       << "residual of query " << residual.origin()->query_id()
       << " has no indexing candidates";
@@ -677,8 +728,8 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
       const uint64_t now = Now();
       for (size_t i = 0; i < candidates.size(); ++i) {
         const dht::NodeIndex cand =
-            network_->SuccessorOf(KeyId(candidates[i]));
-        const uint64_t rate = ReadRate(cand, candidates[i].text, now);
+            network_->SuccessorOf(interner_->ring_id(candidates[i]));
+        const uint64_t rate = ReadRate(cand, candidates[i], now);
         if (rate > worst_rate) {
           worst_rate = rate;
           chosen = i;
@@ -688,7 +739,7 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
       // relation-attribute pair, the worst possible placement.
       if (worst_rate == 0) {
         for (size_t i = 0; i < candidates.size(); ++i) {
-          if (candidates[i].level == Level::kAttribute) {
+          if (interner_->level(candidates[i]) == Level::kAttribute) {
             chosen = i;
             break;
           }
@@ -707,8 +758,8 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
         const bool better =
             rates[i] < best ||
             (rates[i] == best &&
-             candidates[chosen].level == Level::kAttribute &&
-             candidates[i].level == Level::kValue);
+             interner_->level(candidates[chosen]) == Level::kAttribute &&
+             interner_->level(candidates[i]) == Level::kValue);
         if (better) {
           best = rates[i];
           chosen = i;
@@ -720,7 +771,7 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
     }
   }
 
-  const IndexKey& key = candidates[chosen];
+  const KeyId key = candidates[chosen];
 
   // Section 7: pack the RIC info we hold for this residual's candidate keys
   // so the next node can avoid re-asking (typically only the one new
@@ -728,8 +779,8 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
   NodeState& st = state(src);
   std::vector<RicEntry> piggyback;
   if (config_.reuse_ric_info) {
-    for (const IndexKey& c : candidates) {
-      if (const RicEntry* e = st.ct.Find(c.text)) piggyback.push_back(*e);
+    for (KeyId c : candidates) {
+      if (const RicEntry* e = st.ct.Find(c)) piggyback.push_back(*e);
     }
   }
 
@@ -739,24 +790,23 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
   // Input queries ship as kQueryIndex (Procedure 2), rewritten residuals as
   // kRewrite (Procedure 3) — same wire shape, separable traffic.
   const bool is_input = residual.IsInputQuery();
-  const uint32_t copies = (key.level == Level::kAttribute)
+  const uint32_t copies = (interner_->level(key) == Level::kAttribute)
                               ? config_.attr_replication
                               : 1;
   for (uint32_t s = 0; s < copies; ++s) {
-    IndexKey copy_key = copies > 1 ? WithShard(key, s) : key;
+    const KeyId copy_key = copies > 1 ? interner_->WithShard(key, s) : key;
     Residual copy_residual =
         (s + 1 == copies) ? std::move(residual) : residual;
-    const dht::NodeId target = KeyId(copy_key);
     MessageTask task =
-        is_input ? MessageTask(QueryIndex{std::move(copy_residual),
-                                          std::move(copy_key), piggyback})
-                 : MessageTask(Rewrite{std::move(copy_residual),
-                                       std::move(copy_key), piggyback});
+        is_input ? MessageTask(QueryIndex{std::move(copy_residual), copy_key,
+                                          piggyback})
+                 : MessageTask(
+                       Rewrite{std::move(copy_residual), copy_key, piggyback});
     if (address_known && copies == 1) {
       // The RIC exchange told us the responsible node's address: one hop.
       transport_->SendDirect(src, chosen_node, std::move(task));
     } else {
-      transport_->Send(src, target, std::move(task));
+      transport_->SendKey(src, copy_key, std::move(task));
     }
   }
 }
@@ -767,21 +817,23 @@ void RJoinEngine::SweepWindows() {
                            num_windowed_queries_ > 0 && max_window_span_ > 0;
   for (dht::NodeIndex n = 0; n < states_.size(); ++n) {
     NodeState& st = *states_[n];
-    for (auto& [key_text, bucket] : st.queries) {
-      IndexKey key;  // Reconstructed for fingerprint bookkeeping.
-      key.text = key_text;
-      for (size_t i = 0; i < bucket.size();) {
-        if (IsExpired(bucket[i].residual)) {
-          DropStoredQuery(n, key, bucket, i);
+    st.queries.ForEach([&](KeyId key, BucketList& bucket) {
+      uint32_t prev = kNil;
+      uint32_t cur = bucket.head;
+      while (cur != kNil) {
+        const uint32_t next = st.query_pool.at(cur).next;
+        if (IsExpired(st.query_pool.at(cur).value.residual)) {
+          DropStoredQuery(n, key, bucket, prev, cur);
         } else {
-          ++i;
+          prev = cur;
         }
+        cur = next;
       }
-    }
+    });
     if (!drop_tuples) continue;
     // A stored tuple older than the largest window can never combine with
     // future tuples for any live (all-windowed) query.
-    for (auto& [key_text, tuples] : st.tuples) {
+    st.tuples.ForEach([&](KeyId, std::vector<sql::TuplePtr>& tuples) {
       auto expired = [&](const sql::TuplePtr& t) {
         // Conservative: use both clocks; drop only if out of range for the
         // larger of the two interpretations.
@@ -802,7 +854,7 @@ void RJoinEngine::SweepWindows() {
         }
       }
       tuples.resize(kept);
-    }
+    });
   }
 }
 
@@ -817,7 +869,7 @@ std::vector<Answer> RJoinEngine::AnswersFor(uint64_t query_id) const {
 size_t RJoinEngine::CountStoredQueries() const {
   size_t n = 0;
   for (const auto& st : states_) {
-    for (const auto& [key, bucket] : st->queries) n += bucket.size();
+    n += st->query_pool.live();
   }
   return n;
 }
@@ -825,7 +877,10 @@ size_t RJoinEngine::CountStoredQueries() const {
 size_t RJoinEngine::CountStoredTuples() const {
   size_t n = 0;
   for (const auto& st : states_) {
-    for (const auto& [key, bucket] : st->tuples) n += bucket.size();
+    st->tuples.ForEach(
+        [&](KeyId, const std::vector<sql::TuplePtr>& bucket) {
+          n += bucket.size();
+        });
   }
   return n;
 }
@@ -833,9 +888,9 @@ size_t RJoinEngine::CountStoredTuples() const {
 std::vector<dht::KeyLoad> RJoinEngine::KeyLoadProfile() const {
   std::vector<dht::KeyLoad> out;
   out.reserve(key_load_.size());
-  for (const auto& [text, weight] : key_load_) {
-    out.push_back({dht::NodeId::FromKey(text), weight});
-  }
+  key_load_.ForEach([&](KeyId key, const uint64_t& weight) {
+    out.push_back({interner_->ring_id(key), weight});
+  });
   return out;
 }
 
@@ -844,14 +899,14 @@ InputQueryPtr RJoinEngine::FindQuery(uint64_t query_id) const {
   return it == queries_.end() ? nullptr : it->second;
 }
 
-void RJoinEngine::RecordKeyLoad(const std::string& key_text) {
+void RJoinEngine::RecordKeyLoad(KeyId key) {
   const int shard =
       runtime_ != nullptr ? runtime::ShardedRuntime::CurrentShard() : -1;
   if (shard >= 0) {
-    ++sinks_[shard].key_load[key_text];
+    ++sinks_[shard].key_load[key];
     return;
   }
-  ++key_load_[key_text];
+  ++key_load_[key];
 }
 
 }  // namespace rjoin::core

@@ -9,7 +9,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/interner.h"
 #include "core/key.h"
+#include "core/key_map.h"
 #include "core/messages.h"
 #include "core/node_state.h"
 #include "core/planner.h"
@@ -193,10 +195,17 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// O(log N) RIC route. Both messages are charged as RIC traffic.
   void PrefetchRic(dht::NodeIndex src, const IndexKey& key);
 
-  /// True when `node`'s candidate table holds an entry for `key_text`
-  /// (tests of the RicRequest/RicReply plumbing).
+  /// True when `node`'s candidate table holds an entry for `key_text` at
+  /// either level (tests of the RicRequest/RicReply plumbing; the same
+  /// text can be interned at both levels — see KeyInterner::Intern).
   bool HasCachedRic(dht::NodeIndex node, const std::string& key_text) const {
-    return states_[node]->ct.Find(key_text) != nullptr;
+    for (Level level : {Level::kAttribute, Level::kValue}) {
+      const KeyId key = interner_->Find(key_text, level);
+      if (key != kInvalidKeyId && states_[node]->ct.Find(key) != nullptr) {
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Garbage collection: drops expired window residuals everywhere, and —
@@ -253,8 +262,7 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// cross-node read of the engine (RIC, Section 6). Worker threads read
   /// the frozen per-epoch snapshot (S-invariant and race-free); the driver
   /// and the serial path read the live tracker.
-  uint64_t ReadRate(dht::NodeIndex cand, const std::string& key,
-                    uint64_t now);
+  uint64_t ReadRate(dht::NodeIndex cand, KeyId key, uint64_t now);
 
   /// Decides where to index `residual` (planner policies of Section 6,
   /// RIC gathering and candidate-table reuse of Section 7) and ships it.
@@ -262,14 +270,14 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
 
   /// RIC acquisition for a candidate set; fills predicted rates and
   /// responsible nodes, charging messages per Sections 6-7 when enabled.
-  void GatherRic(dht::NodeIndex src, const std::vector<IndexKey>& candidates,
+  void GatherRic(dht::NodeIndex src, const std::vector<KeyId>& candidates,
                  std::vector<uint64_t>* rates,
                  std::vector<dht::NodeIndex>* nodes);
 
   void OnNewTuple(dht::NodeIndex self, TuplePublish& msg);
   /// Shared body of kQueryIndex and kRewrite (Procedures 2 and 3 store and
   /// probe identically; only the message kind differs on the wire).
-  void OnEval(dht::NodeIndex self, const IndexKey& key, Residual&& residual,
+  void OnEval(dht::NodeIndex self, KeyId key, Residual&& residual,
               const std::vector<RicEntry>& piggyback);
   void OnAnswer(dht::NodeIndex self, AnswerDeliver& msg);
   void OnRicRequest(dht::NodeIndex self, const RicRequest& msg);
@@ -278,7 +286,7 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// Shared trigger step: try to bind `t` into the stored query `sq`
   /// (temporal check, predicate match, window admission, DISTINCT rule).
   /// On success forwards or completes the new residual.
-  void TryTrigger(dht::NodeIndex self, StoredQuery& sq, const IndexKey& key,
+  void TryTrigger(dht::NodeIndex self, StoredQuery& sq, KeyId key,
                   const sql::TuplePtr& t);
 
   void CompleteOrForward(dht::NodeIndex self, Residual next);
@@ -292,11 +300,23 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// the residual's window has closed (t is newer than the window allows).
   bool WindowClosedByTuple(const Residual& r, const sql::Tuple& t) const;
 
-  /// Removes bucket[i] (swap-erase) with metric + fingerprint bookkeeping.
-  void DropStoredQuery(dht::NodeIndex self, const IndexKey& key,
-                       std::vector<StoredQuery>& bucket, size_t i);
+  /// Fingerprint for DISTINCT set semantics of a stored residual: the
+  /// interned key id (fixed 4-byte prefix) plus the residual's content
+  /// fingerprint. Ids are a per-process bijection with key text, so
+  /// membership semantics match the seed's text-prefixed form.
+  static std::string StoredFingerprint(KeyId key, const Residual& r);
 
-  void RecordKeyLoad(const std::string& key_text);
+  /// Unlinks the pool node `idx` (whose predecessor in the bucket list is
+  /// `prev_idx`, or kNil when idx is the head) and frees it, with metric +
+  /// fingerprint bookkeeping.
+  void DropStoredQuery(dht::NodeIndex self, KeyId key, BucketList& bucket,
+                       uint32_t prev_idx, uint32_t idx);
+
+  /// Appends a pooled StoredQuery node to `bucket`; returns the node.
+  StoredQuery& AppendStoredQuery(NodeState& st, BucketList& bucket,
+                                 StoredQuery&& sq);
+
+  void RecordKeyLoad(KeyId key);
 
   EngineConfig config_;
   const sql::Catalog* catalog_;
@@ -304,6 +324,7 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   dht::Transport* transport_;
   sim::Simulator* simulator_;
   stats::MetricsRegistry* metrics_;
+  KeyInterner* interner_ = &KeyInterner::Global();
   Rng rng_;
 
   // ---- sharded-runtime state (unused on the serial path) ----
@@ -318,14 +339,14 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
     std::unordered_map<uint64_t, std::unordered_set<std::string>>
         distinct_rows;
     uint64_t distinct_suppressed = 0;
-    std::unordered_map<std::string, uint64_t> key_load;
+    KeyIdMap<uint64_t> key_load;
   };
 
   runtime::ShardedRuntime* runtime_ = nullptr;
   std::vector<ShardSink> sinks_;
   /// Frozen Rate() snapshots per node, rebuilt at epoch barriers; read-only
   /// while workers run.
-  std::vector<std::unordered_map<std::string, uint64_t>> frozen_rates_;
+  std::vector<KeyIdMap<uint64_t>> frozen_rates_;
   uint64_t frozen_epoch_ = 0;
   bool frozen_valid_ = false;
   /// Per-node draw counter for the kRandom policy under the runtime
@@ -341,7 +362,7 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   uint64_t distinct_suppressed_ = 0;
 
   std::vector<sql::TuplePtr> history_;
-  std::unordered_map<std::string, uint64_t> key_load_;
+  KeyIdMap<uint64_t> key_load_;
 
   uint64_t next_query_id_ = 1;
   uint64_t next_tuple_id_ = 1;

@@ -1,0 +1,148 @@
+#ifndef RJOIN_CORE_INTERNER_H_
+#define RJOIN_CORE_INTERNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/key.h"
+#include "dht/id.h"
+#include "sql/value.h"
+
+namespace rjoin::core {
+
+/// Append-only dictionary of index keys: each distinct canonical
+/// (text, level) pair is stored once and named by a dense u32 KeyId. An entry caches the
+/// key's indexing level and its SHA-1 ring identifier, so everything past
+/// the construction boundary — message payloads, routing, node-state
+/// buckets, rate tracking, candidate tables — works on a u32 and never
+/// re-hashes key text.
+///
+/// Concurrency contract (the shape the sharded runtime needs):
+///  * Reads — Find(), text(), level(), ring_id() — are lock-free and safe
+///    from any thread, concurrently with inserts.
+///  * Inserts take a mutex, but only for keys seen for the first time; a
+///    repeated Intern() is a lock-free hit. Steady state interns nothing.
+///  * Entries are immortal: slabs and retired index tables are never freed
+///    while the interner lives, so ids and `const std::string&` references
+///    stay valid forever.
+///
+/// Determinism: ids are assigned in first-intern order. Driver-phase
+/// interning (query submission, tuple publication) is sequential and thus
+/// canonical; worker-phase interning (rewrite candidates) may race, so id
+/// *values* can differ between runs — which is why no ordering the engine
+/// emits ever depends on id values (event keys are (time, src, seq); see
+/// docs/keys.md for the full argument). Within one process, text -> id is
+/// a fixed bijection (keyed by (text, level)), so an S=1 run and an S=4
+/// run of the same workload resolve identical keys to identical ids.
+class KeyInterner {
+ public:
+  KeyInterner();
+  ~KeyInterner();
+  KeyInterner(const KeyInterner&) = delete;
+  KeyInterner& operator=(const KeyInterner&) = delete;
+
+  /// Process-wide interner the engine/transport stack uses by default.
+  static KeyInterner& Global();
+
+  /// Id of the (text, level) key, interning it on first sight. Identity is
+  /// the *pair*: the same text interned at both levels yields two ids with
+  /// the same ring position — e.g. the sharded attribute key
+  /// `R·A·#3` and a value key for the string value "#3" share their text,
+  /// and the seed kept them level-distinct, so the interner must too.
+  KeyId Intern(std::string_view text, Level level);
+
+  /// Interns a boundary-form key.
+  KeyId Intern(const IndexKey& key) { return Intern(key.text, key.level); }
+
+  /// Attribute-level key Hash(R + A), built into a reusable thread-local
+  /// buffer (no allocation on the hit path).
+  KeyId InternAttribute(std::string_view relation, std::string_view attr);
+
+  /// Value-level key Hash(R + A + v).
+  KeyId InternValue(std::string_view relation, std::string_view attr,
+                    const sql::Value& value);
+
+  /// Re-shards an attribute-level key ([18]'s replication scheme); shard 0
+  /// is the plain key.
+  KeyId WithShard(KeyId attr_key, uint32_t shard);
+
+  /// Id of (text, level) if already interned, else kInvalidKeyId.
+  /// Lock-free.
+  KeyId Find(std::string_view text, Level level) const;
+
+  /// Level-agnostic lookup (tests, cold boundaries like HasCachedRic):
+  /// the attribute-level entry if one exists, else the value-level one.
+  KeyId Find(std::string_view text) const;
+
+  /// Canonical text of an interned key. The reference is stable for the
+  /// interner's lifetime.
+  const std::string& text(KeyId id) const { return entry(id).text; }
+
+  /// Indexing level the key was interned with.
+  Level level(KeyId id) const { return entry(id).level; }
+
+  /// Cached ring identifier (SHA-1 of the text, computed once at intern).
+  const dht::NodeId& ring_id(KeyId id) const { return entry(id).ring_id; }
+
+  /// Number of interned keys.
+  uint32_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Intern-traffic counters. hits = Intern() calls resolved without
+  /// inserting (the steady state); misses = first-sight inserts (== the
+  /// entry count, barring racing duplicates that lost the lock).
+  struct Stats {
+    uint64_t entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t text_bytes = 0;  ///< total canonical text interned
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string text;
+    dht::NodeId ring_id;
+    Level level = Level::kAttribute;
+  };
+
+  /// Open-addressing index over interned ids: slot = (hash32 << 32) |
+  /// (id + 1), 0 = empty. Published entries only; readers that hold a
+  /// pre-resize table see a subset and fall back to the locked path.
+  struct Table {
+    explicit Table(size_t capacity);
+    const size_t mask;
+    std::unique_ptr<std::atomic<uint64_t>[]> slots;
+  };
+
+  static constexpr uint32_t kSlabBits = 10;  // 1024 entries per slab
+  static constexpr uint32_t kSlabSize = 1u << kSlabBits;
+  static constexpr uint32_t kMaxSlabs = 1u << 12;  // 4M keys hard cap
+
+  const Entry& entry(KeyId id) const;
+  KeyId FindIn(const Table& table, std::string_view text, Level level,
+               uint64_t hash) const;
+  void PublishInto(Table& table, uint64_t hash, KeyId id);
+
+  /// Slab spine: fixed-size array of atomics so readers never race a
+  /// growing vector. Slabs are allocated under the mutex and published
+  /// with release stores.
+  std::unique_ptr<std::atomic<Entry*>[]> slabs_;
+  std::atomic<uint32_t> size_{0};
+
+  std::atomic<Table*> table_;
+  std::vector<std::unique_ptr<Table>> retired_;  // old tables, kept alive
+  std::mutex mutex_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> text_bytes_{0};
+};
+
+}  // namespace rjoin::core
+
+#endif  // RJOIN_CORE_INTERNER_H_

@@ -2,12 +2,6 @@
 
 namespace rjoin::core {
 
-namespace {
-// Unit separator: cannot appear in identifiers or integer values, keeping
-// concatenated keys collision-free (e.g. rel "RA" + attr "B" vs "R" + "AB").
-constexpr char kSep = '\x1f';
-}  // namespace
-
 const char* LevelName(Level level) {
   return level == Level::kAttribute ? "attribute" : "value";
 }
@@ -17,7 +11,7 @@ IndexKey AttributeKey(const std::string& relation, const std::string& attr) {
   k.level = Level::kAttribute;
   k.text.reserve(relation.size() + attr.size() + 1);
   k.text = relation;
-  k.text += kSep;
+  k.text += kKeySep;
   k.text += attr;
   return k;
 }
@@ -26,7 +20,7 @@ IndexKey ShardedAttributeKey(const std::string& relation,
                              const std::string& attr, uint32_t shard) {
   IndexKey k = AttributeKey(relation, attr);
   if (shard > 0) {
-    k.text += kSep;
+    k.text += kKeySep;
     k.text += '#';
     k.text += std::to_string(shard);
   }
@@ -37,27 +31,26 @@ IndexKey ValueKey(const std::string& relation, const std::string& attr,
                   const sql::Value& value) {
   IndexKey k;
   k.level = Level::kValue;
-  const std::string v = value.ToKeyString();
-  k.text.reserve(relation.size() + attr.size() + v.size() + 2);
+  k.text.reserve(relation.size() + attr.size() + 2);
   k.text = relation;
-  k.text += kSep;
+  k.text += kKeySep;
   k.text += attr;
-  k.text += kSep;
-  k.text += v;
+  k.text += kKeySep;
+  value.AppendKeyString(&k.text);
   return k;
 }
 
 IndexKey WithShard(const IndexKey& attr_key, uint32_t shard) {
   IndexKey k = attr_key;
   if (shard > 0) {
-    k.text += kSep;
+    k.text += kKeySep;
     k.text += '#';
     k.text += std::to_string(shard);
   }
   return k;
 }
 
-dht::NodeId KeyId(const IndexKey& key) {
+dht::NodeId KeyRingId(const IndexKey& key) {
   return dht::NodeId::FromKey(key.text);
 }
 

@@ -1,6 +1,7 @@
 #ifndef RJOIN_CORE_KEY_H_
 #define RJOIN_CORE_KEY_H_
 
+#include <cstdint>
 #include <string>
 
 #include "dht/id.h"
@@ -18,8 +19,24 @@ enum class Level : uint8_t {
 
 const char* LevelName(Level level);
 
-/// A DHT index key. `text` is the canonical concatenation that gets hashed
-/// (the paper's Rel + Attr [+ Value], with an unambiguous separator).
+/// Dense interned identifier of an index key (see core::KeyInterner). The
+/// whole hot path — message payloads, node-state buckets, rate tracking,
+/// candidate tables, shard routing — carries this u32 instead of the
+/// canonical key text; the text and its SHA-1 ring id are interned once.
+using KeyId = uint32_t;
+
+inline constexpr KeyId kInvalidKeyId = static_cast<KeyId>(-1);
+
+/// Unit separator between the concatenated components of a key's canonical
+/// text: cannot appear in identifiers or integer values, keeping keys
+/// collision-free (e.g. rel "RA" + attr "B" vs "R" + "AB").
+inline constexpr char kKeySep = '\x1f';
+
+/// A DHT index key in its canonical textual form. `text` is the
+/// concatenation that gets hashed (the paper's Rel + Attr [+ Value], with
+/// an unambiguous separator). Only the cold boundary (key construction,
+/// tests, tracing) handles IndexKeys; everything in flight carries the
+/// interned KeyId.
 struct IndexKey {
   std::string text;
   Level level = Level::kAttribute;
@@ -47,8 +64,10 @@ IndexKey ValueKey(const std::string& relation, const std::string& attr,
 /// Re-shards an existing attribute-level key (shard 0 == the plain key).
 IndexKey WithShard(const IndexKey& attr_key, uint32_t shard);
 
-/// The ring identifier of a key.
-dht::NodeId KeyId(const IndexKey& key);
+/// The ring identifier of a key: SHA-1 of its canonical text. Interned
+/// entries cache this; the boundary form exists for tests and one-off
+/// constructions.
+dht::NodeId KeyRingId(const IndexKey& key);
 
 }  // namespace rjoin::core
 

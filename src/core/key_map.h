@@ -1,0 +1,109 @@
+#ifndef RJOIN_CORE_KEY_MAP_H_
+#define RJOIN_CORE_KEY_MAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/key.h"
+#include "util/logging.h"
+
+namespace rjoin::core {
+
+/// Flat open-addressing map keyed by interned KeyIds. The node-state
+/// buckets, rate trackers, candidate tables, and frozen RIC snapshots all
+/// key by KeyId, and none of them ever erases an individual key — so the
+/// map supports insert/lookup/iterate/clear only, which keeps probing
+/// tombstone-free and lookups one multiply + a short linear scan (vs. the
+/// string hash + chased bucket of the unordered_map<string, ...> it
+/// replaces).
+template <typename V>
+class KeyIdMap {
+ public:
+  KeyIdMap() = default;
+
+  /// Value stored under `key`, or nullptr.
+  V* Find(KeyId key) {
+    if (size_ == 0) return nullptr;
+    size_t i = Probe(key);
+    for (; slots_[i].key != kInvalidKeyId; i = Next(i)) {
+      if (slots_[i].key == key) return &slots_[i].value;
+    }
+    return nullptr;
+  }
+  const V* Find(KeyId key) const {
+    return const_cast<KeyIdMap*>(this)->Find(key);
+  }
+
+  /// Value under `key`, default-constructing it on first sight.
+  V& operator[](KeyId key) {
+    RJOIN_DCHECK(key != kInvalidKeyId);
+    if (slots_.empty() || (size_ + 1) * 10 >= slots_.size() * 7) Grow();
+    size_t i = Probe(key);
+    for (; slots_[i].key != kInvalidKeyId; i = Next(i)) {
+      if (slots_[i].key == key) return slots_[i].value;
+    }
+    slots_[i].key = key;
+    ++size_;
+    return slots_[i].value;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drops every entry but keeps the table storage (the frozen RIC
+  /// snapshots clear and refill once per epoch).
+  void clear() {
+    for (Slot& s : slots_) {
+      if (s.key != kInvalidKeyId) {
+        s.key = kInvalidKeyId;
+        s.value = V{};
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Applies f(KeyId, V&) to every entry, in unspecified order. Callers
+  /// must not insert or erase during the walk (mutating V is fine).
+  template <typename F>
+  void ForEach(F&& f) {
+    for (Slot& s : slots_) {
+      if (s.key != kInvalidKeyId) f(s.key, s.value);
+    }
+  }
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kInvalidKeyId) f(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    KeyId key = kInvalidKeyId;
+    V value{};
+  };
+
+  size_t Probe(KeyId key) const {
+    // Fibonacci scramble: interned ids are dense small integers.
+    return (static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ull) &
+           (slots_.size() - 1);
+  }
+  size_t Next(size_t i) const { return (i + 1) & (slots_.size() - 1); }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.key != kInvalidKeyId) (*this)[s.key] = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace rjoin::core
+
+#endif  // RJOIN_CORE_KEY_MAP_H_

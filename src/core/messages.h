@@ -46,10 +46,13 @@ enum class MessageKind : uint8_t {
 const char* MessageKindName(MessageKind kind);
 
 /// Procedure 1's newTuple(t, Key, IP(x), Level): a tuple indexed under one
-/// of its 2k keys (k attribute-level + k value-level).
+/// of its 2k keys (k attribute-level + k value-level). The key is an
+/// interned id — the canonical text and level were interned once at
+/// publication; receivers resolve level/text through the KeyInterner
+/// without hashing anything.
 struct TuplePublish {
   sql::TuplePtr tuple;
-  IndexKey key;
+  KeyId key = kInvalidKeyId;
   dht::NodeIndex publisher = dht::kInvalidNode;
 };
 
@@ -58,7 +61,7 @@ struct TuplePublish {
 /// (Section 7) so the receiver can index further rewrites cheaply.
 struct QueryIndex {
   Residual residual;
-  IndexKey key;
+  KeyId key = kInvalidKeyId;
   std::vector<RicEntry> piggyback;
 };
 
@@ -68,15 +71,15 @@ struct QueryIndex {
 /// traffic at every dispatch point.
 struct Rewrite {
   Residual residual;
-  IndexKey key;
+  KeyId key = kInvalidKeyId;
   std::vector<RicEntry> piggyback;
 };
 
 /// Section 7's direct RIC exchange, request half: "what is the rate of
-/// `key_text` at your node?" — sent to the responsible node, answered with
-/// a RicReply to `requester`.
+/// `key` at your node?" — sent to the responsible node, answered with
+/// a RicReply to `requester`. Two machine words on the wire.
 struct RicRequest {
-  std::string key_text;
+  KeyId key = kInvalidKeyId;
   dht::NodeIndex requester = dht::kInvalidNode;
 };
 

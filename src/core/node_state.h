@@ -1,25 +1,104 @@
 #ifndef RJOIN_CORE_NODE_STATE_H_
 #define RJOIN_CORE_NODE_STATE_H_
 
-#include <deque>
+#include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/key.h"
+#include "core/key_map.h"
 #include "core/residual.h"
 #include "core/ric.h"
+#include "core/slab_pool.h"
 #include "sql/tuple.h"
 
 namespace rjoin::core {
 
-/// A query (input or rewritten) stored at a node, bucketed under the index
-/// key it was stored with. `seen_projections` implements the DISTINCT rule
-/// of Section 4: projections of tuples that already triggered this query.
+/// Set of 64-bit projection fingerprints implementing the DISTINCT rule of
+/// Section 4 (a tuple triggers a stored query only if its projection over
+/// the referenced attributes is new). Most stored queries see at most a
+/// handful of distinct projections, so the first few fingerprints live
+/// inline in the StoredQuery record; only busier queries spill to one heap
+/// table — versus the seed's unordered_set<std::string> that heap-allocated
+/// the set, every bucket, and every projection string.
+///
+/// Fingerprints are 64-bit hashes of the projection text: two *different*
+/// projections can collide (probability ~n^2/2^64), in which case the later
+/// one is treated as already-seen and suppressed — a deliberate trade the
+/// collision test in tests/interner_test.cc documents.
+class ProjectionSet {
+ public:
+  ProjectionSet() = default;
+  ProjectionSet(ProjectionSet&&) noexcept = default;
+  ProjectionSet& operator=(ProjectionSet&&) noexcept = default;
+
+  /// Inserts `fp`; returns false if it was already present.
+  bool Insert(uint64_t fp) {
+    if (fp == 0) fp = kZeroAlias;  // 0 marks empty table slots
+    for (uint32_t i = 0; i < inline_count_; ++i) {
+      if (inline_[i] == fp) return false;
+    }
+    if (table_cap_ == 0) {
+      if (inline_count_ < kInline) {
+        inline_[inline_count_++] = fp;
+        ++size_;
+        return true;
+      }
+      GrowTable();
+    }
+    return TableInsert(fp);
+  }
+
+  /// Distinct fingerprints inserted so far.
+  uint32_t size() const { return size_; }
+
+ private:
+  static constexpr uint32_t kInline = 3;
+  static constexpr uint64_t kZeroAlias = 0x9e3779b97f4a7c15ull;
+
+  bool TableInsert(uint64_t fp) {
+    if ((size_ + 1) * 10 >= table_cap_ * 7) GrowTable();
+    size_t i = fp & (table_cap_ - 1);
+    for (; table_[i] != 0; i = (i + 1) & (table_cap_ - 1)) {
+      if (table_[i] == fp) return false;
+    }
+    table_[i] = fp;
+    ++size_;
+    return true;
+  }
+
+  void GrowTable() {
+    const uint32_t cap = table_cap_ == 0 ? 16 : table_cap_ * 2;
+    auto bigger = std::make_unique<uint64_t[]>(cap);
+    for (uint32_t i = 0; i < cap; ++i) bigger[i] = 0;
+    auto rehash = [&](uint64_t fp) {
+      size_t i = fp & (cap - 1);
+      while (bigger[i] != 0) i = (i + 1) & (cap - 1);
+      bigger[i] = fp;
+    };
+    for (uint32_t i = 0; i < table_cap_; ++i) {
+      if (table_[i] != 0) rehash(table_[i]);
+    }
+    for (uint32_t i = 0; i < inline_count_; ++i) rehash(inline_[i]);
+    inline_count_ = 0;
+    table_ = std::move(bigger);
+    table_cap_ = cap;
+  }
+
+  uint64_t inline_[kInline] = {};
+  uint32_t inline_count_ = 0;
+  uint32_t size_ = 0;  // total distinct fingerprints (inline + table)
+  uint32_t table_cap_ = 0;
+  std::unique_ptr<uint64_t[]> table_;
+};
+
+/// A query (input or rewritten) stored at a node, bucketed under the
+/// interned index key it was stored with.
 struct StoredQuery {
   Residual residual;
-  std::unique_ptr<std::unordered_set<std::string>> seen_projections;
+  ProjectionSet seen_projections;
 };
 
 /// Entry of the attribute-level tuple table (ALTT, Section 4): a tuple kept
@@ -30,21 +109,65 @@ struct AlttEntry {
   uint64_t expires = 0;
 };
 
-/// All RJoin state of one network node. Buckets are keyed by IndexKey text;
-/// a node only ever receives keys it is the successor of.
+/// An intrusive singly-linked FIFO of pooled records: buckets keep
+/// head/tail indices into the owning NodeState's SlabPool and records chain
+/// through their node's `next`. Append at tail preserves arrival order
+/// (what the seed's vector/deque buckets iterated in).
+struct BucketList {
+  uint32_t head = SlabPool<StoredQuery>::kNil;
+  uint32_t tail = SlabPool<StoredQuery>::kNil;
+};
+
+/// Appends a fresh pool node to `bucket`'s tail; returns its index. The
+/// one definition of the head/tail/next append invariant.
+template <typename T>
+uint32_t BucketAppend(SlabPool<T>& pool, BucketList& bucket) {
+  const uint32_t idx = pool.Allocate();
+  if (bucket.tail == SlabPool<T>::kNil) {
+    bucket.head = idx;
+  } else {
+    pool.at(bucket.tail).next = idx;
+  }
+  bucket.tail = idx;
+  return idx;
+}
+
+/// Unlinks node `idx` (whose predecessor is `prev_idx`, kNil when idx is
+/// the head) from `bucket` and recycles it. The one definition of the
+/// unlink invariant.
+template <typename T>
+void BucketUnlink(SlabPool<T>& pool, BucketList& bucket, uint32_t prev_idx,
+                  uint32_t idx) {
+  const uint32_t next = pool.at(idx).next;
+  if (prev_idx == SlabPool<T>::kNil) {
+    bucket.head = next;
+  } else {
+    pool.at(prev_idx).next = next;
+  }
+  if (bucket.tail == idx) bucket.tail = prev_idx;
+  pool.Free(idx);
+}
+
+/// All RJoin state of one network node. Buckets are keyed by interned
+/// KeyId; a node only ever receives keys it is the successor of. Stored
+/// queries and ALTT entries live in per-node slab pools (zero steady-state
+/// heap traffic for store/drop cycles); value-level tuple buckets stay
+/// simple TuplePtr vectors (append-only between sweeps).
 class NodeState {
  public:
   explicit NodeState(uint64_t ric_epoch) : rates(ric_epoch) {}
 
   /// Input and rewritten queries stored locally, by index key.
-  std::unordered_map<std::string, std::vector<StoredQuery>> queries;
+  KeyIdMap<BucketList> queries;
+  SlabPool<StoredQuery> query_pool;
 
   /// Value-level tuple store (Procedure 2 stores every value-level tuple).
-  std::unordered_map<std::string, std::vector<sql::TuplePtr>> tuples;
+  KeyIdMap<std::vector<sql::TuplePtr>> tuples;
 
-  /// Attribute-level tuple table with Delta-expiry (entries are appended in
-  /// arrival order, so expired entries cluster at the front).
-  std::unordered_map<std::string, std::deque<AlttEntry>> altt;
+  /// Attribute-level tuple table with Delta-expiry (entries append in
+  /// arrival order, so expired entries cluster at the head).
+  KeyIdMap<BucketList> altt;
+  SlabPool<AlttEntry> altt_pool;
 
   /// Fingerprints of stored residuals of DISTINCT queries (key + content),
   /// so identical rewritten queries are stored once (set semantics).

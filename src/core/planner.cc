@@ -21,35 +21,40 @@ const char* PlannerPolicyName(PlannerPolicy policy) {
 }
 
 namespace {
-void PushUnique(std::vector<IndexKey>& out, IndexKey key) {
+void PushUnique(std::vector<KeyId>& out, KeyId key) {
   if (std::find(out.begin(), out.end(), key) == out.end()) {
-    out.push_back(std::move(key));
+    out.push_back(key);
   }
 }
 }  // namespace
 
-std::vector<IndexKey> IndexingCandidates(const Residual& residual,
-                                          RewriteIndexLevels levels) {
+std::vector<KeyId> IndexingCandidates(const Residual& residual,
+                                      RewriteIndexLevels levels,
+                                      KeyInterner& interner) {
   const InputQuery& q = *residual.origin();
   const sql::Query& spec = q.spec();
-  std::vector<IndexKey> out;
+  std::vector<KeyId> out;
 
   if (residual.IsInputQuery()) {
     // Input queries: attribute-level keys from WHERE-clause expressions, in
     // clause order (join sides first, then selections).
     for (const auto& j : spec.joins) {
-      PushUnique(out, AttributeKey(j.left.relation, j.left.attribute));
-      PushUnique(out, AttributeKey(j.right.relation, j.right.attribute));
+      PushUnique(out,
+                 interner.InternAttribute(j.left.relation, j.left.attribute));
+      PushUnique(
+          out, interner.InternAttribute(j.right.relation, j.right.attribute));
     }
     for (const auto& s : spec.selections) {
-      PushUnique(out, AttributeKey(s.attr.relation, s.attr.attribute));
+      PushUnique(out,
+                 interner.InternAttribute(s.attr.relation, s.attr.attribute));
     }
     if (out.empty() && q.num_relations() == 1) {
       // Single-relation query with no predicates: fall back to the first
       // attribute of the relation so every tuple of it reaches the query.
       const sql::Schema& schema = q.schema(0);
       RJOIN_CHECK(schema.arity() > 0);
-      out.push_back(AttributeKey(q.relation_name(0), schema.attributes()[0]));
+      out.push_back(interner.InternAttribute(q.relation_name(0),
+                                             schema.attributes()[0]));
     }
     return out;
   }
@@ -62,10 +67,11 @@ std::vector<IndexKey> IndexingCandidates(const Residual& residual,
     const sql::Value* l = residual.BoundValue(rj.left_rel, rj.left_attr);
     const sql::Value* r = residual.BoundValue(rj.right_rel, rj.right_attr);
     if (l != nullptr && r == nullptr) {
-      PushUnique(out,
-                 ValueKey(orig.right.relation, orig.right.attribute, *l));
+      PushUnique(out, interner.InternValue(orig.right.relation,
+                                           orig.right.attribute, *l));
     } else if (l == nullptr && r != nullptr) {
-      PushUnique(out, ValueKey(orig.left.relation, orig.left.attribute, *r));
+      PushUnique(out, interner.InternValue(orig.left.relation,
+                                           orig.left.attribute, *r));
     }
   }
   // (b) explicit selection triples on unbound relations.
@@ -73,8 +79,8 @@ std::vector<IndexKey> IndexingCandidates(const Residual& residual,
     const auto& rs = q.selections()[i];
     if (residual.IsBound(rs.rel)) continue;
     const sql::SelectionPredicate& orig = spec.selections[i];
-    PushUnique(out, ValueKey(orig.attr.relation, orig.attr.attribute,
-                             orig.value));
+    PushUnique(out, interner.InternValue(orig.attr.relation,
+                                         orig.attr.attribute, orig.value));
   }
   // (a) attribute-level pairs from join conditions still fully open. Under
   // kValuePreferred these are a fallback for residuals with no value-level
@@ -88,8 +94,11 @@ std::vector<IndexKey> IndexingCandidates(const Residual& residual,
       continue;
     }
     const sql::JoinPredicate& orig = spec.joins[i];
-    PushUnique(out, AttributeKey(orig.left.relation, orig.left.attribute));
-    PushUnique(out, AttributeKey(orig.right.relation, orig.right.attribute));
+    PushUnique(out,
+               interner.InternAttribute(orig.left.relation,
+                                        orig.left.attribute));
+    PushUnique(out, interner.InternAttribute(orig.right.relation,
+                                             orig.right.attribute));
   }
   return out;
 }

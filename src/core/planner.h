@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/interner.h"
 #include "core/key.h"
 #include "core/residual.h"
 
@@ -57,9 +58,14 @@ enum class RewriteIndexLevels {
 /// Section 3. For rewritten queries, value-level candidates are listed
 /// first (they give better load distribution and are the paper's default),
 /// in WHERE-clause order, followed by attribute-level pairs per `levels`.
-std::vector<IndexKey> IndexingCandidates(
+///
+/// Candidates come back as interned KeyIds: key text is built once into a
+/// reusable buffer and interned (a lock-free hit in steady state), and the
+/// planner/engine compare, route, and store by u32 id from here on.
+std::vector<KeyId> IndexingCandidates(
     const Residual& residual,
-    RewriteIndexLevels levels = RewriteIndexLevels::kValuePreferred);
+    RewriteIndexLevels levels = RewriteIndexLevels::kValuePreferred,
+    KeyInterner& interner = KeyInterner::Global());
 
 }  // namespace rjoin::core
 

@@ -13,44 +13,42 @@ void RateTracker::Roll(Bucket& b, uint64_t epoch) const {
   b.epoch = epoch;
 }
 
-void RateTracker::Record(const std::string& key, uint64_t now) {
+void RateTracker::Record(KeyId key, uint64_t now) {
   Bucket& b = counts_[key];
   Roll(b, EpochOf(now));
   ++b.current;
 }
 
-uint64_t RateTracker::Rate(const std::string& key, uint64_t now) const {
-  auto it = counts_.find(key);
-  if (it == counts_.end()) return 0;
-  Bucket b = it->second;  // Roll a copy; lookups are logically const.
+uint64_t RateTracker::Rate(KeyId key, uint64_t now) const {
+  const Bucket* found = counts_.Find(key);
+  if (found == nullptr) return 0;
+  Bucket b = *found;  // Roll a copy; lookups are logically const.
   Roll(b, EpochOf(now));
   return b.current + b.previous;
 }
 
-void RateTracker::SnapshotInto(
-    uint64_t now, std::unordered_map<std::string, uint64_t>* out) const {
+void RateTracker::SnapshotInto(uint64_t now, KeyIdMap<uint64_t>* out) const {
   const uint64_t epoch = EpochOf(now);
-  for (const auto& [key, bucket] : counts_) {
+  counts_.ForEach([&](KeyId key, const Bucket& bucket) {
     Bucket b = bucket;  // Roll a copy; lookups are logically const.
     Roll(b, epoch);
     const uint64_t rate = b.current + b.previous;
     if (rate > 0) (*out)[key] = rate;
-  }
+  });
 }
 
 void CandidateTable::Merge(const RicEntry& entry) {
-  auto [it, inserted] = entries_.emplace(entry.key_text, entry);
-  if (!inserted && entry.timestamp >= it->second.timestamp) {
-    it->second = entry;
+  RicEntry& slot = entries_[entry.key];
+  if (slot.key == kInvalidKeyId || entry.timestamp >= slot.timestamp) {
+    slot = entry;
   }
 }
 
-const RicEntry* CandidateTable::Find(const std::string& key) const {
-  auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+const RicEntry* CandidateTable::Find(KeyId key) const {
+  return entries_.Find(key);
 }
 
-bool CandidateTable::IsFresh(const std::string& key, uint64_t now,
+bool CandidateTable::IsFresh(KeyId key, uint64_t now,
                              uint64_t validity) const {
   const RicEntry* e = Find(key);
   return e != nullptr && now - e->timestamp <= validity;

@@ -2,10 +2,9 @@
 #define RJOIN_CORE_RIC_H_
 
 #include <cstdint>
-#include <string>
-#include <unordered_map>
-#include <vector>
 
+#include "core/key.h"
+#include "core/key_map.h"
 #include "dht/chord_node.h"
 
 namespace rjoin::core {
@@ -13,11 +12,13 @@ namespace rjoin::core {
 /// Rate-of-Incoming-tuples-Counting (RIC) information for one index key
 /// (Section 6): how many tuples reached the responsible node under that key
 /// during the last observation window, plus where that node is (its "IP").
+/// Keys are interned ids, so an entry is 24 bytes and piggy-backing a
+/// candidate table excerpt on a rewrite copies no strings.
 struct RicEntry {
-  std::string key_text;
-  uint64_t rate = 0;
-  uint64_t timestamp = 0;            ///< when the rate was learned (T_r)
+  KeyId key = kInvalidKeyId;
   dht::NodeIndex node = dht::kInvalidNode;  ///< responsible node's address
+  uint64_t rate = 0;
+  uint64_t timestamp = 0;  ///< when the rate was learned (T_r)
 };
 
 /// Per-node tuple-arrival counter. Tracks, for every index key the node is
@@ -30,17 +31,16 @@ class RateTracker {
   explicit RateTracker(uint64_t epoch_length) : epoch_len_(epoch_length) {}
 
   /// Records one tuple arrival under `key` at time `now`.
-  void Record(const std::string& key, uint64_t now);
+  void Record(KeyId key, uint64_t now);
 
   /// Predicted arrivals over one observation window.
-  uint64_t Rate(const std::string& key, uint64_t now) const;
+  uint64_t Rate(KeyId key, uint64_t now) const;
 
   /// Writes Rate(key, now) for every tracked key with a non-zero rate into
   /// `out` (missing keys read as 0). The sharded runtime freezes these
   /// snapshots at epoch barriers so worker threads can answer remote RIC
   /// lookups without reading live cross-shard state.
-  void SnapshotInto(uint64_t now,
-                    std::unordered_map<std::string, uint64_t>* out) const;
+  void SnapshotInto(uint64_t now, KeyIdMap<uint64_t>* out) const;
 
   size_t tracked_keys() const { return counts_.size(); }
 
@@ -57,7 +57,7 @@ class RateTracker {
   }
 
   uint64_t epoch_len_;
-  std::unordered_map<std::string, Bucket> counts_;
+  KeyIdMap<Bucket> counts_;
 };
 
 /// The candidate table (CT) of Section 7: RIC info cached per key so that
@@ -69,15 +69,15 @@ class CandidateTable {
   void Merge(const RicEntry& entry);
 
   /// Entry for `key`, or nullptr.
-  const RicEntry* Find(const std::string& key) const;
+  const RicEntry* Find(KeyId key) const;
 
   /// True if an entry exists and was learned within `validity` of `now`.
-  bool IsFresh(const std::string& key, uint64_t now, uint64_t validity) const;
+  bool IsFresh(KeyId key, uint64_t now, uint64_t validity) const;
 
   size_t size() const { return entries_.size(); }
 
  private:
-  std::unordered_map<std::string, RicEntry> entries_;
+  KeyIdMap<RicEntry> entries_;
 };
 
 }  // namespace rjoin::core

@@ -1,0 +1,87 @@
+#ifndef RJOIN_CORE_SLAB_POOL_H_
+#define RJOIN_CORE_SLAB_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rjoin::core {
+
+/// Index-linked slab allocator for node-state records (StoredQuery, ALTT
+/// entries): the same slab/freelist discipline core::MessagePool applies
+/// to envelopes, applied to the next allocation hot spot after delivery.
+/// Nodes live in fixed-size slabs (stable addresses — the engine holds
+/// references across TryTrigger calls), are chained through u32 `next`
+/// indices instead of pointers, and recycle through a freelist, so
+/// steady-state store/drop cycles perform zero heap allocations.
+///
+/// Single-threaded by design: each NodeState owns its pools, and a node's
+/// events execute on exactly one shard.
+template <typename T>
+class SlabPool {
+ public:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  struct Node {
+    T value{};
+    uint32_t next = kNil;
+  };
+
+  explicit SlabPool(uint32_t slab_nodes = 64) : slab_size_(slab_nodes) {}
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Hands out a clean node (freelist hit in steady state) with
+  /// next == kNil; returns its index.
+  uint32_t Allocate() {
+    ++live_;
+    if (free_ != kNil) {
+      const uint32_t idx = free_;
+      Node& n = at(idx);
+      free_ = n.next;
+      n.next = kNil;
+      return idx;
+    }
+    const uint32_t idx = allocated_++;
+    if (idx % slab_size_ == 0) {
+      slabs_.push_back(std::make_unique<Node[]>(slab_size_));
+    }
+    return idx;
+  }
+
+  /// Returns `idx` to the freelist, dropping whatever its value owned.
+  void Free(uint32_t idx) {
+    Node& n = at(idx);
+    n.value = T{};  // release owned resources (residuals, tuple refs)
+    n.next = free_;
+    free_ = idx;
+    RJOIN_DCHECK(live_ > 0);
+    --live_;
+  }
+
+  Node& at(uint32_t idx) {
+    RJOIN_DCHECK(idx < allocated_);
+    return slabs_[idx / slab_size_][idx % slab_size_];
+  }
+  const Node& at(uint32_t idx) const {
+    RJOIN_DCHECK(idx < allocated_);
+    return slabs_[idx / slab_size_][idx % slab_size_];
+  }
+
+  /// Nodes ever created (the high-water mark) / currently in use.
+  uint32_t allocated() const { return allocated_; }
+  uint32_t live() const { return live_; }
+
+ private:
+  const uint32_t slab_size_;
+  std::vector<std::unique_ptr<Node[]>> slabs_;
+  uint32_t allocated_ = 0;
+  uint32_t live_ = 0;
+  uint32_t free_ = kNil;
+};
+
+}  // namespace rjoin::core
+
+#endif  // RJOIN_CORE_SLAB_POOL_H_

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/interner.h"
 #include "core/messages.h"
 #include "dht/chord_network.h"
 #include "dht/id.h"
@@ -127,6 +128,13 @@ class Transport : public core::EnvelopeDispatcher {
   size_t Send(NodeIndex src, const NodeId& key, core::MessageTask task,
               bool ric = false);
 
+  /// Send() keyed by an interned key id: routes on the interner's cached
+  /// ring identifier — no SHA-1, no key text, anywhere on the path.
+  size_t SendKey(NodeIndex src, core::KeyId key, core::MessageTask task,
+                 bool ric = false) {
+    return Send(src, interner_->ring_id(key), std::move(task), ric);
+  }
+
   /// The paper's multiSend(M, I): one message per identifier. Returns total
   /// hops across all messages (0 when deferred). Under the router the whole
   /// batch defers as one envelope chain — a single event on src's shard
@@ -197,6 +205,7 @@ class Transport : public core::EnvelopeDispatcher {
   stats::MetricsRegistry* metrics_;
   MessageHandler* handler_ = nullptr;
   DeliveryRouter* router_ = nullptr;
+  core::KeyInterner* interner_ = &core::KeyInterner::Global();
   Rng rng_;
 };
 

@@ -13,6 +13,10 @@ namespace {
 thread_local int tls_current_shard = -1;
 
 constexpr int kSpinIterations = 2048;
+
+// Process-wide mailbox totals (driver-thread writes, any-thread reads).
+std::atomic<uint64_t> g_mailbox_batches{0};
+std::atomic<uint64_t> g_mailbox_envelopes{0};
 }  // namespace
 
 sim::SimTime AutoRoundWidth(const sim::LatencyModel& latency) {
@@ -92,11 +96,22 @@ ShardedRuntime::~ShardedRuntime() {
   for (auto& w : workers_) w.join();
   // Drain heaps and mailboxes while every shard's pool is still alive:
   // releasing an EnvelopeRef returns the envelope to its origin pool, which
-  // may belong to a different shard than the heap holding it.
+  // may belong to a different shard than the heap holding it. Releasing a
+  // chain head walks the whole link chain back into its pools.
   for (auto& shard : shard_state_) {
     shard->heap.clear();
-    for (auto& box : shard->outbox) box.clear();
+    for (OutChain& box : shard->outbox) {
+      if (box.head != nullptr) core::MessagePool::Release(box.head);
+      box = OutChain{};
+    }
   }
+}
+
+ShardedRuntime::MailboxStats ShardedRuntime::AggregateMailbox() {
+  MailboxStats s;
+  s.batches = g_mailbox_batches.load(std::memory_order_relaxed);
+  s.envelopes = g_mailbox_envelopes.load(std::memory_order_relaxed);
+  return s;
 }
 
 // --------------------------------------------------------- thread roles
@@ -159,7 +174,15 @@ void ShardedRuntime::ScheduleEnvelope(core::EnvelopeRef env) {
   if (static_cast<uint32_t>(cur) == dst_shard) {
     PushLocal(*shard_state_[cur], std::move(env));
   } else {
-    shard_state_[cur]->outbox[dst_shard].push_back(std::move(env));
+    // Cross-shard send: link into this round's (src, dst) batch chain.
+    // Single envelopes only reach here (MultiSend chains defer driver-side
+    // onto their own shard), so `link` is free to carry the batch.
+    OutChain& box = shard_state_[cur]->outbox[dst_shard];
+    core::Envelope* e = env.release();
+    RJOIN_DCHECK(e->link == nullptr);
+    e->link = box.head;
+    box.head = e;
+    ++box.count;
   }
 }
 
@@ -199,18 +222,29 @@ void ShardedRuntime::RunShardRound(ShardState& shard) {
 }
 
 void ShardedRuntime::SerialPhase() {
-  // Drain mailboxes in fixed shard order (order is irrelevant for the heap,
-  // but fixed order keeps the walk deterministic and cache-friendly).
+  // Drain mailbox chains in fixed shard order (order is irrelevant for the
+  // heap — events re-sort by EventKey — but fixed order keeps the walk
+  // deterministic and cache-friendly). Each non-empty chain is one batch:
+  // the whole round's (src, dst) traffic moved as a single linked list.
   for (auto& src : shard_state_) {
     for (uint32_t d = 0; d < num_shards_; ++d) {
-      auto& box = src->outbox[d];
-      for (auto& env : box) {
-        RJOIN_CHECK(env->time >= now_)
+      OutChain& box = src->outbox[d];
+      if (box.head == nullptr) continue;
+      ++mailbox_.batches;
+      mailbox_.envelopes += box.count;
+      g_mailbox_batches.fetch_add(1, std::memory_order_relaxed);
+      g_mailbox_envelopes.fetch_add(box.count, std::memory_order_relaxed);
+      core::Envelope* e = box.head;
+      box = OutChain{};
+      while (e != nullptr) {
+        core::Envelope* next = e->link;
+        e->link = nullptr;
+        RJOIN_CHECK(e->time >= now_)
             << "cross-shard event scheduled into the past (missing round "
                "deferral?)";
-        PushLocal(*shard_state_[d], std::move(env));
+        PushLocal(*shard_state_[d], core::EnvelopeRef(e));
+        e = next;
       }
-      box.clear();
     }
   }
   // Merge metrics deltas; sums commute, so the totals match the serial run.
@@ -301,7 +335,7 @@ size_t ShardedRuntime::PendingEvents() const {
   size_t pending = 0;
   for (const auto& shard : shard_state_) {
     pending += shard->heap.size();
-    for (const auto& box : shard->outbox) pending += box.size();
+    for (const OutChain& box : shard->outbox) pending += box.count;
   }
   return pending;
 }

@@ -177,6 +177,20 @@ class ShardedRuntime {
   /// Registers a serial barrier callback (driver thread, workers parked).
   void AddBarrierHook(BarrierHook* hook) { hooks_.push_back(hook); }
 
+  /// Cross-shard mailbox accounting: one batch is one non-empty
+  /// per-(src-shard, dst-shard, round) envelope chain drained at a
+  /// barrier. envelopes / batches is the mean batch width the message
+  /// plane reports.
+  struct MailboxStats {
+    uint64_t batches = 0;
+    uint64_t envelopes = 0;
+  };
+  MailboxStats mailbox_stats() const { return mailbox_; }
+
+  /// Process-wide mailbox totals across all runtimes, live and destroyed
+  /// (the bench reporter diffs these, mirroring MessagePool::Aggregate).
+  static MailboxStats AggregateMailbox();
+
   /// Registry the calling thread must write: its shard's delta registry on
   /// a worker, the main registry on the driver.
   stats::MetricsRegistry* ActiveMetrics();
@@ -215,6 +229,16 @@ class ShardedRuntime {
     std::condition_variable cv_;
   };
 
+  /// One per-(src-shard, dst-shard, round) mailbox batch: an intrusive
+  /// chain of envelopes linked through Envelope::link. A worker pushing a
+  /// cross-shard send costs two pointer writes — no vector growth, no
+  /// per-envelope container churn — and the barrier drain hands the driver
+  /// one chain per (src, dst) pair instead of per-envelope traffic.
+  struct OutChain {
+    core::Envelope* head = nullptr;
+    uint32_t count = 0;
+  };
+
   struct alignas(64) ShardState {
     std::vector<core::EnvelopeRef> heap;  // push_heap/pop_heap, EnvelopeLater
     sim::SimTime now = 0;
@@ -224,10 +248,10 @@ class ShardedRuntime {
     EventKey current_key;
     std::unique_ptr<core::MessagePool> pool;
     std::unique_ptr<stats::MetricsRegistry> metrics;
-    /// outbox[d]: envelopes emitted this round for shard d (d != own
-    /// shard); written only by the owning worker, drained only at the
-    /// barrier.
-    std::vector<std::vector<core::EnvelopeRef>> outbox;
+    /// outbox[d]: chain of envelopes emitted this round for shard d
+    /// (d != own shard); written only by the owning worker, drained only
+    /// at the barrier.
+    std::vector<OutChain> outbox;
   };
 
   void WorkerMain(uint32_t shard);
@@ -256,6 +280,7 @@ class ShardedRuntime {
   sim::SimTime round_end_ = 0;  // stable while workers run
   uint64_t total_executed_ = 0;
   uint64_t total_rounds_ = 0;
+  MailboxStats mailbox_;  // driver-written (SerialPhase)
 
   std::vector<std::thread> workers_;
   Gate start_gate_;

@@ -1,5 +1,6 @@
 #include "sql/value.h"
 
+#include <charconv>
 #include <functional>
 
 namespace rjoin::sql {
@@ -7,6 +8,16 @@ namespace rjoin::sql {
 std::string Value::ToKeyString() const {
   if (is_int()) return std::to_string(AsInt());
   return AsString();
+}
+
+void Value::AppendKeyString(std::string* out) const {
+  if (is_int()) {
+    char buf[24];  // fits any int64 plus sign
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), AsInt());
+    out->append(buf, end);
+    return;
+  }
+  out->append(AsString());
 }
 
 std::string Value::ToDisplayString() const {

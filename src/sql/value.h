@@ -29,6 +29,12 @@ class Value {
   /// (value-level indexing: Hash(Rel + Attr + Value)).
   std::string ToKeyString() const;
 
+  /// Appends ToKeyString() to `out` without materializing a temporary — the
+  /// key-construction boundary builds candidate key text into reusable
+  /// buffers before interning (core::KeyInterner), so value rendering must
+  /// not allocate per candidate.
+  void AppendKeyString(std::string* out) const;
+
   /// Display form: integers plain, strings single-quoted.
   std::string ToDisplayString() const;
 

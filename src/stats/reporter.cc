@@ -62,23 +62,37 @@ void PrintRankedFigure(std::ostream& os, const std::string& title,
   os << "\n\n";
 }
 
-void PrintMessagePlaneSummary(std::ostream& os, uint64_t messages,
-                              uint64_t envelope_allocs,
-                              double wall_seconds) {
+void PrintMessagePlaneSummary(std::ostream& os,
+                              const MessagePlaneSummary& s) {
   os << "== message plane ==\n";
-  os << "messages dispatched:     " << messages << "\n";
+  os << "messages dispatched:     " << s.messages << "\n";
   os << "messages/sec (wall):     "
-     << (wall_seconds > 0.0
-             ? static_cast<uint64_t>(static_cast<double>(messages) /
-                                     wall_seconds)
+     << (s.wall_seconds > 0.0
+             ? static_cast<uint64_t>(static_cast<double>(s.messages) /
+                                     s.wall_seconds)
              : 0)
      << "\n";
-  os << "envelope heap allocs:    " << envelope_allocs << "\n";
+  os << "envelope heap allocs:    " << s.envelope_allocs << "\n";
   os << "allocs per message:      "
-     << (messages > 0 ? static_cast<double>(envelope_allocs) /
-                            static_cast<double>(messages)
-                      : 0.0)
-     << "\n\n";
+     << (s.messages > 0 ? static_cast<double>(s.envelope_allocs) /
+                              static_cast<double>(s.messages)
+                        : 0.0)
+     << "\n";
+  const uint64_t interns = s.interner_hits + s.interner_misses;
+  os << "interned keys:           " << s.interned_keys << "\n";
+  os << "interner hit rate:       "
+     << (interns > 0
+             ? static_cast<double>(s.interner_hits) /
+                   static_cast<double>(interns)
+             : 0.0)
+     << " (" << interns << " interns)\n";
+  os << "mailbox batches:         " << s.mailbox_batches << "\n";
+  os << "mailbox batch width:     "
+     << (s.mailbox_batches > 0
+             ? static_cast<double>(s.mailbox_envelopes) /
+                   static_cast<double>(s.mailbox_batches)
+             : 0.0)
+     << " (" << s.mailbox_envelopes << " envelopes)\n\n";
 }
 
 }  // namespace rjoin::stats

@@ -53,14 +53,28 @@ void PrintRankedFigure(std::ostream& os, const std::string& title,
                        const std::vector<RankedDistribution>& dists,
                        size_t sample_points = 10);
 
-/// Prints the message-plane allocation summary for a measured interval:
-/// messages dispatched (pooled-envelope acquires), envelope heap
-/// allocations, and the allocs-per-message ratio — near zero once the
-/// pools reach their steady-state high-water mark. The counter values come
-/// from core::MessagePool::Aggregate() deltas; this keeps the rendering
-/// next to the other bench reporters.
-void PrintMessagePlaneSummary(std::ostream& os, uint64_t messages,
-                              uint64_t envelope_allocs, double wall_seconds);
+/// Message-plane counters for one measured interval. Plain numbers so the
+/// stats layer stays independent of core/runtime: benches fill them from
+/// core::MessagePool::Aggregate(), core::KeyInterner::Global().stats(),
+/// and runtime::ShardedRuntime::AggregateMailbox() deltas.
+struct MessagePlaneSummary {
+  uint64_t messages = 0;         ///< pooled-envelope acquires
+  uint64_t envelope_allocs = 0;  ///< envelope heap allocations
+  double wall_seconds = 0.0;
+  uint64_t interned_keys = 0;    ///< distinct keys in the interner
+  uint64_t interner_hits = 0;    ///< Intern() calls resolved lock-free
+  uint64_t interner_misses = 0;  ///< first-sight inserts
+  uint64_t mailbox_batches = 0;  ///< cross-shard (src, dst, round) chains
+  uint64_t mailbox_envelopes = 0;  ///< envelopes those chains carried
+};
+
+/// Prints the message-plane summary: messages dispatched, envelope heap
+/// allocations and the allocs-per-message ratio (near zero once the pools
+/// reach their steady-state high-water mark), the key-interner size and
+/// hit rate (near one once the key dictionary is warm), and the mean
+/// cross-shard mailbox batch width (sharded runs only).
+void PrintMessagePlaneSummary(std::ostream& os,
+                              const MessagePlaneSummary& s);
 
 }  // namespace rjoin::stats
 

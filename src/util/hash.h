@@ -1,0 +1,24 @@
+#ifndef RJOIN_UTIL_HASH_H_
+#define RJOIN_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rjoin {
+
+/// 64-bit FNV-1a. Process-internal hashing only (interner index slots,
+/// projection fingerprints) — never persisted or sent anywhere, so the
+/// concrete function is free to change as long as every user changes with
+/// it (which is why there is exactly one definition).
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace rjoin
+
+#endif  // RJOIN_UTIL_HASH_H_

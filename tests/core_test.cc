@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/interner.h"
 #include "core/key.h"
 #include "core/planner.h"
 #include "core/residual.h"
@@ -27,69 +28,78 @@ TEST(KeyTest, SeparatorPreventsConcatenationCollisions) {
             ValueKey("R", "A1", sql::Value::Int(2)).text);
 }
 
-TEST(KeyTest, KeyIdIsDeterministic) {
-  EXPECT_EQ(KeyId(AttributeKey("R", "A")), KeyId(AttributeKey("R", "A")));
-  EXPECT_NE(KeyId(AttributeKey("R", "A")), KeyId(AttributeKey("R", "B")));
+TEST(KeyTest, KeyRingIdIsDeterministic) {
+  EXPECT_EQ(KeyRingId(AttributeKey("R", "A")),
+            KeyRingId(AttributeKey("R", "A")));
+  EXPECT_NE(KeyRingId(AttributeKey("R", "A")),
+            KeyRingId(AttributeKey("R", "B")));
 }
 
 TEST(KeyTest, StringValuesSupported) {
   const IndexKey k = ValueKey("R", "A", sql::Value::Str("hello"));
   EXPECT_EQ(k.level, Level::kValue);
-  EXPECT_NE(KeyId(k), KeyId(ValueKey("R", "A", sql::Value::Str("world"))));
+  EXPECT_NE(KeyRingId(k),
+            KeyRingId(ValueKey("R", "A", sql::Value::Str("world"))));
 }
 
 // ----------------------------------------------------------- RateTracker --
+// Keys are interned ids; the tracker never sees text, so tests use small
+// literal ids.
+
+constexpr KeyId kKey = 1;
+constexpr KeyId kOtherKey = 2;
 
 TEST(RateTrackerTest, CountsWithinEpoch) {
   RateTracker rt(100);
-  rt.Record("k", 10);
-  rt.Record("k", 20);
-  rt.Record("k", 99);
-  EXPECT_EQ(rt.Rate("k", 99), 3u);
-  EXPECT_EQ(rt.Rate("other", 99), 0u);
+  rt.Record(kKey, 10);
+  rt.Record(kKey, 20);
+  rt.Record(kKey, 99);
+  EXPECT_EQ(rt.Rate(kKey, 99), 3u);
+  EXPECT_EQ(rt.Rate(kOtherKey, 99), 0u);
 }
 
 TEST(RateTrackerTest, PreviousEpochCarriesOver) {
   RateTracker rt(100);
-  rt.Record("k", 50);
-  rt.Record("k", 60);
-  rt.Record("k", 150);  // Next epoch.
-  EXPECT_EQ(rt.Rate("k", 150), 3u);  // current(1) + previous(2)
+  rt.Record(kKey, 50);
+  rt.Record(kKey, 60);
+  rt.Record(kKey, 150);  // Next epoch.
+  EXPECT_EQ(rt.Rate(kKey, 150), 3u);  // current(1) + previous(2)
 }
 
 TEST(RateTrackerTest, OldEpochsForgotten) {
   RateTracker rt(100);
-  rt.Record("k", 50);
-  EXPECT_EQ(rt.Rate("k", 350), 0u);  // Two epochs later: stale.
+  rt.Record(kKey, 50);
+  EXPECT_EQ(rt.Rate(kKey, 350), 0u);  // Two epochs later: stale.
 }
 
 TEST(RateTrackerTest, RateIsConstQuery) {
   RateTracker rt(100);
-  rt.Record("k", 10);
+  rt.Record(kKey, 10);
   const RateTracker& c = rt;
-  EXPECT_EQ(c.Rate("k", 10), 1u);
-  EXPECT_EQ(c.Rate("k", 10), 1u);  // Idempotent.
+  EXPECT_EQ(c.Rate(kKey, 10), 1u);
+  EXPECT_EQ(c.Rate(kKey, 10), 1u);  // Idempotent.
 }
 
 // -------------------------------------------------------- CandidateTable --
 
 TEST(CandidateTableTest, MergeKeepsNewest) {
   CandidateTable ct;
-  ct.Merge({"k", 5, 100, 1});
-  ct.Merge({"k", 9, 50, 2});  // Older: ignored.
-  ASSERT_NE(ct.Find("k"), nullptr);
-  EXPECT_EQ(ct.Find("k")->rate, 5u);
-  ct.Merge({"k", 7, 200, 3});  // Newer: replaces.
-  EXPECT_EQ(ct.Find("k")->rate, 7u);
-  EXPECT_EQ(ct.Find("k")->node, 3u);
+  ct.Merge({.key = kKey, .node = 1, .rate = 5, .timestamp = 100});
+  ct.Merge({.key = kKey, .node = 2, .rate = 9, .timestamp = 50});  // Older.
+  ASSERT_NE(ct.Find(kKey), nullptr);
+  EXPECT_EQ(ct.Find(kKey)->rate, 5u);
+  // Newer: replaces.
+  ct.Merge({.key = kKey, .node = 3, .rate = 7, .timestamp = 200});
+  EXPECT_EQ(ct.Find(kKey)->rate, 7u);
+  EXPECT_EQ(ct.Find(kKey)->node, 3u);
 }
 
 TEST(CandidateTableTest, Freshness) {
   CandidateTable ct;
-  ct.Merge({"k", 5, 100, 1});
-  EXPECT_TRUE(ct.IsFresh("k", 150, 60));
-  EXPECT_FALSE(ct.IsFresh("k", 200, 60));
-  EXPECT_FALSE(ct.IsFresh("missing", 100, 60));
+  ct.Merge({.key = kKey, .node = 1, .rate = 5, .timestamp = 100});
+  EXPECT_TRUE(ct.IsFresh(kKey, 150, 60));
+  EXPECT_FALSE(ct.IsFresh(kKey, 200, 60));
+  EXPECT_FALSE(ct.IsFresh(kOtherKey, 100, 60));
 }
 
 // ------------------------------------------------- InputQuery / Residual --
@@ -242,16 +252,21 @@ TEST_F(ResidualTest, ContentFingerprintIdentifiesEquivalentRewrites) {
 }
 
 // --------------------------------------------------------------- Planner --
+// Candidates come back as interned ids; level/text resolve through the
+// interner the candidates were interned into.
 
-class PlannerTest : public ResidualTest {};
+class PlannerTest : public ResidualTest {
+ protected:
+  KeyInterner& in_ = KeyInterner::Global();
+};
 
 TEST_F(PlannerTest, InputQueryCandidatesAreAttributeLevel) {
   auto q = Compile("select R.B from R,S,P where R.A=S.A and S.B=P.B");
   auto cands = IndexingCandidates(Residual(q));
   ASSERT_EQ(cands.size(), 4u);  // R.A, S.A, S.B, P.B
-  for (const auto& c : cands) EXPECT_EQ(c.level, Level::kAttribute);
-  EXPECT_EQ(cands[0].text, AttributeKey("R", "A").text);
-  EXPECT_EQ(cands[1].text, AttributeKey("S", "A").text);
+  for (KeyId c : cands) EXPECT_EQ(in_.level(c), Level::kAttribute);
+  EXPECT_EQ(in_.text(cands[0]), AttributeKey("R", "A").text);
+  EXPECT_EQ(in_.text(cands[1]), AttributeKey("S", "A").text);
 }
 
 TEST_F(PlannerTest, RewrittenCandidatesValuePreferredByDefault) {
@@ -262,8 +277,8 @@ TEST_F(PlannerTest, RewrittenCandidatesValuePreferredByDefault) {
   // Section 3 default: only the implied value triple S.A=3 — attribute
   // pairs stay out when a value-level option exists.
   ASSERT_EQ(cands.size(), 1u);
-  EXPECT_EQ(cands[0].level, Level::kValue);
-  EXPECT_EQ(cands[0].text, ValueKey("S", "A", sql::Value::Int(3)).text);
+  EXPECT_EQ(in_.level(cands[0]), Level::kValue);
+  EXPECT_EQ(in_.text(cands[0]), ValueKey("S", "A", sql::Value::Int(3)).text);
 }
 
 TEST_F(PlannerTest, RewrittenCandidatesSection6IncludesAttributePairs) {
@@ -274,10 +289,10 @@ TEST_F(PlannerTest, RewrittenCandidatesSection6IncludesAttributePairs) {
                                   RewriteIndexLevels::kIncludeAttribute);
   // Implied triple S.A=3 first, then open-join attribute pairs S.B / P.B.
   ASSERT_EQ(cands.size(), 3u);
-  EXPECT_EQ(cands[0].level, Level::kValue);
-  EXPECT_EQ(cands[0].text, ValueKey("S", "A", sql::Value::Int(3)).text);
-  EXPECT_EQ(cands[1].level, Level::kAttribute);
-  EXPECT_EQ(cands[2].level, Level::kAttribute);
+  EXPECT_EQ(in_.level(cands[0]), Level::kValue);
+  EXPECT_EQ(in_.text(cands[0]), ValueKey("S", "A", sql::Value::Int(3)).text);
+  EXPECT_EQ(in_.level(cands[1]), Level::kAttribute);
+  EXPECT_EQ(in_.level(cands[2]), Level::kAttribute);
 }
 
 TEST_F(PlannerTest, AttributeFallbackWhenNoValueCandidate) {
@@ -290,7 +305,7 @@ TEST_F(PlannerTest, AttributeFallbackWhenNoValueCandidate) {
   // Implied triple S.B=6 (from S.B=P.B) plus... S has a value candidate,
   // so value-preferred stops there.
   ASSERT_EQ(cands.size(), 1u);
-  EXPECT_EQ(cands[0].text, ValueKey("S", "B", sql::Value::Int(6)).text);
+  EXPECT_EQ(in_.text(cands[0]), ValueKey("S", "B", sql::Value::Int(6)).text);
 
   // A residual where the only unbound relations are joined to each other:
   // R,S unbound with R.A=S.A and no implied selections. Construct via a
@@ -301,8 +316,8 @@ TEST_F(PlannerTest, AttributeFallbackWhenNoValueCandidate) {
   Residual r2 = Residual(q2).Bind(2, tp2);
   auto cands2 = IndexingCandidates(r2);
   ASSERT_EQ(cands2.size(), 2u);  // Attribute pairs R.A and S.A.
-  EXPECT_EQ(cands2[0].level, Level::kAttribute);
-  EXPECT_EQ(cands2[1].level, Level::kAttribute);
+  EXPECT_EQ(in_.level(cands2[0]), Level::kAttribute);
+  EXPECT_EQ(in_.level(cands2[1]), Level::kAttribute);
 }
 
 TEST_F(PlannerTest, ExplicitSelectionBecomesValueCandidate) {
@@ -312,15 +327,15 @@ TEST_F(PlannerTest, ExplicitSelectionBecomesValueCandidate) {
   auto cands = IndexingCandidates(Residual(q).Bind(0, tr));
   // Both the implied S.A=3 and the explicit S.B=42 triples.
   ASSERT_EQ(cands.size(), 2u);
-  EXPECT_EQ(cands[0].text, ValueKey("S", "A", sql::Value::Int(3)).text);
-  EXPECT_EQ(cands[1].text, ValueKey("S", "B", sql::Value::Int(42)).text);
+  EXPECT_EQ(in_.text(cands[0]), ValueKey("S", "A", sql::Value::Int(3)).text);
+  EXPECT_EQ(in_.text(cands[1]), ValueKey("S", "B", sql::Value::Int(42)).text);
 }
 
 TEST_F(PlannerTest, SingleRelationNoPredicatesFallsBack) {
   auto q = Compile("select R.A from R");
   auto cands = IndexingCandidates(Residual(q));
   ASSERT_EQ(cands.size(), 1u);
-  EXPECT_EQ(cands[0].text, AttributeKey("R", "A").text);
+  EXPECT_EQ(in_.text(cands[0]), AttributeKey("R", "A").text);
 }
 
 TEST_F(PlannerTest, PolicyNamesAreDistinct) {

@@ -215,7 +215,7 @@ TEST(ReplicationTest, SpreadsAttributeLevelLoad) {
       h.simulator.Run();
     }
     const dht::NodeIndex attr_node =
-        h.network->SuccessorOf(KeyId(AttributeKey("R", "A")));
+        h.network->SuccessorOf(KeyRingId(AttributeKey("R", "A")));
     return h.metrics.node(attr_node).qpl;
   };
   const uint64_t unreplicated = attr_node_qpl(1);

@@ -1,0 +1,360 @@
+// Tests of the interned key-id plane: KeyInterner identity/lookup
+// semantics, concurrent intern/lookup (run under TSan in CI), the
+// KeyIdMap flat container, ProjectionSet fingerprint semantics (including
+// the deliberate collision behavior), node-state slab pooling, and
+// id-stability plus bit-identical answers across shard counts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/interner.h"
+#include "core/key_map.h"
+#include "core/node_state.h"
+#include "core/slab_pool.h"
+#include "dht/chord_network.h"
+#include "dht/transport.h"
+#include "runtime/shard_router.h"
+#include "runtime/sharded_runtime.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+#include "sql/parser.h"
+#include "sql/schema.h"
+#include "stats/metrics.h"
+
+namespace rjoin::core {
+namespace {
+
+// ------------------------------------------------------------ KeyInterner --
+
+TEST(KeyInternerTest, InternIsIdempotent) {
+  KeyInterner in;
+  const KeyId a = in.Intern("alpha", Level::kAttribute);
+  const KeyId b = in.Intern("beta", Level::kValue);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.Intern("alpha", Level::kAttribute), a);
+  EXPECT_EQ(in.Intern("beta", Level::kValue), b);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.stats().misses, 2u);
+  EXPECT_EQ(in.stats().hits, 2u);
+}
+
+TEST(KeyInternerTest, EntriesRoundTrip) {
+  KeyInterner in;
+  const KeyId a = in.InternAttribute("R", "A");
+  EXPECT_EQ(in.text(a), AttributeKey("R", "A").text);
+  EXPECT_EQ(in.level(a), Level::kAttribute);
+  EXPECT_EQ(in.ring_id(a), KeyRingId(AttributeKey("R", "A")));
+
+  const KeyId v = in.InternValue("R", "A", sql::Value::Int(42));
+  EXPECT_EQ(in.text(v), ValueKey("R", "A", sql::Value::Int(42)).text);
+  EXPECT_EQ(in.level(v), Level::kValue);
+  EXPECT_EQ(in.ring_id(v), KeyRingId(ValueKey("R", "A", sql::Value::Int(42))));
+
+  // The boundary IndexKey form interns to the same id as the builders.
+  EXPECT_EQ(in.Intern(AttributeKey("R", "A")), a);
+}
+
+TEST(KeyInternerTest, FindMissesWithoutInserting) {
+  KeyInterner in;
+  EXPECT_EQ(in.Find("never-interned"), kInvalidKeyId);
+  EXPECT_EQ(in.size(), 0u);
+  const KeyId a = in.Intern("present", Level::kAttribute);
+  EXPECT_EQ(in.Find("present"), a);
+}
+
+TEST(KeyInternerTest, SameTextAtBothLevelsStaysDistinct) {
+  // A sharded attribute key's text can equal a value key's text: with
+  // shard suffix "#3", AttributeKey(R, A)+shard 3 and ValueKey(R, A, "#3")
+  // concatenate identically. Identity is the (text, level) pair, so the
+  // two intern to distinct ids that share a ring position — exactly the
+  // seed's IndexKey{text, level} semantics.
+  KeyInterner in;
+  const KeyId attr = in.WithShard(in.InternAttribute("R", "A"), 3);
+  const KeyId value = in.InternValue("R", "A", sql::Value::Str("#3"));
+  ASSERT_EQ(in.text(attr), in.text(value));
+  EXPECT_NE(attr, value);
+  EXPECT_EQ(in.level(attr), Level::kAttribute);
+  EXPECT_EQ(in.level(value), Level::kValue);
+  EXPECT_EQ(in.ring_id(attr), in.ring_id(value));
+  EXPECT_EQ(in.Find(in.text(attr), Level::kAttribute), attr);
+  EXPECT_EQ(in.Find(in.text(value), Level::kValue), value);
+}
+
+TEST(KeyInternerTest, WithShardMatchesBoundaryForm) {
+  KeyInterner in;
+  const KeyId base = in.InternAttribute("R", "A");
+  EXPECT_EQ(in.WithShard(base, 0), base);
+  const KeyId s3 = in.WithShard(base, 3);
+  EXPECT_EQ(in.text(s3), ShardedAttributeKey("R", "A", 3).text);
+  EXPECT_EQ(in.level(s3), Level::kAttribute);
+}
+
+TEST(KeyInternerTest, SurvivesIndexResizes) {
+  // Push well past the initial 1024-slot index so reads span resizes.
+  KeyInterner in;
+  std::vector<KeyId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(in.Intern("key-" + std::to_string(i), Level::kValue));
+  }
+  EXPECT_EQ(in.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(in.Find("key-" + std::to_string(i)), ids[i]);
+    EXPECT_EQ(in.text(ids[i]), "key-" + std::to_string(i));
+  }
+}
+
+// The concurrency shape the sharded runtime produces: many threads
+// interning overlapping key sets (mostly hits) while also looking up
+// entries interned by other threads. Run under TSan in CI.
+TEST(KeyInternerTest, ConcurrentInternAndLookupAgree) {
+  KeyInterner in;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 2000;  // spans several index resizes
+  std::vector<std::vector<KeyId>> ids(kThreads,
+                                      std::vector<KeyId>(kKeys, 0));
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      for (int k = 0; k < kKeys; ++k) {
+        const std::string text = "shared-" + std::to_string(k);
+        const KeyId id = in.Intern(text, Level::kValue);
+        ids[t][k] = id;
+        // Entry fields must be fully visible through the published id.
+        EXPECT_EQ(in.text(id), text);
+        EXPECT_EQ(in.Find(text), id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every thread resolved every text to the same id.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[t], ids[0]);
+  }
+  EXPECT_EQ(in.size(), static_cast<uint32_t>(kKeys));
+}
+
+// --------------------------------------------------------------- KeyIdMap --
+
+TEST(KeyIdMapTest, InsertFindGrow) {
+  KeyIdMap<uint64_t> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(7), nullptr);
+  for (KeyId k = 0; k < 1000; ++k) m[k] = k * 3;
+  EXPECT_EQ(m.size(), 1000u);
+  for (KeyId k = 0; k < 1000; ++k) {
+    ASSERT_NE(m.Find(k), nullptr);
+    EXPECT_EQ(*m.Find(k), k * 3);
+  }
+  EXPECT_EQ(m.Find(1000), nullptr);
+
+  uint64_t sum = 0;
+  size_t visited = 0;
+  m.ForEach([&](KeyId, uint64_t& v) {
+    sum += v;
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1000u);
+  EXPECT_EQ(sum, 3u * (999u * 1000u) / 2u);
+
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(3), nullptr);
+  m[3] = 9;  // reusable after clear
+  EXPECT_EQ(*m.Find(3), 9u);
+}
+
+// ---------------------------------------------------------- ProjectionSet --
+
+TEST(ProjectionSetTest, DeduplicatesAndGrowsPastInline) {
+  ProjectionSet set;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_TRUE(set.Insert(i * 0x9e3779b9u)) << i;
+  }
+  EXPECT_EQ(set.size(), 100u);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_FALSE(set.Insert(i * 0x9e3779b9u)) << i;
+  }
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(ProjectionSetTest, ZeroFingerprintIsValid) {
+  ProjectionSet set;
+  EXPECT_TRUE(set.Insert(0));
+  EXPECT_FALSE(set.Insert(0));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+// The documented collision trade-off: the set stores 64-bit fingerprints,
+// not projections, so two *different* projections that fingerprint to the
+// same 64-bit value are treated as one — the second is suppressed. (The
+// engine's DISTINCT rule accepts this ~n^2/2^64 false-suppression rate in
+// exchange for never storing projection strings.)
+TEST(ProjectionSetTest, CollidingFingerprintsAreSuppressed) {
+  ProjectionSet set;
+  const uint64_t fp = 0xdeadbeefcafef00dull;
+  EXPECT_TRUE(set.Insert(fp));   // projection A
+  EXPECT_FALSE(set.Insert(fp));  // different projection B, same fingerprint
+  EXPECT_EQ(set.size(), 1u);
+
+  // The zero alias is part of the same trade: a projection hashing to 0
+  // and one hashing to the alias constant collide.
+  EXPECT_TRUE(set.Insert(0));
+  EXPECT_FALSE(set.Insert(0x9e3779b97f4a7c15ull));
+}
+
+// ---------------------------------------------------------------- SlabPool --
+
+TEST(SlabPoolTest, RecyclesThroughFreelist) {
+  SlabPool<AlttEntry> pool(4);  // tiny slabs to force growth
+  std::vector<uint32_t> idx;
+  for (int i = 0; i < 10; ++i) idx.push_back(pool.Allocate());
+  EXPECT_EQ(pool.allocated(), 10u);
+  EXPECT_EQ(pool.live(), 10u);
+  for (uint32_t i : idx) pool.Free(i);
+  EXPECT_EQ(pool.live(), 0u);
+  // Steady state: re-allocation reuses freed nodes, no new storage.
+  for (int i = 0; i < 10; ++i) pool.Allocate();
+  EXPECT_EQ(pool.allocated(), 10u);
+  EXPECT_EQ(pool.live(), 10u);
+}
+
+TEST(SlabPoolTest, FreeDropsOwnedResources) {
+  SlabPool<AlttEntry> pool;
+  const uint32_t idx = pool.Allocate();
+  auto tuple = sql::MakeTuple("R", {sql::Value::Int(1)}, 1, 1, 1);
+  std::weak_ptr<const sql::Tuple> weak = tuple;
+  pool.at(idx).value = AlttEntry{std::move(tuple), 5};
+  pool.Free(idx);
+  EXPECT_TRUE(weak.expired()) << "Free must release the tuple reference";
+}
+
+// ------------------------------------- id stability across shard counts --
+
+struct Harness {
+  explicit Harness(size_t nodes, uint32_t shards = 0, uint64_t seed = 7)
+      : catalog(TestCatalog()),
+        network(dht::ChordNetwork::Create(nodes, seed)),
+        latency(1),
+        metrics(network->num_total()),
+        transport(network.get(), &simulator, &latency, &metrics,
+                  Rng(seed * 31)),
+        engine(EngineConfig{}, &catalog, network.get(), &transport,
+               &simulator, &metrics) {
+    if (shards > 0) {
+      runtime = std::make_unique<runtime::ShardedRuntime>(
+          runtime::ShardedRuntime::Options{shards, 1}, network->num_total(),
+          &metrics);
+      router = std::make_unique<runtime::ShardRouter>(runtime.get(),
+                                                      seed * 31);
+      transport.set_router(router.get());
+      engine.AttachRuntime(runtime.get());
+    }
+  }
+
+  static sql::Catalog TestCatalog() {
+    sql::Catalog c;
+    EXPECT_TRUE(c.AddRelation(sql::Schema("R", {"A", "B"})).ok());
+    EXPECT_TRUE(c.AddRelation(sql::Schema("S", {"A", "B"})).ok());
+    return c;
+  }
+
+  void Run() {
+    if (runtime != nullptr) {
+      runtime->Run();
+    } else {
+      simulator.Run();
+    }
+  }
+
+  sql::Catalog catalog;
+  std::unique_ptr<dht::ChordNetwork> network;
+  sim::Simulator simulator;
+  sim::FixedLatency latency;
+  stats::MetricsRegistry metrics;
+  dht::Transport transport;
+  RJoinEngine engine;
+  // Declared last: workers join before transport/simulator go away.
+  std::unique_ptr<runtime::ShardedRuntime> runtime;
+  std::unique_ptr<runtime::ShardRouter> router;
+};
+
+std::vector<sql::Value> Row(int64_t a, int64_t b) {
+  return {sql::Value::Int(a), sql::Value::Int(b)};
+}
+
+/// One fixed workload: a join query plus an interleaved R/S stream.
+void RunWorkload(Harness& h) {
+  auto parsed = sql::Parser::Parse(
+      "SELECT R.B, S.B FROM R, S WHERE R.A = S.A WINDOW 8 TUPLES");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(h.engine.SubmitQuery(0, std::move(*parsed)).ok());
+  h.Run();
+  for (int i = 0; i < 48; ++i) {
+    const char* rel = (i % 2 == 0) ? "R" : "S";
+    ASSERT_TRUE(h.engine.PublishTuple(1, rel, Row(i % 5, i)).ok());
+    h.Run();
+  }
+}
+
+std::vector<std::string> AnswerStrings(const RJoinEngine& engine) {
+  std::vector<std::string> out;
+  for (const Answer& a : engine.answers()) {
+    std::string s = std::to_string(a.query_id) + "@" +
+                    std::to_string(a.delivered_at) + ":";
+    for (const sql::Value& v : a.row) s += v.ToKeyString() + ",";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST(KeyIdStabilityTest, IdsAndAnswersInvariantAcrossShardCounts) {
+  // The workload's key texts, resolved through the global interner before,
+  // between, and after runs at different shard counts: ids must never
+  // change once assigned (append-only interner), and the engines must
+  // produce bit-identical answer streams — id values never order behavior.
+  KeyInterner& in = KeyInterner::Global();
+
+  Harness serial(24, /*shards=*/0);
+  RunWorkload(serial);
+  const std::vector<std::string> serial_answers =
+      AnswerStrings(serial.engine);
+  ASSERT_FALSE(serial_answers.empty());
+
+  std::vector<std::string> texts;
+  std::vector<KeyId> ids_before;
+  for (const char* attr : {"A", "B"}) {
+    for (const char* rel : {"R", "S"}) {
+      texts.push_back(AttributeKey(rel, attr).text);
+      for (int v = 0; v < 5; ++v) {
+        texts.push_back(ValueKey(rel, attr, sql::Value::Int(v)).text);
+      }
+    }
+  }
+  for (const std::string& t : texts) ids_before.push_back(in.Find(t));
+  // The attribute-level keys of the workload must exist by now.
+  EXPECT_NE(in.Find(AttributeKey("R", "A").text), kInvalidKeyId);
+
+  for (uint32_t shards : {1u, 4u, 7u}) {
+    Harness sharded(24, shards);
+    RunWorkload(sharded);
+    EXPECT_EQ(AnswerStrings(sharded.engine), serial_answers)
+        << "answers diverged at S=" << shards;
+    for (size_t i = 0; i < texts.size(); ++i) {
+      EXPECT_EQ(in.Find(texts[i]), ids_before[i])
+          << "id of '" << texts[i] << "' changed at S=" << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rjoin::core
