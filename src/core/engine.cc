@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <iterator>
+#include <map>
 
 #include "util/hash.h"
 #include "util/logging.h"
@@ -95,6 +97,36 @@ void RJoinEngine::OnBarrier(sim::SimTime round_start) {
         [this](KeyId key, uint64_t count) { key_load_[key] += count; });
     sink.key_load.clear();
   }
+
+  // Churn: fold worker-side counters, then apply the ring mutations staged
+  // by the previous round in global EventKey order. Workers are parked, so
+  // this is the one place the topology, the node tables, and the handoff
+  // envelopes may change (see docs/churn.md).
+  bool churn_applied = false;
+  {
+    std::vector<std::pair<runtime::EventKey, ChurnOp>> ops;
+    for (ShardSink& sink : sinks_) {
+      churn_.handoffs_installed += sink.churn.installed;
+      churn_.handoffs_reforwarded += sink.churn.reforwarded;
+      churn_.handoff_recovery_ticks += sink.churn.recovery_ticks;
+      churn_.forwarded_messages += sink.churn.forwarded;
+      sink.churn = ChurnSinkCounters{};
+      ops.insert(ops.end(), std::make_move_iterator(sink.churn_ops.begin()),
+                 std::make_move_iterator(sink.churn_ops.end()));
+      sink.churn_ops.clear();
+    }
+    if (!ops.empty()) {
+      std::sort(ops.begin(), ops.end(), [](const auto& a, const auto& b) {
+        return a.first < b.first;
+      });
+      for (const auto& [key, op] : ops) ApplyChurn(op);
+      churn_applied = true;
+    }
+  }
+  // A responsibility change invalidates the frozen per-epoch rate
+  // snapshots (rates moved between nodes, and new nodes have none), so
+  // force a rebuild below — at a barrier, hence shard-count-invariant.
+  if (churn_applied) frozen_valid_ = false;
 
   // Refresh the frozen rate snapshots when entering a new RIC epoch: for
   // the rest of the epoch, worker-side RIC lookups see the rates as of this
@@ -342,19 +374,34 @@ Status RJoinEngine::ObserveStreamHistory(
 void RJoinEngine::HandleMessage(dht::NodeIndex self, MessageTask&& task) {
   switch (task.kind()) {
     case MessageKind::kTuplePublish:
+      if (forwarding_armed_ &&
+          MaybeForward(self, task.tuple_publish().key, &task)) {
+        return;
+      }
       OnNewTuple(self, task.tuple_publish());
       return;
     case MessageKind::kQueryIndex: {
+      if (forwarding_armed_ &&
+          MaybeForward(self, task.query_index().key, &task)) {
+        return;
+      }
       QueryIndex& m = task.query_index();
       OnEval(self, m.key, std::move(m.residual), m.piggyback);
       return;
     }
     case MessageKind::kRewrite: {
+      if (forwarding_armed_ && MaybeForward(self, task.rewrite().key, &task)) {
+        return;
+      }
       Rewrite& m = task.rewrite();
       OnEval(self, m.key, std::move(m.residual), m.piggyback);
       return;
     }
     case MessageKind::kRicRequest:
+      if (forwarding_armed_ &&
+          MaybeForward(self, task.ric_request().key, &task)) {
+        return;
+      }
       OnRicRequest(self, task.ric_request());
       return;
     case MessageKind::kRicReply:
@@ -366,11 +413,39 @@ void RJoinEngine::HandleMessage(dht::NodeIndex self, MessageTask&& task) {
     case MessageKind::kControl:
       task.control().run();
       return;
+    case MessageKind::kNodeJoin: {
+      const NodeJoin& m = task.node_join();
+      StageOrApplyChurn(
+          ChurnOp{.is_join = true, .id = m.id, .bootstrap = m.bootstrap});
+      return;
+    }
+    case MessageKind::kNodeLeave:
+      StageOrApplyChurn(ChurnOp{.is_join = false, .node = task.node_leave().node});
+      return;
+    case MessageKind::kStateHandoff:
+      OnStateHandoff(self, task.state_handoff());
+      return;
     case MessageKind::kNone:
       break;
   }
   RJOIN_CHECK(false) << "undispatchable message kind "
                      << MessageKindName(task.kind());
+}
+
+bool RJoinEngine::MaybeForward(dht::NodeIndex self, KeyId key,
+                               MessageTask* task) {
+  const dht::NodeIndex owner =
+      network_->SuccessorOf(interner_->ring_id(key));
+  if (owner == self) return false;
+  // Responsibility for `key` moved while this message was in flight (or the
+  // sender used a stale cached address). The old owner knows the current
+  // one — its successor chain is exact after the churn splice — so one
+  // direct hop completes the delivery. Departed nodes drain their mail the
+  // same way.
+  const bool ric = task->kind() == MessageKind::kRicRequest;
+  transport_->SendDirect(self, owner, std::move(*task), ric);
+  AddChurnCounters(ChurnSinkCounters{.forwarded = 1});
+  return true;
 }
 
 void RJoinEngine::PrefetchRic(dht::NodeIndex src, const IndexKey& key) {
@@ -392,6 +467,388 @@ void RJoinEngine::OnRicRequest(dht::NodeIndex self, const RicRequest& msg) {
 
 void RJoinEngine::OnRicReply(dht::NodeIndex self, const RicReply& msg) {
   state(self).ct.Merge(msg.entry);
+}
+
+// ------------------------------------------------------------- churn ----
+
+Status RJoinEngine::ScheduleJoin(sim::SimTime when, const dht::NodeId& id,
+                                 dht::NodeIndex bootstrap) {
+  if (bootstrap >= states_.size()) {
+    return Status::InvalidArgument("bootstrap node does not exist");
+  }
+  return ScheduleChurnEvent(when, bootstrap,
+                            MessageTask(NodeJoin{id, bootstrap}));
+}
+
+Status RJoinEngine::ScheduleLeave(sim::SimTime when, dht::NodeIndex node) {
+  // The leave announcement is staged wherever it lands; deliver it to the
+  // departing node when it already exists, else to node 0 (a leave may be
+  // scheduled ahead of the join that creates its target — validity is
+  // checked at application time).
+  const dht::NodeIndex dst = node < states_.size() ? node : 0;
+  return ScheduleChurnEvent(when, dst, MessageTask(NodeLeave{node}));
+}
+
+Status RJoinEngine::ScheduleChurnEvent(sim::SimTime when, dht::NodeIndex dst,
+                                       MessageTask task) {
+  if (runtime_ != nullptr) {
+    RJOIN_CHECK(runtime::ShardedRuntime::CurrentShard() < 0)
+        << "churn is scheduled from the driver";
+    EnvelopeRef env = runtime_->AcquireFor(dst);
+    env->time = std::max<sim::SimTime>(when, runtime_->Now());
+    env->src = dst;
+    env->seq = runtime_->NextEmitSeq(dst);
+    env->dst = dst;
+    env->task = std::move(task);
+    runtime_->ScheduleEnvelope(std::move(env));
+    return Status::Ok();
+  }
+  EnvelopeRef env = simulator_->pool().Acquire();
+  env->dst = dst;
+  env->task = std::move(task);
+  simulator_->Schedule(std::max<sim::SimTime>(when, simulator_->Now()),
+                       std::move(env));
+  return Status::Ok();
+}
+
+void RJoinEngine::StageOrApplyChurn(ChurnOp op) {
+  const int shard =
+      runtime_ != nullptr ? runtime::ShardedRuntime::CurrentShard() : -1;
+  if (shard >= 0) {
+    // Worker context: ring mutations are serial-phase work. Stage the
+    // request keyed by this event's (time, src, seq); the driver applies
+    // all staged ops at the next barrier in global EventKey order, which
+    // is the same for any shard count.
+    sinks_[shard].churn_ops.emplace_back(runtime_->CurrentEventKey(),
+                                         std::move(op));
+    return;
+  }
+  // Serial simulator (or driver phase): nothing else is running, apply now.
+  ApplyChurn(op);
+}
+
+void RJoinEngine::ApplyChurn(const ChurnOp& op) {
+  if (op.is_join) {
+    ApplyJoin(op.id, op.bootstrap);
+  } else {
+    ApplyLeave(op.node);
+  }
+}
+
+void RJoinEngine::ApplyJoin(const dht::NodeId& id, dht::NodeIndex bootstrap) {
+  if (bootstrap >= network_->num_total() ||
+      !network_->node(bootstrap).alive()) {
+    ++churn_.ops_rejected;
+    return;
+  }
+  auto joined = network_->JoinAndSplice(id, bootstrap);
+  if (!joined.ok()) {
+    ++churn_.ops_rejected;
+    return;
+  }
+  GrowForNode(*joined);
+  ++churn_.joins_applied;
+  forwarding_armed_ = true;
+  // The joiner takes (pred, id] from its successor, the old owner.
+  const dht::NodeIndex pred = network_->node(*joined).predecessor();
+  const dht::NodeIndex old_owner = network_->node(*joined).successor();
+  if (old_owner != *joined) {
+    EmitHandoff(old_owner, *joined,
+                dht::KeyRange{network_->node(pred).id(), id});
+  }
+}
+
+void RJoinEngine::ApplyLeave(dht::NodeIndex node) {
+  if (node >= network_->num_total() || !network_->node(node).alive()) {
+    ++churn_.ops_rejected;
+    return;
+  }
+  auto range = network_->LeaveNode(node);
+  if (!range.ok()) {
+    ++churn_.ops_rejected;
+    return;
+  }
+  ++churn_.leaves_applied;
+  forwarding_armed_ = true;
+  // The departed node's range belongs to its successor now (the first
+  // alive node past the range's high end).
+  const dht::NodeIndex new_owner = network_->SuccessorOf(range->high);
+  EmitHandoff(node, new_owner, *range);
+}
+
+void RJoinEngine::GrowForNode(dht::NodeIndex index) {
+  RJOIN_CHECK(index == states_.size())
+      << "joins must append node indices sequentially";
+  states_.push_back(std::make_unique<NodeState>(config_.ric_epoch));
+  metrics_->Resize(states_.size());
+  if (runtime_ != nullptr) {
+    runtime_->GrowNodes(states_.size());
+    frozen_rates_.emplace_back();
+    planner_seq_.push_back(0);
+  }
+}
+
+void RJoinEngine::EmitHandoff(dht::NodeIndex from, dht::NodeIndex to,
+                              const dht::KeyRange& range) {
+  NodeState& st = state(from);
+  auto batch = std::make_unique<HandoffBatch>();
+  batch->from = from;
+  batch->range_low = range.low;
+  batch->range_high = range.high;
+  batch->emitted_at = Now();
+
+  // Every structure emits its keys in ring order (KeysInRangeSorted), not
+  // KeyIdMap iteration order — the batch layout is a pure function of the
+  // key set, so runs with different intern histories still hand off
+  // identically.
+  for (KeyId key :
+       KeysInRangeSorted(st.queries, *interner_, range.low, range.high)) {
+    BucketList* bucket = st.queries.Find(key);
+    while (bucket->head != kNil) {
+      StoredQuery& sq = st.query_pool.at(bucket->head).value;
+      if (sq.residual.origin()->spec().distinct) {
+        st.distinct_fingerprints.erase(StoredFingerprint(key, sq.residual));
+      }
+      Metrics().RemoveStore(from);
+      batch->queries.push_back(HandoffQuery{key, std::move(sq)});
+      BucketUnlink(st.query_pool, *bucket, kNil, bucket->head);
+    }
+  }
+
+  for (KeyId key :
+       KeysInRangeSorted(st.tuples, *interner_, range.low, range.high)) {
+    std::vector<sql::TuplePtr>* bucket = st.tuples.Find(key);
+    for (sql::TuplePtr& t : *bucket) {
+      Metrics().RemoveStore(from);
+      batch->tuples.push_back(HandoffTuple{key, std::move(t)});
+    }
+    bucket->clear();
+  }
+
+  const uint64_t now = Now();
+  for (KeyId key :
+       KeysInRangeSorted(st.altt, *interner_, range.low, range.high)) {
+    BucketList* dq = st.altt.Find(key);
+    while (dq->head != kNil) {
+      AlttEntry& e = st.altt_pool.at(dq->head).value;
+      // Already-expired entries are dropped here instead of moved — the
+      // old owner's amortized expiry would have discarded them anyway.
+      if (e.expires >= now) {
+        batch->altt.push_back(HandoffAltt{key, std::move(e)});
+      }
+      BucketUnlink(st.altt_pool, *dq, kNil, dq->head);
+    }
+  }
+
+  if (config_.migrate_ric_on_churn) {
+    std::vector<KeyId> rate_keys;
+    st.rates.AppendTrackedKeys(&rate_keys);
+    std::erase_if(rate_keys, [&](KeyId k) {
+      return !range.Contains(interner_->ring_id(k));
+    });
+    SortKeysByRingId(&rate_keys, *interner_);
+    for (KeyId key : rate_keys) {
+      RateSlice s{key, 0, 0, 0};
+      if (st.rates.ExtractKey(key, &s.epoch, &s.current, &s.previous)) {
+        batch->rates.push_back(s);
+      }
+    }
+  }
+
+  if (batch->empty()) return;  // Nothing to move: no message.
+  churn_.handoff_messages += 1;
+  churn_.handoff_queries += batch->queries.size();
+  churn_.handoff_tuples += batch->tuples.size();
+  churn_.handoff_altt += batch->altt.size();
+  churn_.handoff_rates += batch->rates.size();
+  churn_.handoff_bytes += batch->ApproxBytes();
+  transport_->SendDirect(from, to, MessageTask(StateHandoff{std::move(batch)}));
+}
+
+void RJoinEngine::InstallQuery(dht::NodeIndex self, KeyId key,
+                               StoredQuery&& sq) {
+  NodeState& st = state(self);
+  Metrics().AddQpl(self);
+  const bool distinct = sq.residual.origin()->spec().distinct;
+  std::string fp;
+  if (distinct) {
+    fp = StoredFingerprint(key, sq.residual);
+    // An identical rewritten query was already indexed at the new owner
+    // after the responsibility change: set semantics keep one copy.
+    if (st.distinct_fingerprints.contains(fp)) return;
+  }
+
+  // Probe the destination's pre-handoff state, exactly as OnEval probes on
+  // arrival: tuples that landed here after the ring change but before this
+  // batch are precisely the ones the moved query has never seen. (Moved
+  // tuples of the same batch install after the queries, so they are not
+  // visible here — those pairs were already evaluated at the old owner.)
+  ProbeStoredState(self, key, sq);
+
+  if (IsExpired(sq.residual)) return;  // Window closed while in flight.
+  if (distinct) st.distinct_fingerprints.insert(std::move(fp));
+  AppendStoredQuery(st, st.queries[key], std::move(sq));
+  Metrics().AddStore(self);
+}
+
+void RJoinEngine::OnStateHandoff(dht::NodeIndex self, StateHandoff& msg) {
+  RJOIN_CHECK(msg.batch != nullptr);
+  HandoffBatch& b = *msg.batch;
+  NodeState& st = state(self);
+  const uint64_t now = Now();
+
+  // Chained churn: responsibility for part of the batch may have moved
+  // again while it was in flight. Split those slices toward their current
+  // owners (std::map: deterministic emission order) and install the rest.
+  std::map<dht::NodeIndex, std::unique_ptr<HandoffBatch>> reforward;
+  auto owner_of = [&](KeyId key) {
+    return network_->SuccessorOf(interner_->ring_id(key));
+  };
+  auto slice_for = [&](dht::NodeIndex owner) -> HandoffBatch& {
+    std::unique_ptr<HandoffBatch>& slot = reforward[owner];
+    if (slot == nullptr) {
+      slot = std::make_unique<HandoffBatch>();
+      slot->from = self;
+      slot->range_low = b.range_low;
+      slot->range_high = b.range_high;
+      slot->emitted_at = b.emitted_at;  // recovery measures the full trip
+    }
+    return *slot;
+  };
+
+  // Snapshot pre-handoff stored-query counts for every key that receives
+  // tuples or ALTT entries: the moved-tuple trigger walk below must visit
+  // pre-existing queries only (moved queries append behind them in pass A,
+  // and every moved-vs-moved pair was already evaluated at the old owner).
+  // Counts are offset by one so 0 still means "key not snapshotted".
+  KeyIdMap<uint32_t> pre_counts;
+  auto pre_count_of = [&](KeyId key) -> uint32_t* {
+    uint32_t* n = pre_counts.Find(key);
+    return n != nullptr && *n > 0 ? n : nullptr;
+  };
+  auto snapshot_key = [&](KeyId key) {
+    uint32_t& slot = pre_counts[key];
+    if (slot > 0) return;
+    uint32_t n = 0;
+    if (const BucketList* bucket = st.queries.Find(key)) {
+      for (uint32_t cur = bucket->head; cur != kNil;
+           cur = st.query_pool.at(cur).next) {
+        ++n;
+      }
+    }
+    slot = n + 1;
+  };
+  for (const HandoffTuple& ht : b.tuples) {
+    if (owner_of(ht.key) == self) snapshot_key(ht.key);
+  }
+  for (const HandoffAltt& ha : b.altt) {
+    if (owner_of(ha.key) == self) snapshot_key(ha.key);
+  }
+
+  // The limited trigger walk shared by moved tuples and moved ALTT
+  // entries: visit at most *budget pre-existing stored queries; drops
+  // shrink the budget so later moved tuples stay inside the pre-existing
+  // prefix.
+  auto trigger_preexisting = [&](KeyId key, const sql::TuplePtr& tuple) {
+    uint32_t* budget = pre_count_of(key);
+    BucketList* bucket = st.queries.Find(key);
+    if (budget == nullptr || bucket == nullptr) return;
+    uint32_t remaining = *budget - 1;  // counts are stored offset by one
+    uint32_t prev = kNil;
+    uint32_t cur = bucket->head;
+    while (cur != kNil && remaining > 0) {
+      --remaining;
+      StoredQuery& sq = st.query_pool.at(cur).value;
+      const uint32_t next = st.query_pool.at(cur).next;
+      if (WindowClosedByTuple(sq.residual, *tuple)) {
+        // A dropped pre-existing entry shrinks the prefix later moved
+        // tuples may visit (the offset keeps the slot >= 1).
+        DropStoredQuery(self, key, *bucket, prev, cur);
+        --(*budget);
+        cur = next;
+        continue;
+      }
+      TryTrigger(self, sq, key, tuple);
+      prev = cur;
+      cur = next;
+    }
+  };
+
+  // Pass A: stored queries (probe pre-handoff tuples/ALTT, then store).
+  for (HandoffQuery& hq : b.queries) {
+    const dht::NodeIndex owner = owner_of(hq.key);
+    if (owner != self) {
+      slice_for(owner).queries.push_back(std::move(hq));
+      continue;
+    }
+    InstallQuery(self, hq.key, std::move(hq.sq));
+  }
+
+  // Pass B: value-level tuples (trigger pre-existing queries, then store).
+  for (HandoffTuple& ht : b.tuples) {
+    const dht::NodeIndex owner = owner_of(ht.key);
+    if (owner != self) {
+      slice_for(owner).tuples.push_back(std::move(ht));
+      continue;
+    }
+    Metrics().AddQpl(self);
+    trigger_preexisting(ht.key, ht.tuple);
+    st.tuples[ht.key].push_back(std::move(ht.tuple));
+    Metrics().AddStore(self);
+  }
+
+  // Pass C: ALTT entries — same walk, then append with the ORIGINAL
+  // absolute expiry, so the Section 4 Delta bound spans the handoff.
+  for (HandoffAltt& ha : b.altt) {
+    const dht::NodeIndex owner = owner_of(ha.key);
+    if (owner != self) {
+      slice_for(owner).altt.push_back(std::move(ha));
+      continue;
+    }
+    if (ha.entry.expires < now) continue;  // Delta elapsed in flight.
+    Metrics().AddQpl(self);
+    trigger_preexisting(ha.key, ha.entry.tuple);
+    BucketList& dq = st.altt[ha.key];
+    const uint32_t idx = BucketAppend(st.altt_pool, dq);
+    st.altt_pool.at(idx).value = std::move(ha.entry);
+  }
+
+  // Rates merge (the migrate half of the RIC policy; see docs/churn.md).
+  for (const RateSlice& rs : b.rates) {
+    const dht::NodeIndex owner = owner_of(rs.key);
+    if (owner != self) {
+      slice_for(owner).rates.push_back(rs);
+      continue;
+    }
+    st.rates.MergeSlice(rs.key, rs.epoch, rs.current, rs.previous);
+  }
+
+  ChurnSinkCounters counters;
+  counters.installed = 1;
+  counters.recovery_ticks = now >= b.emitted_at ? now - b.emitted_at : 0;
+  for (auto& [owner, slice] : reforward) {
+    ++counters.reforwarded;
+    transport_->SendDirect(self, owner,
+                           MessageTask(StateHandoff{std::move(slice)}));
+  }
+  AddChurnCounters(counters);
+}
+
+void RJoinEngine::AddChurnCounters(const ChurnSinkCounters& delta) {
+  const int shard =
+      runtime_ != nullptr ? runtime::ShardedRuntime::CurrentShard() : -1;
+  if (shard >= 0) {
+    ChurnSinkCounters& c = sinks_[shard].churn;
+    c.installed += delta.installed;
+    c.reforwarded += delta.reforwarded;
+    c.recovery_ticks += delta.recovery_ticks;
+    c.forwarded += delta.forwarded;
+    return;
+  }
+  churn_.handoffs_installed += delta.installed;
+  churn_.handoffs_reforwarded += delta.reforwarded;
+  churn_.handoff_recovery_ticks += delta.recovery_ticks;
+  churn_.forwarded_messages += delta.forwarded;
 }
 
 bool RJoinEngine::IsExpired(const Residual& r) const {
@@ -447,6 +904,29 @@ StoredQuery& RJoinEngine::AppendStoredQuery(NodeState& st, BucketList& bucket,
   auto& node = st.query_pool.at(idx);
   node.value = std::move(sq);
   return node.value;
+}
+
+void RJoinEngine::ProbeStoredState(dht::NodeIndex self, KeyId key,
+                                   StoredQuery& sq) {
+  NodeState& st = state(self);
+  if (interner_->level(key) == Level::kValue) {
+    if (const auto* bucket = st.tuples.Find(key)) {
+      // Probing only emits async messages; the tuple list is stable.
+      for (const sql::TuplePtr& t : *bucket) {
+        TryTrigger(self, sq, key, t);
+      }
+    }
+  } else if (config_.enable_altt) {
+    if (const BucketList* dq = st.altt.Find(key)) {
+      const uint64_t now = Now();
+      for (uint32_t cur = dq->head; cur != kNil;
+           cur = st.altt_pool.at(cur).next) {
+        const AlttEntry& e = st.altt_pool.at(cur).value;
+        if (e.expires < now) continue;
+        TryTrigger(self, sq, key, e.tuple);
+      }
+    }
+  }
 }
 
 void RJoinEngine::TryTrigger(dht::NodeIndex self, StoredQuery& sq,
@@ -563,24 +1043,7 @@ void RJoinEngine::OnEval(dht::NodeIndex self, KeyId key, Residual&& residual,
   // older than the residual, so this must happen even if the residual's
   // window admits no *future* tuples anymore.
   StoredQuery sq{std::move(residual), {}};
-  if (interner_->level(key) == Level::kValue) {
-    if (const auto* bucket = st.tuples.Find(key)) {
-      // Probing only emits async messages; the tuple list is stable.
-      for (const sql::TuplePtr& t : *bucket) {
-        TryTrigger(self, sq, key, t);
-      }
-    }
-  } else if (config_.enable_altt) {
-    if (const BucketList* dq = st.altt.Find(key)) {
-      const uint64_t now = Now();
-      for (uint32_t cur = dq->head; cur != kNil;
-           cur = st.altt_pool.at(cur).next) {
-        const AlttEntry& e = st.altt_pool.at(cur).value;
-        if (e.expires < now) continue;
-        TryTrigger(self, sq, key, e.tuple);
-      }
-    }
-  }
+  ProbeStoredState(self, key, sq);
 
   // One-time queries never wait for future tuples: probe-and-forget.
   if (sq.residual.origin()->one_time()) return;

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/handoff.h"
 #include "core/interner.h"
 #include "core/key.h"
 #include "core/key_map.h"
@@ -83,6 +84,15 @@ struct EngineConfig {
   /// attribute-level nodes split their processing load r ways without
   /// duplicating answers. 1 disables replication.
   uint32_t attr_replication = 1;
+
+  /// RIC migration policy on churn (docs/churn.md): true moves the old
+  /// owner's RateTracker buckets along with the key range (observations
+  /// keep aging as if they had never moved); false resets them — the new
+  /// owner starts counting from zero and RIC decisions degrade for up to
+  /// two epochs. Candidate-table entries never migrate under either
+  /// policy: they are cached hints that expire and self-heal through the
+  /// post-churn forwarding rule.
+  bool migrate_ric_on_churn = true;
 
   /// Seed for the engine's internal randomness (kRandom policy).
   uint64_t seed = 42;
@@ -214,6 +224,47 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// status-reduction mechanism).
   void SweepWindows();
 
+  // ------------------------------------------------------ live churn ----
+
+  /// Schedules an in-band ring join at virtual time `when` (clamped to
+  /// now): a NodeJoin message is delivered to `bootstrap`, staged by the
+  /// executing shard, and applied at the next round barrier (immediately
+  /// on the serial path). The join splices the ring, grows the node space,
+  /// and hands the moved key range (pred, id] from the joiner's successor
+  /// to the joiner as a StateHandoff. Driver-phase only.
+  Status ScheduleJoin(sim::SimTime when, const dht::NodeId& id,
+                      dht::NodeIndex bootstrap);
+
+  /// Schedules an in-band graceful leave of `node` at virtual time `when`.
+  /// The orphaned range (pred, node] is handed to the successor; messages
+  /// still in flight toward the departed node are drained by one-hop
+  /// forwarding to the current owner. Driver-phase only.
+  Status ScheduleLeave(sim::SimTime when, dht::NodeIndex node);
+
+  /// Counters of the churn subsystem. Emission-side counters advance at
+  /// barriers (driver), install/forward counters merge from the shard
+  /// sinks at barriers — all shard-count-invariant.
+  struct ChurnStats {
+    uint64_t joins_applied = 0;
+    uint64_t leaves_applied = 0;
+    uint64_t ops_rejected = 0;  ///< join/leave requests that were invalid
+    uint64_t handoff_messages = 0;  ///< StateHandoff envelopes emitted
+    uint64_t handoff_queries = 0;
+    uint64_t handoff_tuples = 0;
+    uint64_t handoff_altt = 0;
+    uint64_t handoff_rates = 0;
+    uint64_t handoff_bytes = 0;  ///< approximate payload bytes moved
+    uint64_t handoffs_installed = 0;
+    uint64_t handoffs_reforwarded = 0;  ///< batches split toward newer owners
+    uint64_t handoff_recovery_ticks = 0;  ///< sum(install time - emit time)
+    uint64_t forwarded_messages = 0;  ///< mis-addressed payloads re-sent
+  };
+  const ChurnStats& churn_stats() const { return churn_; }
+
+  /// Nodes the engine hosts state for (grows with joins; includes departed
+  /// nodes, which keep their index forever).
+  size_t num_nodes() const { return states_.size(); }
+
   /// All answers delivered so far (across queries), in delivery order.
   const std::vector<Answer>& answers() const { return answers_; }
 
@@ -283,11 +334,66 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   void OnRicRequest(dht::NodeIndex self, const RicRequest& msg);
   void OnRicReply(dht::NodeIndex self, const RicReply& msg);
 
+  // ---- churn plumbing (docs/churn.md) ----
+
+  /// One staged topology mutation, applied at a round barrier in EventKey
+  /// order (immediately on the serial path).
+  struct ChurnOp {
+    bool is_join = false;
+    dht::NodeId id;                                 ///< join ring position
+    dht::NodeIndex bootstrap = dht::kInvalidNode;   ///< join entry point
+    dht::NodeIndex node = dht::kInvalidNode;        ///< leaving node
+  };
+
+  /// Worker-side churn counters, merged into churn_ at barriers.
+  struct ChurnSinkCounters {
+    uint64_t installed = 0;
+    uint64_t reforwarded = 0;
+    uint64_t recovery_ticks = 0;
+    uint64_t forwarded = 0;
+  };
+
+  /// Wraps a churn task into an envelope delivered to `dst` at `when`.
+  Status ScheduleChurnEvent(sim::SimTime when, dht::NodeIndex dst,
+                            MessageTask task);
+  /// kNodeJoin/kNodeLeave handler body: stage on a worker, apply otherwise.
+  void StageOrApplyChurn(ChurnOp op);
+  void ApplyChurn(const ChurnOp& op);
+  void ApplyJoin(const dht::NodeId& id, dht::NodeIndex bootstrap);
+  void ApplyLeave(dht::NodeIndex node);
+  /// Grows every per-node table for a freshly joined node `index`.
+  void GrowForNode(dht::NodeIndex index);
+  /// Extracts `range` from `from`'s NodeState (ring-id order) and ships it
+  /// to `to` as one StateHandoff. Serial-phase / serial-path only.
+  void EmitHandoff(dht::NodeIndex from, dht::NodeIndex to,
+                   const dht::KeyRange& range);
+  /// kStateHandoff handler: installs the slices `self` is responsible for
+  /// (probing against pre-handoff local state only — moved-vs-moved pairs
+  /// were already evaluated at the old owner) and re-forwards slices whose
+  /// responsibility moved again while the batch was in flight.
+  void OnStateHandoff(dht::NodeIndex self, StateHandoff& msg);
+  /// OnEval's storage logic for a migrated stored query: keeps the moved
+  /// ProjectionSet, probes only pre-handoff tuples/ALTT entries.
+  void InstallQuery(dht::NodeIndex self, KeyId key, StoredQuery&& sq);
+  /// Post-churn responsibility check: true when `self` no longer owns
+  /// `key` and the payload was re-sent (one direct hop) to the owner.
+  bool MaybeForward(dht::NodeIndex self, KeyId key, MessageTask* task);
+  /// Adds worker-side churn counters: into the shard sink on a worker
+  /// (merged into churn_ at the barrier), straight into churn_ otherwise.
+  void AddChurnCounters(const ChurnSinkCounters& delta);
+
   /// Shared trigger step: try to bind `t` into the stored query `sq`
   /// (temporal check, predicate match, window admission, DISTINCT rule).
   /// On success forwards or completes the new residual.
   void TryTrigger(dht::NodeIndex self, StoredQuery& sq, KeyId key,
                   const sql::TuplePtr& t);
+
+  /// Probes `sq` against everything already stored at `self` under `key`:
+  /// the value-level tuple bucket, or the non-expired ALTT entries for an
+  /// attribute-level key. The one definition of the arrival probe, shared
+  /// by OnEval (Procedure 3) and InstallQuery (a migrated query must see
+  /// exactly what a fresh arrival would).
+  void ProbeStoredState(dht::NodeIndex self, KeyId key, StoredQuery& sq);
 
   void CompleteOrForward(dht::NodeIndex self, Residual next);
 
@@ -340,6 +446,10 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
         distinct_rows;
     uint64_t distinct_suppressed = 0;
     KeyIdMap<uint64_t> key_load;
+    /// Join/leave requests staged by this shard's events, applied by the
+    /// driver at the next barrier in global EventKey order.
+    std::vector<std::pair<runtime::EventKey, ChurnOp>> churn_ops;
+    ChurnSinkCounters churn;
   };
 
   runtime::ShardedRuntime* runtime_ = nullptr;
@@ -363,6 +473,19 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
 
   std::vector<sql::TuplePtr> history_;
   KeyIdMap<uint64_t> key_load_;
+
+  // ---- churn state ----
+
+  ChurnStats churn_;
+  /// Arms the per-message responsibility check (MaybeForward) the first
+  /// time any churn is applied; before that, the hot path is untouched.
+  /// Never disarmed: candidate tables keep stale responsible-node
+  /// addresses long after all in-flight mail has drained, and a fresh CT
+  /// hit SendDirects to that cached address — so mis-addressed deliveries
+  /// remain possible for the rest of the run, not just until the heaps
+  /// empty. Written at barriers (workers parked), read by workers after
+  /// the start gate.
+  bool forwarding_armed_ = false;
 
   uint64_t next_query_id_ = 1;
   uint64_t next_tuple_id_ = 1;

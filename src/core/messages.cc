@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "core/handoff.h"
 #include "util/logging.h"
 
 namespace rjoin::core {
@@ -24,9 +25,25 @@ const char* MessageKindName(MessageKind kind) {
       return "answer_deliver";
     case MessageKind::kControl:
       return "control";
+    case MessageKind::kNodeJoin:
+      return "node_join";
+    case MessageKind::kNodeLeave:
+      return "node_leave";
+    case MessageKind::kStateHandoff:
+      return "state_handoff";
   }
   return "unknown";
 }
+
+// StateHandoff's special members live here so HandoffBatch can stay an
+// incomplete type in messages.h (every Envelope user would otherwise pull
+// in the whole node-state surface).
+StateHandoff::StateHandoff() = default;
+StateHandoff::StateHandoff(std::unique_ptr<HandoffBatch> b)
+    : batch(std::move(b)) {}
+StateHandoff::StateHandoff(StateHandoff&&) noexcept = default;
+StateHandoff& StateHandoff::operator=(StateHandoff&&) noexcept = default;
+StateHandoff::~StateHandoff() = default;
 
 namespace {
 
@@ -123,6 +140,7 @@ void MessagePool::Release(Envelope* env) {
     RJOIN_DCHECK(env->origin != nullptr);
     env->task.Reset();  // free payload internals on the releasing thread
     MessagePool* pool = env->origin;
+    pool->released_.fetch_add(1, std::memory_order_relaxed);
     if (std::this_thread::get_id() == pool->owner_) {
       env->link = pool->free_;
       pool->free_ = env;
@@ -144,6 +162,7 @@ MessagePool::Stats MessagePool::stats() const {
       envelopes_allocated_.load(std::memory_order_relaxed);
   s.acquired = acquired_.load(std::memory_order_relaxed);
   s.recycled = recycled_.load(std::memory_order_relaxed);
+  s.released = released_.load(std::memory_order_relaxed);
   return s;
 }
 

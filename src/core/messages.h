@@ -41,6 +41,9 @@ enum class MessageKind : uint8_t {
   kRicReply,       ///< Section 7: the rate answer, merged into the CT
   kAnswerDeliver,  ///< a completed join row returning to Owner(q)
   kControl,        ///< runtime plumbing: timers, deferred driver work, tests
+  kNodeJoin,       ///< churn: a node joining the ring at a given position
+  kNodeLeave,      ///< churn: a voluntary, graceful departure
+  kStateHandoff,   ///< churn: NodeState slices moving to a new owner
 };
 
 const char* MessageKindName(MessageKind kind);
@@ -104,6 +107,39 @@ struct Control {
   std::function<void()> run;
 };
 
+/// Live churn, join half: a node announcing it wants to join the ring at
+/// `id`, delivered to a bootstrap node. The engine stages the request and
+/// applies it at the next round barrier (ring mutations are serial-phase
+/// work; see docs/churn.md for the determinism argument).
+struct NodeJoin {
+  dht::NodeId id;
+  dht::NodeIndex bootstrap = dht::kInvalidNode;
+};
+
+/// Live churn, leave half: node `node` departs gracefully. Staged and
+/// applied like NodeJoin; the departing node's responsibility range is
+/// handed to its successor as a StateHandoff.
+struct NodeLeave {
+  dht::NodeIndex node = dht::kInvalidNode;
+};
+
+/// Live churn, transfer half: the NodeState slices of a moved key range,
+/// boxed so the rare churn path does not grow every pooled Envelope. The
+/// batch definition lives in core/handoff.h; the out-of-line special
+/// members keep HandoffBatch an incomplete type here.
+struct HandoffBatch;
+struct StateHandoff {
+  StateHandoff();
+  explicit StateHandoff(std::unique_ptr<HandoffBatch> b);
+  StateHandoff(StateHandoff&&) noexcept;
+  StateHandoff& operator=(StateHandoff&&) noexcept;
+  StateHandoff(const StateHandoff&) = delete;
+  StateHandoff& operator=(const StateHandoff&) = delete;
+  ~StateHandoff();
+
+  std::unique_ptr<HandoffBatch> batch;
+};
+
 /// Move-only tagged union of every payload kind. The alternative order
 /// must match MessageKind (see the static_asserts below).
 class MessageTask {
@@ -116,6 +152,9 @@ class MessageTask {
   MessageTask(RicReply&& p) : v_(std::move(p)) {}
   MessageTask(AnswerDeliver&& p) : v_(std::move(p)) {}
   MessageTask(Control&& p) : v_(std::move(p)) {}
+  MessageTask(NodeJoin&& p) : v_(std::move(p)) {}
+  MessageTask(NodeLeave&& p) : v_(std::move(p)) {}
+  MessageTask(StateHandoff&& p) : v_(std::move(p)) {}
 
   MessageTask(MessageTask&&) noexcept = default;
   MessageTask& operator=(MessageTask&&) noexcept = default;
@@ -132,6 +171,9 @@ class MessageTask {
   RicReply& ric_reply() { return std::get<RicReply>(v_); }
   AnswerDeliver& answer() { return std::get<AnswerDeliver>(v_); }
   Control& control() { return std::get<Control>(v_); }
+  NodeJoin& node_join() { return std::get<NodeJoin>(v_); }
+  NodeLeave& node_leave() { return std::get<NodeLeave>(v_); }
+  StateHandoff& state_handoff() { return std::get<StateHandoff>(v_); }
 
   /// Drops the payload (back to kNone), releasing whatever it owned.
   void Reset() { v_.emplace<std::monostate>(); }
@@ -139,7 +181,8 @@ class MessageTask {
  private:
   using Variant =
       std::variant<std::monostate, TuplePublish, QueryIndex, Rewrite,
-                   RicRequest, RicReply, AnswerDeliver, Control>;
+                   RicRequest, RicReply, AnswerDeliver, Control, NodeJoin,
+                   NodeLeave, StateHandoff>;
 
   template <MessageKind K, typename T>
   static constexpr bool kMatches =
@@ -154,6 +197,9 @@ class MessageTask {
   static_assert(kMatches<MessageKind::kRicReply, RicReply>);
   static_assert(kMatches<MessageKind::kAnswerDeliver, AnswerDeliver>);
   static_assert(kMatches<MessageKind::kControl, Control>);
+  static_assert(kMatches<MessageKind::kNodeJoin, NodeJoin>);
+  static_assert(kMatches<MessageKind::kNodeLeave, NodeLeave>);
+  static_assert(kMatches<MessageKind::kStateHandoff, StateHandoff>);
 
   Variant v_;
 };
@@ -276,6 +322,11 @@ class MessagePool {
     uint64_t envelopes_allocated = 0;
     uint64_t acquired = 0;
     uint64_t recycled = 0;
+    uint64_t released = 0;  ///< envelopes returned (freelist or remote list)
+
+    /// Envelopes handed out and not yet returned. Zero after a full drain —
+    /// the no-envelope-lost/duplicated balance the churn tests assert.
+    uint64_t outstanding() const { return acquired - released; }
   };
   Stats stats() const;
 
@@ -300,11 +351,13 @@ class MessagePool {
   std::atomic<Envelope*> remote_free_{nullptr};  // cross-thread returns
   std::thread::id owner_;
 
-  // Relaxed atomics: written by the owner thread, read by Aggregate().
+  // Relaxed atomics: written by the owner thread (released_ by any
+  // releasing thread), read by Aggregate()/stats().
   std::atomic<uint64_t> slabs_allocated_{0};
   std::atomic<uint64_t> envelopes_allocated_{0};
   std::atomic<uint64_t> acquired_{0};
   std::atomic<uint64_t> recycled_{0};
+  std::atomic<uint64_t> released_{0};
 };
 
 /// Executes due envelopes. dht::Transport is the one implementation: it

@@ -1,5 +1,7 @@
 #include "core/ric.h"
 
+#include <algorithm>
+
 namespace rjoin::core {
 
 void RateTracker::Roll(Bucket& b, uint64_t epoch) const {
@@ -35,6 +37,36 @@ void RateTracker::SnapshotInto(uint64_t now, KeyIdMap<uint64_t>* out) const {
     const uint64_t rate = b.current + b.previous;
     if (rate > 0) (*out)[key] = rate;
   });
+}
+
+void RateTracker::AppendTrackedKeys(std::vector<KeyId>* out) const {
+  counts_.ForEach([&](KeyId key, const Bucket& bucket) {
+    if (bucket.current > 0 || bucket.previous > 0) out->push_back(key);
+  });
+}
+
+bool RateTracker::ExtractKey(KeyId key, uint64_t* epoch, uint64_t* current,
+                             uint64_t* previous) {
+  Bucket* b = counts_.Find(key);
+  if (b == nullptr || (b->current == 0 && b->previous == 0)) return false;
+  *epoch = b->epoch;
+  *current = b->current;
+  *previous = b->previous;
+  // KeyIdMap never erases; an empty bucket is equivalent (Rate reads 0 and
+  // SnapshotInto skips zero rates).
+  *b = Bucket{};
+  return true;
+}
+
+void RateTracker::MergeSlice(KeyId key, uint64_t epoch, uint64_t current,
+                             uint64_t previous) {
+  Bucket incoming{epoch, current, previous};
+  Bucket& b = counts_[key];
+  const uint64_t target = std::max(b.epoch, incoming.epoch);
+  Roll(b, target);
+  Roll(incoming, target);
+  b.current += incoming.current;
+  b.previous += incoming.previous;
 }
 
 void CandidateTable::Merge(const RicEntry& entry) {

@@ -2,6 +2,7 @@
 #define RJOIN_CORE_RIC_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/key.h"
 #include "core/key_map.h"
@@ -41,6 +42,25 @@ class RateTracker {
   /// snapshots at epoch barriers so worker threads can answer remote RIC
   /// lookups without reading live cross-shard state.
   void SnapshotInto(uint64_t now, KeyIdMap<uint64_t>* out) const;
+
+  // ---- churn migration (docs/churn.md: rates migrate and merge) --------
+
+  /// Appends every key with a live (non-zero) bucket to `out`, in the
+  /// tracker's unspecified iteration order — callers sort (the handoff
+  /// path sorts by ring id).
+  void AppendTrackedKeys(std::vector<KeyId>* out) const;
+
+  /// Moves `key`'s bucket out (zeroing it here). Returns false when the
+  /// key is untracked or empty. The extracted epoch/current/previous
+  /// triple feeds MergeSlice at the new owner.
+  bool ExtractKey(KeyId key, uint64_t* epoch, uint64_t* current,
+                  uint64_t* previous);
+
+  /// Folds a migrated bucket into this tracker: both sides roll forward to
+  /// the newer epoch (observations age across the handoff exactly as they
+  /// would have in place), then counts add.
+  void MergeSlice(KeyId key, uint64_t epoch, uint64_t current,
+                  uint64_t previous);
 
   size_t tracked_keys() const { return counts_.size(); }
 

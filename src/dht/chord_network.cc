@@ -56,11 +56,70 @@ Status ChordNetwork::FailNode(NodeIndex node) {
   return Status::Ok();
 }
 
-Status ChordNetwork::LeaveNode(NodeIndex node) {
-  // A voluntary leave has the same ring-membership effect as a failure;
-  // in a real deployment it would transfer keys first. Key handover is the
-  // responsibility of the layer above (see RJoinEngine tests).
-  return FailNode(node);
+StatusOr<KeyRange> ChordNetwork::LeaveNode(NodeIndex node) {
+  if (node >= nodes_.size() || !nodes_[node]->alive()) {
+    return Status::NotFound("no such alive node");
+  }
+  if (ring_.size() <= 1) {
+    return Status::FailedPrecondition(
+        "the last alive node cannot leave: its key range has no owner");
+  }
+  // Ring-order neighbors from the membership index (exact even when the
+  // node-local pointers are stale).
+  auto it = ring_.find(nodes_[node]->id());
+  RJOIN_CHECK(it != ring_.end());
+  auto prev_it = it == ring_.begin() ? std::prev(ring_.end()) : std::prev(it);
+  auto next_it = std::next(it) == ring_.end() ? ring_.begin() : std::next(it);
+  const NodeIndex pred = prev_it->second;
+  const NodeIndex succ = next_it->second;
+
+  const KeyRange orphaned{nodes_[pred]->id(), nodes_[node]->id()};
+
+  nodes_[node]->set_alive(false);
+  ring_.erase(it);
+
+  // Graceful splice: the neighbors learn about the departure immediately
+  // (the leaving node tells them), unlike a silent failure that heals
+  // through stabilization rounds. Successor lists refresh by walking the
+  // (now exact) successor pointers; stale list entries elsewhere are
+  // alive-checked by every consumer.
+  nodes_[pred]->set_successor(pred == succ ? pred : succ);
+  nodes_[succ]->set_predecessor(pred == succ ? succ : pred);
+  StabilizeOnce(pred);
+  StabilizeOnce(succ);
+  RJOIN_DCHECK(RingConsistent());  // leave splice must keep the ring exact
+  return orphaned;
+}
+
+StatusOr<NodeIndex> ChordNetwork::JoinAndSplice(NodeId id,
+                                                NodeIndex bootstrap) {
+  auto joined = JoinViaBootstrap(id, bootstrap);
+  if (!joined.ok()) return joined.status();
+  const NodeIndex index = *joined;
+  ChordNode& nd = *nodes_[index];
+  const NodeIndex succ = nd.successor();
+
+  // The joiner's predecessor is its successor's old predecessor (exact in a
+  // consistent ring; JoinViaBootstrap resolved succ against the pre-join
+  // membership, so succ's predecessor has not been touched yet).
+  NodeIndex pred = nodes_[succ]->predecessor();
+  if (pred == kInvalidNode || pred >= nodes_.size() ||
+      !nodes_[pred]->alive() || pred == index) {
+    pred = succ;  // Two-node ring: the bootstrap wraps to itself.
+  }
+  nd.set_predecessor(pred);
+  nodes_[pred]->set_successor(index);
+  nodes_[succ]->set_predecessor(index);
+
+  // Refresh the spliced nodes' successor lists and give the joiner real
+  // fingers in-band (one full fix_fingers sweep); everyone else's fingers
+  // repair lazily — stale-but-alive fingers still make monotone routing
+  // progress, and dead ones are skipped.
+  StabilizeOnce(index);
+  StabilizeOnce(pred);
+  for (int b = 0; b < NodeId::kBits; ++b) FixFingersOnce(index, b);
+  RJOIN_DCHECK(RingConsistent());  // join splice must keep the ring exact
+  return index;
 }
 
 void ChordNetwork::Stabilize() {

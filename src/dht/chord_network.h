@@ -13,6 +13,18 @@
 
 namespace rjoin::dht {
 
+/// A half-open interval (low, high] on the identifier ring: the key range a
+/// churn event moves between nodes. When low == high the range spans the
+/// whole ring (the Chord single-node convention).
+struct KeyRange {
+  NodeId low;
+  NodeId high;
+
+  bool Contains(const NodeId& id) const {
+    return InIntervalOpenClosed(id, low, high);
+  }
+};
+
 /// A simulated Chord overlay. All nodes live in-process (the evaluation
 /// methodology of the paper). The network provides:
 ///   * ring membership: join, voluntary leave, failure, stabilization;
@@ -39,11 +51,28 @@ class ChordNetwork {
   StatusOr<NodeIndex> AddNode(NodeId id);
 
   /// Marks a node dead (silent failure) and removes it from the ring.
+  /// State stored under the node's keys is simply lost, as in a real crash.
   Status FailNode(NodeIndex node);
 
-  /// Voluntary leave (same ring effect as failure; kept separate for tests
-  /// exercising the distinction).
-  Status LeaveNode(NodeIndex node);
+  /// Voluntary, *graceful* leave: removes the node from the ring, splices
+  /// its neighbors' successor/predecessor pointers exactly, and returns the
+  /// orphaned key range (pred, node] the departing node was responsible
+  /// for. The caller owns that range's state now — it must either hand it
+  /// off to the new successor (RJoinEngine emits a StateHandoff) or drop it
+  /// deliberately; discarding the returned range silently is the bug the
+  /// [[nodiscard]] guards against. Refuses to remove the last alive node
+  /// (its range would have no owner).
+  [[nodiscard]] StatusOr<KeyRange> LeaveNode(NodeIndex node);
+
+  /// In-band protocol join: resolves the successor from `bootstrap` with
+  /// node-local routing (like JoinViaBootstrap), then immediately splices
+  /// the new node into the ring — neighbors' successor/predecessor
+  /// pointers, successor lists of the spliced nodes, and one full
+  /// fix_fingers() sweep for the joiner — so greedy routing converges
+  /// without driver-side RunProtocolRounds. Returns the new node's index;
+  /// the joiner's responsibility (its orphan of the successor's old range)
+  /// is (predecessor(new), new].
+  StatusOr<NodeIndex> JoinAndSplice(NodeId id, NodeIndex bootstrap);
 
   /// Recomputes successors, predecessors, finger tables and successor lists
   /// for every alive node. Models a fully stabilized Chord network, which

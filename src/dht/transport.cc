@@ -38,6 +38,15 @@ size_t Transport::Send(NodeIndex src, const NodeId& key,
 
 size_t Transport::SerialSend(NodeIndex src, const NodeId& key,
                              core::MessageTask task, bool ric) {
+  if (!network_->node(src).alive()) {
+    // A departed node draining in-flight work: it cannot greedy-route (it
+    // is off the ring) but still knows the responsible node — one direct
+    // hop, like the forwarding rule of docs/churn.md.
+    Metrics().AddTraffic(src, 1, ric);
+    SerialDeliver(network_->SuccessorOf(key), std::move(task),
+                  latency_->Delay(rng_));
+    return 1;
+  }
   std::vector<NodeIndex>& path = RouteScratch();
   network_->RoutePath(src, key, &path);
   stats::MetricsRegistry& metrics = Metrics();
@@ -52,6 +61,14 @@ size_t Transport::SerialSend(NodeIndex src, const NodeId& key,
 }
 
 size_t Transport::FinishRoute(core::EnvelopeRef env) {
+  if (!network_->node(env->src).alive()) {
+    // Deferred route whose source left at a barrier in between: finish as
+    // a one-hop direct send to the responsible node (the departed node
+    // drains its outbox before disappearing).
+    env->dst = network_->SuccessorOf(env->route_key);
+    FinishDirect(std::move(env));
+    return 1;
+  }
   std::vector<NodeIndex>& path = RouteScratch();
   network_->RoutePath(env->src, env->route_key, &path);
   stats::MetricsRegistry& metrics = Metrics();
@@ -168,6 +185,10 @@ void Transport::ChargeTraffic(NodeIndex node, uint64_t count, bool ric) {
 }
 
 size_t Transport::ChargeRoute(NodeIndex src, const NodeId& key, bool ric) {
+  if (!network_->node(src).alive()) {
+    Metrics().AddTraffic(src, 1, ric);  // departed source: one direct hop
+    return 1;
+  }
   std::vector<NodeIndex>& path = RouteScratch();
   network_->RoutePath(src, key, &path);
   stats::MetricsRegistry& metrics = Metrics();

@@ -107,6 +107,16 @@ ShardedRuntime::~ShardedRuntime() {
   }
 }
 
+void ShardedRuntime::GrowNodes(size_t num_nodes) {
+  RJOIN_CHECK(tls_current_shard < 0)
+      << "GrowNodes must run on the driver (workers parked)";
+  if (num_nodes <= num_nodes_) return;
+  num_nodes_ = num_nodes;
+  emit_seq_.resize(num_nodes, 0);
+  main_metrics_->Resize(num_nodes);
+  for (auto& shard : shard_state_) shard->metrics->Resize(num_nodes);
+}
+
 ShardedRuntime::MailboxStats ShardedRuntime::AggregateMailbox() {
   MailboxStats s;
   s.batches = g_mailbox_batches.load(std::memory_order_relaxed);
@@ -279,9 +289,13 @@ uint64_t ShardedRuntime::RunLoop(bool bounded, sim::SimTime until) {
   for (;;) {
     SerialPhase();
     if (AllHeapsEmpty() || (bounded && MinHeapTime() > until)) {
-      // Final barrier: lets hooks publish what the last round staged.
+      // Final barrier: lets hooks publish what the last round staged. A
+      // hook may also *create* work — churn staged in the last round is
+      // applied here and emits handoff envelopes — so re-check: only break
+      // when the hooks left the heaps drained (or beyond the bound).
       for (BarrierHook* hook : hooks_) hook->OnBarrier(now_);
-      break;
+      if (AllHeapsEmpty() || (bounded && MinHeapTime() > until)) break;
+      continue;
     }
 
     now_ = std::max(now_, MinHeapTime());  // jump idle gaps in one step

@@ -72,8 +72,13 @@ class BarrierHook {
 /// (cross-shard returns ride a lock-free remote list), so the steady-state
 /// delivery path performs zero heap allocations per message.
 ///
-/// The network topology (ChordNetwork) must not change while events are in
-/// flight: churn is a driver-phase operation.
+/// Topology churn: the network (ChordNetwork) and the engine's per-node
+/// state may change *at round barriers only* — workers are parked there, so
+/// the serial phase (BarrierHook::OnBarrier) may mutate the ring, grow the
+/// node space (GrowNodes), and emit handoff envelopes. Because the barrier
+/// schedule is a pure function of the event population (itself independent
+/// of the shard count), every run applies the same churn at the same
+/// virtual instants for any S. See docs/churn.md.
 class ShardedRuntime {
  public:
   struct Options {
@@ -122,6 +127,14 @@ class ShardedRuntime {
   /// Next emission sequence number of `src`. Must be called either from the
   /// worker owning `src`'s shard or from the driver between rounds.
   uint64_t NextEmitSeq(NodeIndex src) { return ++emit_seq_[src]; }
+
+  /// Grows the node space to `num_nodes` (nodes joining at a barrier).
+  /// Driver-only, workers parked: emission counters and every metrics
+  /// registry resize here, before any worker can address the new nodes.
+  /// The shard partition (chunk_) is fixed at construction, so joined
+  /// nodes all land on the last shard — a deterministic (if unbalanced)
+  /// placement that keeps ShardOf stable for every pre-existing node.
+  void GrowNodes(size_t num_nodes);
 
   /// Envelope pool of one shard. Acquire only on the owning worker thread,
   /// or on the driver while workers are parked.
@@ -266,7 +279,7 @@ class ShardedRuntime {
   uint64_t RunLoop(bool bounded, sim::SimTime until);
 
   const uint32_t num_shards_;
-  const size_t num_nodes_;
+  size_t num_nodes_;  // grows on join churn (GrowNodes, driver-only)
   const sim::SimTime round_width_;
   const uint32_t chunk_;
 

@@ -1,0 +1,89 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/random.h"
+
+namespace rjoin::workload {
+
+std::vector<ChurnEvent> GenerateChurnTrace(const ChurnSpec& spec,
+                                           size_t num_tuples,
+                                           sim::SimTime start,
+                                           sim::SimTime span, uint64_t seed,
+                                           size_t* resolved_joins,
+                                           size_t* resolved_leaves) {
+  size_t joins = spec.joins;
+  size_t leaves = spec.leaves;
+  if (joins == 0 && leaves == 0 && spec.rate > 0.0) {
+    const size_t total = std::max<size_t>(
+        1, static_cast<size_t>(spec.rate * static_cast<double>(num_tuples)));
+    joins = (total + 1) / 2;
+    leaves = total / 2;
+  }
+  // A leave needs a victim: spares exist from the start, joined nodes only
+  // after their join. Clamp to the supply.
+  leaves = std::min(leaves, spec.spare_nodes + joins);
+  if (resolved_joins != nullptr) *resolved_joins = joins;
+  if (resolved_leaves != nullptr) *resolved_leaves = leaves;
+
+  std::vector<ChurnEvent> events;
+  const size_t total_ops = joins + leaves;
+  if (total_ops == 0 || span == 0) return events;
+
+  Rng rng(seed * 0x9e3779b9u + 0xc424c1);
+  const sim::SimTime slot = std::max<sim::SimTime>(1, span / (total_ops + 1));
+
+  // Interleave joins and leaves across the evenly spaced slots. Leaves
+  // consume the victim sequence in order: spares first (leavable from the
+  // start), then joined nodes — pushed past join_time + settle_ticks.
+  std::vector<sim::SimTime> join_times;
+  join_times.reserve(joins);
+  size_t joins_emitted = 0;
+  size_t leaves_emitted = 0;
+  size_t next_victim = 0;
+  for (size_t op = 0; op < total_ops; ++op) {
+    // Slot base time with a little seeded jitter (never before `start`).
+    sim::SimTime t = start + (op + 1) * slot;
+    t += rng.NextBounded(std::max<sim::SimTime>(1, slot / 2));
+
+    // Alternate join/leave while both remain; spill the leftovers.
+    const bool pick_join =
+        joins_emitted < joins &&
+        (leaves_emitted >= leaves || op % 2 == 0 ||
+         // Leaves beyond the spare supply need an already-scheduled join.
+         (next_victim >= spec.spare_nodes &&
+          next_victim - spec.spare_nodes >= joins_emitted));
+
+    ChurnEvent e;
+    e.time = t;
+    if (pick_join) {
+      e.is_join = true;
+      e.join_id = dht::NodeId::FromKey("churn-join:" + std::to_string(seed) +
+                                       ":" + std::to_string(joins_emitted));
+      join_times.push_back(t);
+      ++joins_emitted;
+    } else {
+      e.is_join = false;
+      e.victim_slot = next_victim;
+      if (next_victim >= spec.spare_nodes) {
+        // Victim is the (next_victim - spares)-th joined node: keep the
+        // leave at least settle_ticks after that join.
+        const sim::SimTime join_t =
+            join_times[next_victim - spec.spare_nodes];
+        e.time = std::max<sim::SimTime>(e.time, join_t + spec.settle_ticks);
+      }
+      ++next_victim;
+      ++leaves_emitted;
+    }
+    events.push_back(e);
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              return a.time < b.time;
+            });
+  return events;
+}
+
+}  // namespace rjoin::workload

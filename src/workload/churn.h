@@ -1,0 +1,70 @@
+#ifndef RJOIN_WORKLOAD_CHURN_H_
+#define RJOIN_WORKLOAD_CHURN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/id.h"
+#include "sim/time.h"
+
+namespace rjoin::workload {
+
+/// Churn parameters of an experiment: how many nodes join and leave while
+/// the tuple stream is running. The trace is generated up front (a pure
+/// function of these parameters), then scheduled as in-band NodeJoin /
+/// NodeLeave messages, so every run — serial or sharded, any shard count —
+/// sees the same topology mutations at the same virtual instants.
+struct ChurnSpec {
+  /// Churn operations per published tuple (joins + leaves combined). Used
+  /// only when `joins`/`leaves` are both 0; RJOIN_CHURN sets this knob
+  /// from the environment when the config leaves churn unset.
+  double rate = 0.0;
+
+  /// Explicit operation counts (override `rate` when non-zero).
+  size_t joins = 0;
+  size_t leaves = 0;
+
+  /// Extra nodes created at startup purely as leave victims. They are
+  /// excluded from query-owner/publisher placement, so a departing spare
+  /// never strands an answer destination. Leaves target spares first, then
+  /// previously joined nodes (join-then-leave churn).
+  size_t spare_nodes = 0;
+
+  /// Minimum virtual-time gap between a node's join and its own leave
+  /// (lets the join's handoff land before the state moves again in the
+  /// common case; chained handoffs are still handled).
+  uint64_t settle_ticks = 64;
+
+  /// Trace seed; 0 derives one from the experiment seed.
+  uint64_t seed = 0;
+};
+
+/// One scheduled churn operation. Leaves reference a *victim slot* rather
+/// than a node index: slot k is the k-th entry of the victim sequence
+/// (all spares in creation order, then joined nodes in join order), which
+/// the experiment resolves to concrete indices — spares exist up front and
+/// joined nodes get sequential indices in application order.
+struct ChurnEvent {
+  sim::SimTime time = 0;
+  bool is_join = false;
+  dht::NodeId join_id;      ///< ring position (join only)
+  size_t victim_slot = 0;   ///< victim-sequence slot (leave only)
+};
+
+/// Builds a deterministic churn trace across the virtual interval
+/// [start, start + span): operations are evenly spaced with seeded jitter,
+/// joins and leaves interleave, and a leave of a joined node is pushed to
+/// at least that join's time + settle_ticks. Returns events in
+/// non-decreasing time order. `resolved_joins`/`resolved_leaves` receive
+/// the actual counts after clamping (leaves never exceed the available
+/// victim supply: spares + joins).
+std::vector<ChurnEvent> GenerateChurnTrace(const ChurnSpec& spec,
+                                           size_t num_tuples,
+                                           sim::SimTime start,
+                                           sim::SimTime span, uint64_t seed,
+                                           size_t* resolved_joins,
+                                           size_t* resolved_leaves);
+
+}  // namespace rjoin::workload
+
+#endif  // RJOIN_WORKLOAD_CHURN_H_

@@ -34,6 +34,17 @@ uint32_t ResolveShardCount(uint32_t requested) {
   return static_cast<uint32_t>(std::min<long>(v, 64));
 }
 
+std::optional<ChurnSpec> ResolveChurnSpec(const ExperimentConfig& config) {
+  if (config.churn.has_value()) return config.churn;
+  const char* env = std::getenv("RJOIN_CHURN");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  const double rate = std::atof(env);
+  if (rate <= 0.0) return std::nullopt;
+  ChurnSpec spec;
+  spec.rate = rate;
+  return spec;
+}
+
 double ExperimentResult::MsgsPerNodePerTuple() const {
   if (per_tuple.empty() || num_nodes == 0) return 0.0;
   const uint64_t tuple_msgs =
@@ -76,12 +87,18 @@ double ExperimentResult::StoragePerNode() const {
 
 Experiment::Experiment(ExperimentConfig config)
     : config_(std::move(config)),
+      resolved_churn_(ResolveChurnSpec(config_)),
       catalog_(BuildCatalog(config_.workload)),
       latency_(1) {
   if (config_.node_positions.has_value()) {
     network_ = dht::ChordNetwork::CreateWithPositions(*config_.node_positions);
   } else {
-    network_ = dht::ChordNetwork::Create(config_.num_nodes, config_.seed);
+    // Churn runs reserve `spare_nodes` extra leave victims past the
+    // participant indices [0, num_nodes).
+    const size_t spares =
+        resolved_churn_.has_value() ? resolved_churn_->spare_nodes : 0;
+    network_ =
+        dht::ChordNetwork::Create(config_.num_nodes + spares, config_.seed);
   }
   metrics_.Resize(network_->num_total());
   transport_ = std::make_unique<dht::Transport>(network_.get(), &sim_,
@@ -160,10 +177,21 @@ LoadSnapshot Experiment::Snapshot(size_t after_tuples) const {
 
 ExperimentResult Experiment::Run() {
   ExperimentResult result;
-  result.num_nodes = network_->num_alive();
+  // Per-node averages divide by the fixed participant count, so a churn
+  // sweep (whose spare/joiner population scales with the rate) keeps a
+  // comparable denominator across rates. Without churn this equals
+  // num_alive() exactly.
+  result.num_nodes = std::min<size_t>(network_->num_alive(),
+                                      config_.num_nodes);
   result.num_tuples = config_.num_tuples;
 
-  const auto alive = network_->AliveNodes();
+  // Query owners and tuple publishers come from the participant prefix
+  // only: churn spares and joined nodes may depart mid-stream, and an
+  // answer addressed to a departed owner would be lost.
+  std::vector<dht::NodeIndex> alive;
+  for (dht::NodeIndex n : network_->AliveNodes()) {
+    if (n < config_.num_nodes) alive.push_back(n);
+  }
   Rng placement_rng(config_.seed ^ 0x9a9a9a);
 
   // Phase 0: prime the tuple-rate trackers with stream history (same
@@ -195,12 +223,24 @@ ExperimentResult Experiment::Run() {
   result.traffic_after_queries = metrics_.total_messages();
   result.ric_after_queries = metrics_.total_ric_messages();
 
+  // Phase 1.5: lay out the churn trace across the coming stream span; its
+  // events are released into the event plane as the stream clock reaches
+  // them (in-band NodeJoin/NodeLeave messages the engine stages and
+  // applies at round barriers).
+  if (resolved_churn_.has_value()) BuildChurnTrace(NowTime());
+
   // Phase 2: stream tuples. Each tuple is processed to quiescence so the
   // per-tuple load attribution matches the paper's measurement method.
   TupleGenerator tgen(config_.workload, catalog_.get(), config_.seed * 13 + 5);
   size_t next_checkpoint = 0;
   result.per_tuple.reserve(config_.num_tuples);
   for (size_t i = 0; i < config_.num_tuples; ++i) {
+    // Churn ops due within this publication slot enter the event plane
+    // now, so topology mutations interleave with the stream instead of
+    // being drained all at once by the first RunToQuiescence.
+    if (resolved_churn_.has_value()) {
+      ReleaseChurnUpTo(NowTime() + config_.tuple_gap);
+    }
     const dht::NodeIndex publisher =
         alive[placement_rng.NextBounded(alive.size())];
     TupleGenerator::Draw d = tgen.Next();
@@ -236,12 +276,58 @@ ExperimentResult Experiment::Run() {
       RunUntilTime(NowTime() + config_.tuple_gap);
     }
   }
+  // Any trace remainder (leaves pushed past the stream end by their settle
+  // gap) still runs before the final drain, so every handoff lands.
+  if (resolved_churn_.has_value()) {
+    ReleaseChurnUpTo(UINT64_MAX);
+    RunToQuiescence();
+  }
   if (config_.pipeline_stream) RunToQuiescence();
   engine_->SweepWindows();
 
   result.final_snapshot = Snapshot(config_.num_tuples);
   result.answers_delivered = metrics_.answers_delivered();
   return result;
+}
+
+void Experiment::BuildChurnTrace(sim::SimTime stream_start) {
+  const ChurnSpec& spec = *resolved_churn_;
+  const sim::SimTime span =
+      std::max<sim::SimTime>(1, config_.num_tuples * config_.tuple_gap);
+  const uint64_t seed = spec.seed != 0 ? spec.seed : config_.seed * 77 + 3;
+  size_t joins = 0;
+  size_t leaves = 0;
+  churn_trace_ = GenerateChurnTrace(spec, config_.num_tuples, stream_start,
+                                    span, seed, &joins, &leaves);
+  churn_cursor_ = 0;
+}
+
+void Experiment::ReleaseChurnUpTo(sim::SimTime until) {
+  const ChurnSpec& spec = *resolved_churn_;
+  // Victim slots resolve to node indices: spares were created right after
+  // the participants, and the j-th join lands on the next sequential index
+  // in application (= trace) order.
+  const dht::NodeIndex spare_base =
+      static_cast<dht::NodeIndex>(config_.num_nodes);
+  const dht::NodeIndex join_base =
+      static_cast<dht::NodeIndex>(config_.num_nodes + spec.spare_nodes);
+  for (; churn_cursor_ < churn_trace_.size() &&
+         churn_trace_[churn_cursor_].time <= until;
+       ++churn_cursor_) {
+    const ChurnEvent& e = churn_trace_[churn_cursor_];
+    if (e.is_join) {
+      // Bootstrap at node 0: a participant, alive for the whole run.
+      RJOIN_CHECK(engine_->ScheduleJoin(e.time, e.join_id, 0).ok());
+    } else {
+      const dht::NodeIndex victim =
+          e.victim_slot < spec.spare_nodes
+              ? spare_base + static_cast<dht::NodeIndex>(e.victim_slot)
+              : join_base +
+                    static_cast<dht::NodeIndex>(e.victim_slot -
+                                                spec.spare_nodes);
+      RJOIN_CHECK(engine_->ScheduleLeave(e.time, victim).ok());
+    }
+  }
 }
 
 std::vector<dht::KeyLoad> Experiment::KeyLoadProfile() const {

@@ -17,6 +17,7 @@
 #include "sql/schema.h"
 #include "stats/distribution.h"
 #include "stats/metrics.h"
+#include "workload/churn.h"
 #include "workload/generator.h"
 
 namespace rjoin::workload {
@@ -92,6 +93,14 @@ struct ExperimentConfig {
 
   uint64_t seed = 1;
 
+  /// Live topology churn while the tuple stream runs: joins and graceful
+  /// leaves scheduled as in-band events (see docs/churn.md). Unset, the
+  /// RJOIN_CHURN environment variable (a rate in churn ops per tuple) can
+  /// switch churn on; both unset = static topology, zero overhead. Spare
+  /// nodes and joined nodes are excluded from query-owner/publisher
+  /// placement, so answers are never addressed to a departed node.
+  std::optional<ChurnSpec> churn;
+
   /// Stream-history draws observed (rates only, no publication) before any
   /// query is submitted, so RIC has a "last window" to consult. Models the
   /// long-running stream of the paper's setting.
@@ -115,6 +124,11 @@ double ScaleFromEnv(double default_factor = 0.25);
 /// [1, 64]), else 0 = the serial simulator path.
 /// ExperimentConfig::kForceSerial always resolves to 0.
 uint32_t ResolveShardCount(uint32_t requested);
+
+/// Resolves the churn spec an experiment will use: the config's spec when
+/// set, else one built from the RJOIN_CHURN environment variable (churn
+/// operations per published tuple; unset/0 = no churn).
+std::optional<ChurnSpec> ResolveChurnSpec(const ExperimentConfig& config);
 
 /// Per-node load vectors captured at a checkpoint.
 struct LoadSnapshot {
@@ -178,6 +192,11 @@ class Experiment {
   /// Shard count actually in use; 0 = serial simulator path.
   uint32_t shard_count() const { return resolved_shards_; }
 
+  /// Churn spec actually in use (config or RJOIN_CHURN), if any.
+  const std::optional<ChurnSpec>& churn_spec() const {
+    return resolved_churn_;
+  }
+
   /// The parallel runtime, or nullptr on the serial path.
   runtime::ShardedRuntime* runtime() { return runtime_.get(); }
 
@@ -189,7 +208,20 @@ class Experiment {
  private:
   LoadSnapshot Snapshot(size_t after_tuples) const;
 
+  /// Generates the churn trace across the stream span (events held back
+  /// until the stream clock reaches them — RunToQuiescence drains every
+  /// scheduled event regardless of its time, so scheduling the whole trace
+  /// up front would apply it during the first tuple's cascade).
+  void BuildChurnTrace(sim::SimTime stream_start);
+
+  /// Schedules every pending trace event with time <= `until` as an
+  /// in-band NodeJoin/NodeLeave message.
+  void ReleaseChurnUpTo(sim::SimTime until);
+
   ExperimentConfig config_;
+  std::optional<ChurnSpec> resolved_churn_;
+  std::vector<ChurnEvent> churn_trace_;
+  size_t churn_cursor_ = 0;
   std::unique_ptr<sql::Catalog> catalog_;
   std::unique_ptr<dht::ChordNetwork> network_;
   sim::Simulator sim_;

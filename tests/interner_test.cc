@@ -143,6 +143,126 @@ TEST(KeyInternerTest, ConcurrentInternAndLookupAgree) {
   EXPECT_EQ(in.size(), static_cast<uint32_t>(kKeys));
 }
 
+// The churn shape: while worker-like threads keep interning/looking up the
+// steady-state key population, a "churn" thread interns waves of brand-new
+// keys (the joiner's re-sharded attribute keys and fresh value keys churn
+// traces produce) and immediately resolves them. Mixes first-sight inserts
+// with concurrent hits across index resizes. Run under TSan in CI.
+TEST(KeyInternerTest, ChurnInterleavedInternAndLookupStress) {
+  KeyInterner in;
+  constexpr int kWorkers = 6;
+  constexpr int kSteadyKeys = 600;
+  constexpr int kChurnWaves = 40;
+  constexpr int kKeysPerWave = 50;
+  std::atomic<int> ready{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kWorkers + 1) {
+      }
+      uint64_t rounds = 0;
+      // At least one full round regardless of scheduling (a single-core
+      // host can let the churn thread finish first).
+      do {
+        for (int k = 0; k < kSteadyKeys; ++k) {
+          const std::string text = "steady-" + std::to_string(k);
+          const KeyId id = in.Intern(text, Level::kValue);
+          EXPECT_EQ(in.Find(text, Level::kValue), id);
+          EXPECT_EQ(in.text(id), text);
+        }
+        ++rounds;
+      } while (!stop.load(std::memory_order_acquire));
+      EXPECT_GT(rounds, 0u) << "worker " << t << " never completed a round";
+    });
+  }
+  std::thread churn([&] {
+    ready.fetch_add(1);
+    while (ready.load() < kWorkers + 1) {
+    }
+    for (int wave = 0; wave < kChurnWaves; ++wave) {
+      for (int k = 0; k < kKeysPerWave; ++k) {
+        const std::string text =
+            "churn-" + std::to_string(wave) + "-" + std::to_string(k);
+        const KeyId id = in.Intern(text, Level::kAttribute);
+        EXPECT_EQ(in.Find(text, Level::kAttribute), id);
+        EXPECT_EQ(in.level(id), Level::kAttribute);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  churn.join();
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(in.size(),
+            static_cast<uint32_t>(kSteadyKeys + kChurnWaves * kKeysPerWave));
+}
+
+// ------------------------------------------------- handoff emission order --
+
+TEST(HandoffOrderTest, KeysInRangeSortedIgnoresMapInsertionOrder) {
+  // ROADMAP note: KeyIdMap iteration order is unspecified — nothing
+  // ordering-sensitive may consume it. Handoff extraction therefore sorts
+  // by ring id: two maps holding the same key set in reversed insertion
+  // order must emit the identical sequence.
+  KeyInterner in;
+  std::vector<KeyId> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back(in.Intern("hk-" + std::to_string(i), Level::kValue));
+  }
+  KeyIdMap<uint64_t> forward, backward;
+  for (size_t i = 0; i < keys.size(); ++i) forward[keys[i]] = i;
+  for (size_t i = keys.size(); i-- > 0;) backward[keys[i]] = i;
+
+  const dht::NodeId whole_low = dht::NodeId::FromKey("range-anchor");
+  const auto a =
+      KeysInRangeSorted(forward, in, whole_low, whole_low);  // whole ring
+  const auto b = KeysInRangeSorted(backward, in, whole_low, whole_low);
+  ASSERT_EQ(a.size(), keys.size());
+  EXPECT_EQ(a, b) << "emission depends on KeyIdMap insertion order";
+  // And the order really is ring order.
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_TRUE(in.ring_id(a[i - 1]) < in.ring_id(a[i]) ||
+                (in.ring_id(a[i - 1]) == in.ring_id(a[i]) && a[i - 1] < a[i]))
+        << "not sorted by ring id at " << i;
+  }
+}
+
+TEST(HandoffOrderTest, KeysInRangeSortedFiltersByRingInterval) {
+  KeyInterner in;
+  KeyIdMap<int> m;
+  std::vector<KeyId> keys;
+  for (int i = 0; i < 200; ++i) {
+    const KeyId id = in.Intern("fk-" + std::to_string(i), Level::kValue);
+    m[id] = i;
+    keys.push_back(id);
+  }
+  // Pick an interval (low, high] from two interned ring positions.
+  std::vector<KeyId> sorted = keys;
+  SortKeysByRingId(&sorted, in);
+  const dht::NodeId low = in.ring_id(sorted[40]);
+  const dht::NodeId high = in.ring_id(sorted[120]);
+  const auto got = KeysInRangeSorted(m, in, low, high);
+  // (low, high]: sorted[41..120] inclusive — 80 keys.
+  ASSERT_EQ(got.size(), 80u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], sorted[41 + i]);
+    EXPECT_TRUE(dht::InIntervalOpenClosed(in.ring_id(got[i]), low, high));
+  }
+  // Same-level same-ring-text tie break: both levels of one text emit
+  // attribute first (Level::kAttribute < Level::kValue).
+  KeyIdMap<int> tied;
+  const KeyId attr = in.Intern("tie-text", Level::kAttribute);
+  const KeyId value = in.Intern("tie-text", Level::kValue);
+  tied[value] = 1;
+  tied[attr] = 2;
+  const dht::NodeId anchor = in.ring_id(attr);
+  const auto pair = KeysInRangeSorted(tied, in, anchor, anchor);
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0], attr);
+  EXPECT_EQ(pair[1], value);
+}
+
 // --------------------------------------------------------------- KeyIdMap --
 
 TEST(KeyIdMapTest, InsertFindGrow) {

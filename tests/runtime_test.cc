@@ -331,7 +331,10 @@ TEST(RuntimeEquivalenceTest, LegacySerialMatchesShardedWhenNoRatesAreRead) {
   cfg.policy = core::PlannerPolicy::kFirstInClause;
   cfg.charge_ric = false;
   // kForceSerial, not 0: 0 would resolve through RJOIN_SHARDS, making this
-  // comparison vacuous in the sharded CI job.
+  // comparison vacuous in the sharded CI job. Churn pinned off (not left
+  // to RJOIN_CHURN): serial applies churn immediately, sharded at round
+  // barriers, so serial-vs-sharded parity only holds on a static ring.
+  cfg.churn = workload::ChurnSpec{};
   RunOutput serial =
       RunWith(cfg, workload::ExperimentConfig::kForceSerial);
   RunOutput sharded = RunWith(cfg, 4);
