@@ -56,15 +56,15 @@ int main() {
 
     const auto& cs = experiment.engine().churn_stats();
     const uint64_t ops = cs.joins_applied + cs.leaves_applied;
-    const double round_width =
+    const double lookahead =
         experiment.runtime() != nullptr
-            ? static_cast<double>(experiment.runtime()->round_width())
+            ? static_cast<double>(experiment.runtime()->lookahead())
             : 1.0;
     const double recovery_rounds =
         cs.handoffs_installed == 0
             ? 0.0
             : static_cast<double>(cs.handoff_recovery_ticks) /
-                  static_cast<double>(cs.handoffs_installed) / round_width;
+                  static_cast<double>(cs.handoffs_installed) / lookahead;
 
     xs.push_back(rate);
     answers_series.push_back(static_cast<double>(result.answers_delivered));

@@ -172,6 +172,12 @@ JsonReporter::JsonReporter(std::string figure, std::string title,
       runtime::ShardedRuntime::AggregateMailbox();
   base_mailbox_batches_ = mailbox.batches;
   base_mailbox_envelopes_ = mailbox.envelopes;
+  const runtime::ShardedRuntime::SchedulerStats sched =
+      runtime::ShardedRuntime::AggregateScheduler();
+  base_sched_epochs_ = sched.epochs;
+  base_watermark_stalls_ = sched.watermark_stalls;
+  base_rendezvous_caps_ = sched.rendezvous_caps;
+  base_equivalent_rounds_ = sched.equivalent_rounds;
 }
 
 stats::MessagePlaneSummary JsonReporter::PlaneDelta() const {
@@ -191,6 +197,12 @@ stats::MessagePlaneSummary JsonReporter::PlaneDelta() const {
       runtime::ShardedRuntime::AggregateMailbox();
   s.mailbox_batches = mailbox.batches - base_mailbox_batches_;
   s.mailbox_envelopes = mailbox.envelopes - base_mailbox_envelopes_;
+  const runtime::ShardedRuntime::SchedulerStats sched =
+      runtime::ShardedRuntime::AggregateScheduler();
+  s.sched_epochs = sched.epochs - base_sched_epochs_;
+  s.watermark_stalls = sched.watermark_stalls - base_watermark_stalls_;
+  s.rendezvous_caps = sched.rendezvous_caps - base_rendezvous_caps_;
+  s.equivalent_rounds = sched.equivalent_rounds - base_equivalent_rounds_;
   return s;
 }
 
@@ -331,6 +343,21 @@ std::string JsonReporter::Write() const {
   AppendJsonNumber(os, plane.mailbox_batches > 0
                            ? static_cast<double>(plane.mailbox_envelopes) /
                                  static_cast<double>(plane.mailbox_batches)
+                           : 0.0);
+  // Watermark-scheduler health: how many global barriers the overlap model
+  // eliminated (epochs vs equivalent lockstep rounds), plus the stall and
+  // churn-cap counts. Stalls are wall-clock-dependent — a perf signal, not
+  // part of the deterministic result surface.
+  os << ", \"sched_epochs\": ";
+  AppendJsonNumber(os, static_cast<double>(plane.sched_epochs));
+  os << ", \"watermark_stalls\": ";
+  AppendJsonNumber(os, static_cast<double>(plane.watermark_stalls));
+  os << ", \"rendezvous_caps\": ";
+  AppendJsonNumber(os, static_cast<double>(plane.rendezvous_caps));
+  os << ", \"overlap_ratio\": ";
+  AppendJsonNumber(os, plane.equivalent_rounds > 0
+                           ? 1.0 - static_cast<double>(plane.sched_epochs) /
+                                 static_cast<double>(plane.equivalent_rounds)
                            : 0.0);
   os << ", \"hardware_threads\": ";
   AppendJsonNumber(os,

@@ -137,6 +137,10 @@ class JsonReporter {
   uint64_t base_interner_misses_ = 0;
   uint64_t base_mailbox_batches_ = 0;
   uint64_t base_mailbox_envelopes_ = 0;
+  uint64_t base_sched_epochs_ = 0;
+  uint64_t base_watermark_stalls_ = 0;
+  uint64_t base_rendezvous_caps_ = 0;
+  uint64_t base_equivalent_rounds_ = 0;
   uint64_t tuples_processed_ = 0;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<Chart> charts_;

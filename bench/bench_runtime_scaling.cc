@@ -31,6 +31,8 @@ struct Row {
   double tuples_per_sec = 0;
   uint64_t answers = 0;
   uint64_t total_messages = 0;
+  uint64_t watermark_stalls = 0;  // worker park episodes (perf signal)
+  double overlap_ratio = 0;       // barriers eliminated vs lockstep rounds
 };
 
 Row RunConfig(workload::ExperimentConfig cfg, uint32_t shards,
@@ -50,6 +52,11 @@ Row RunConfig(workload::ExperimentConfig cfg, uint32_t shards,
       wall > 0 ? static_cast<double>(result.num_tuples) / wall : 0;
   row.answers = result.answers_delivered;
   row.total_messages = result.per_tuple.back().total_messages;
+  if (experiment.runtime() != nullptr) {
+    const auto sched = experiment.runtime()->scheduler_stats();
+    row.watermark_stalls = sched.watermark_stalls;
+    row.overlap_ratio = sched.overlap_ratio();
+  }
   return row;
 }
 
@@ -61,11 +68,9 @@ int main() {
   cfg.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
   cfg.pipeline_stream = true;  // keep many tuple cascades in flight
   cfg.tuple_gap = 8;
-  // Batching lookahead: 4-tick rounds amortize the barrier over ~4x the
-  // events. Deliveries that would land mid-round defer to the round edge —
-  // a deterministic, shard-count-invariant coarsening of virtual latency
-  // (the equivalence tests run with exact 1-tick rounds instead).
-  cfg.round_width = 4;
+  // round_width stays 0: the watermark scheduler needs no overlap cap —
+  // epochs stretch to RIC-epoch boundaries and shards overlap freely in
+  // between, with exact 1-tick message timing throughout.
   bench::PrintHeader("Runtime scaling: serial vs sharded workers", cfg);
   bench::JsonReporter json("runtime_scaling",
                            "Runtime scaling: serial vs sharded workers", cfg);
@@ -95,20 +100,29 @@ int main() {
   std::vector<double> xs;
   stats::Series tps{"tuples_per_sec", {}}, wall{"wall_seconds", {}},
       speedup{"speedup_vs_s1", {}};
-  printf("%-18s %12s %14s %12s %12s %14s\n", "config", "wall s", "tuples/s",
-         "speedup", "answers", "messages");
+  printf("%-18s %12s %14s %12s %12s %14s %10s %9s\n", "config", "wall s",
+         "tuples/s", "speedup", "answers", "messages", "stalls", "overlap");
   for (const Row& r : rows) {
     const double sp = base_tps > 0 ? r.tuples_per_sec / base_tps : 0;
     xs.push_back(static_cast<double>(r.shards));
     tps.values.push_back(r.tuples_per_sec);
     wall.values.push_back(r.wall_seconds);
     speedup.values.push_back(sp);
-    printf("%-18s %12.3f %14.0f %11.2fx %12llu %14llu\n", r.label.c_str(),
-           r.wall_seconds, r.tuples_per_sec, sp,
+    printf("%-18s %12.3f %14.0f %11.2fx %12llu %14llu %10llu %9.3f\n",
+           r.label.c_str(), r.wall_seconds, r.tuples_per_sec, sp,
            static_cast<unsigned long long>(r.answers),
-           static_cast<unsigned long long>(r.total_messages));
+           static_cast<unsigned long long>(r.total_messages),
+           static_cast<unsigned long long>(r.watermark_stalls),
+           r.overlap_ratio);
     json.AddScalar(r.label + " tuples_per_sec", r.tuples_per_sec);
   }
+  // Scheduler-health trajectory scalars, from the widest sharded run: the
+  // overlap ratio is the fraction of the old lockstep barrier schedule the
+  // watermark model eliminated (deterministic); stalls count worker park
+  // episodes (wall-clock-dependent, perf signal only).
+  const Row& widest = rows.back();
+  json.AddScalar("watermark_stalls", static_cast<double>(widest.watermark_stalls));
+  json.AddScalar("overlap_ratio", widest.overlap_ratio);
   json.AddChart("Streaming throughput vs worker shards",
                 "shards (0 = serial)", xs, {tps, wall, speedup});
   json.AddScalar("speedup_s2_vs_s1", speedup.values[2]);

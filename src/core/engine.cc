@@ -144,6 +144,15 @@ void RJoinEngine::OnBarrier(sim::SimTime round_start) {
   }
 }
 
+sim::SimTime RJoinEngine::NextRendezvous(sim::SimTime after) {
+  // Frozen rate snapshots hold for one RIC epoch; overlap may not cross a
+  // boundary or workers would read rates one epoch stale. Everything else
+  // OnBarrier does (answer publication, counter folds) is order-preserving
+  // at any rendezvous spacing.
+  if (config_.ric_epoch == 0) return runtime::kNoRendezvous;
+  return ((after / config_.ric_epoch) + 1) * config_.ric_epoch;
+}
+
 uint64_t RJoinEngine::ReadRate(dht::NodeIndex cand, KeyId key,
                                uint64_t now) {
   if (runtime_ != nullptr && runtime::ShardedRuntime::CurrentShard() >= 0) {
@@ -517,10 +526,17 @@ void RJoinEngine::StageOrApplyChurn(ChurnOp op) {
   if (shard >= 0) {
     // Worker context: ring mutations are serial-phase work. Stage the
     // request keyed by this event's (time, src, seq); the driver applies
-    // all staged ops at the next barrier in global EventKey order, which
-    // is the same for any shard count.
-    sinks_[shard].churn_ops.emplace_back(runtime_->CurrentEventKey(),
-                                         std::move(op));
+    // all staged ops at the next rendezvous in global EventKey order,
+    // which is the same for any shard count.
+    const runtime::EventKey key = runtime_->CurrentEventKey();
+    sinks_[shard].churn_ops.emplace_back(key, std::move(op));
+    // Cap the epoch: no shard may outrun the staged mutation. At this
+    // instant no watermark can have passed key.time + lookahead (the
+    // staging shard's published floor is still <= key.time), so the cap
+    // holds for every shard — and the resulting rendezvous schedule is a
+    // pure function of the event population, hence shard-count-invariant.
+    runtime_->RequestRendezvousBy(
+        sim::SaturatingAdd(key.time, runtime_->lookahead()));
     return;
   }
   // Serial simulator (or driver phase): nothing else is running, apply now.

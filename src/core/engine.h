@@ -135,11 +135,18 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// engine as a barrier hook on `rt`. Call once, before any traffic.
   void AttachRuntime(runtime::ShardedRuntime* rt);
 
-  /// runtime::BarrierHook: serial per-round work — publish answers staged
-  /// by the previous round (in deterministic EventKey order), fold per-shard
-  /// key-load deltas, and refresh the frozen rate snapshots when the round
-  /// cursor crosses into a new RIC epoch.
+  /// runtime::BarrierHook: serial rendezvous work — publish answers staged
+  /// by the previous epoch (in deterministic EventKey order), fold
+  /// per-shard key-load deltas, apply staged churn, and refresh the frozen
+  /// rate snapshots when the rendezvous cursor crosses into a new RIC
+  /// epoch.
   void OnBarrier(sim::SimTime round_start) override;
+
+  /// runtime::BarrierHook: frozen rate snapshots go stale at RIC-epoch
+  /// boundaries, so the watermark scheduler must rendezvous no later than
+  /// the next one. Churn staged mid-epoch caps the horizon separately
+  /// (RequestRendezvousBy in StageOrApplyChurn).
+  sim::SimTime NextRendezvous(sim::SimTime after) override;
 
   /// Submits a continuous query from `owner`. The query is validated,
   /// compiled, and indexed in the network (attribute level). Returns the

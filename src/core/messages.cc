@@ -126,6 +126,7 @@ EnvelopeRef MessagePool::Acquire() {
   env->seq = 0;
   env->order = 0;
   env->dst = dht::kInvalidNode;
+  env->emit_time = 0;
   env->stage = EnvelopeStage::kDeliver;
   env->ric = false;
   return EnvelopeRef(env);

@@ -52,9 +52,10 @@ class ShardRouter : public dht::DeliveryRouter {
 
   void Defer(dht::NodeIndex src, core::EnvelopeRef env) override {
     // The deferred stage runs on src's own shard at the current time; as a
-    // self-event it is exempt from round deferral. env->dst is left alone —
-    // a kDirect envelope already carries its true destination — because
-    // ScheduleEnvelope places pre-delivery stages on src's shard anyway.
+    // self-event it is exempt from the lookahead bound. env->dst is left
+    // alone — a kDirect envelope already carries its true destination —
+    // because ScheduleEnvelope places pre-delivery stages on src's shard
+    // anyway.
     env->time = runtime_->Now();
     env->src = src;
     env->seq = runtime_->NextEmitSeq(src);
@@ -65,12 +66,16 @@ class ShardRouter : public dht::DeliveryRouter {
                core::EnvelopeRef env) override {
     sim::SimTime when = runtime_->Now() + delay;
     if (src != env->dst) {
-      // Round-lookahead invariant: a message to another node may not land
-      // inside the round that emitted it — whether or not the destination
-      // happens to share the shard — otherwise results would depend on the
-      // partitioning. Self-sends always stay on their own shard for any S,
-      // so zero-delay self-delivery (src == Successor(key)) keeps its
-      // serial-simulator timing.
+      // Lookahead invariant: a message to another node may not be due
+      // before emission time + the runtime's lookahead — whether or not
+      // the destination happens to share the shard — otherwise results
+      // would depend on the partitioning. With lookahead = the latency
+      // model's minimum hop delay (AutoRoundWidth) this never changes a
+      // delivery time; it only defers zero-delay cross-node hops of
+      // zero-latency-capable models by one tick, deterministically.
+      // Self-sends always stay on their own shard for any S, so zero-delay
+      // self-delivery (src == Successor(key)) keeps its serial-simulator
+      // timing.
       when = std::max(when, runtime_->CurrentRoundEnd());
     }
     env->time = when;

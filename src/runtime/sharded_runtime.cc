@@ -1,6 +1,7 @@
 #include "runtime/sharded_runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "util/logging.h"
@@ -12,11 +13,22 @@ namespace {
 /// thread that is not a runtime worker).
 thread_local int tls_current_shard = -1;
 
-constexpr int kSpinIterations = 2048;
+constexpr int kGateSpinIterations = 2048;
 
-// Process-wide mailbox totals (driver-thread writes, any-thread reads).
+// Process-wide totals (worker/driver writes, any-thread reads) across all
+// runtimes, live and destroyed — the bench reporter diffs these.
 std::atomic<uint64_t> g_mailbox_batches{0};
 std::atomic<uint64_t> g_mailbox_envelopes{0};
+std::atomic<uint64_t> g_epochs{0};
+std::atomic<uint64_t> g_stalls{0};
+std::atomic<uint64_t> g_caps{0};
+std::atomic<uint64_t> g_equiv_rounds{0};
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#endif
+}
 }  // namespace
 
 sim::SimTime AutoRoundWidth(const sim::LatencyModel& latency) {
@@ -39,11 +51,9 @@ void ShardedRuntime::Gate::Arrive() {
     return;
   }
   if (spin_) {
-    for (int i = 0; i < kSpinIterations; ++i) {
+    for (int i = 0; i < kGateSpinIterations; ++i) {
       if (gen_.load(std::memory_order_acquire) != gen) return;
-#if defined(__x86_64__) || defined(__i386__)
-      __builtin_ia32_pause();
-#endif
+      CpuRelax();
     }
   }
   std::unique_lock<std::mutex> lock(mutex_);
@@ -64,10 +74,16 @@ ShardedRuntime::ShardedRuntime(const Options& options, size_t num_nodes,
                                stats::MetricsRegistry* main_metrics)
     : num_shards_(std::max<uint32_t>(1, options.shards)),
       num_nodes_(num_nodes),
-      round_width_(std::max<sim::SimTime>(1, options.round_width)),
+      initial_nodes_(num_nodes),
+      lookahead_(std::max<sim::SimTime>(1, options.lookahead)),
+      overlap_cap_(options.overlap_cap),
       chunk_(BlockChunk(num_nodes, std::max<uint32_t>(1, options.shards))),
       emit_seq_(num_nodes, 0),
-      main_metrics_(main_metrics) {
+      main_metrics_(main_metrics),
+      mailboxes_(static_cast<size_t>(num_shards_) * num_shards_),
+      floors_(num_shards_),
+      link_lookahead_(static_cast<size_t>(num_shards_) * num_shards_,
+                      std::max<sim::SimTime>(1, options.lookahead)) {
   RJOIN_CHECK(main_metrics_ != nullptr);
   main_metrics_->Resize(num_nodes_);
   shard_state_.reserve(num_shards_);
@@ -76,14 +92,14 @@ ShardedRuntime::ShardedRuntime(const Options& options, size_t num_nodes,
     state->pool = std::make_unique<core::MessagePool>();
     state->metrics = std::make_unique<stats::MetricsRegistry>(num_nodes_);
     state->metrics->EnableDeltaTracking();
-    state->outbox.resize(num_shards_);
+    state->last_drained_emit.assign(num_shards_, 0);
     shard_state_.push_back(std::move(state));
   }
   // Spinning is counterproductive when the hardware cannot actually run the
   // workers in parallel.
-  const bool spin = std::thread::hardware_concurrency() > num_shards_;
-  start_gate_.Init(num_shards_ + 1, spin);
-  end_gate_.Init(num_shards_ + 1, spin);
+  spin_ = std::thread::hardware_concurrency() > num_shards_;
+  start_gate_.Init(num_shards_ + 1, spin_);
+  end_gate_.Init(num_shards_ + 1, spin_);
   workers_.reserve(num_shards_);
   for (uint32_t s = 0; s < num_shards_; ++s) {
     workers_.emplace_back([this, s] { WorkerMain(s); });
@@ -98,13 +114,21 @@ ShardedRuntime::~ShardedRuntime() {
   // releasing an EnvelopeRef returns the envelope to its origin pool, which
   // may belong to a different shard than the heap holding it. Releasing a
   // chain head walks the whole link chain back into its pools.
-  for (auto& shard : shard_state_) {
-    shard->heap.clear();
-    for (OutChain& box : shard->outbox) {
-      if (box.head != nullptr) core::MessagePool::Release(box.head);
-      box = OutChain{};
-    }
+  for (Mailbox& box : mailboxes_) {
+    core::Envelope* e = box.head.exchange(nullptr, std::memory_order_relaxed);
+    if (e != nullptr) core::MessagePool::Release(e);
   }
+  for (auto& shard : shard_state_) shard->heap.clear();
+}
+
+void ShardedRuntime::SetLinkLookahead(uint32_t src_shard, uint32_t dst_shard,
+                                      sim::SimTime bound) {
+  RJOIN_CHECK(tls_current_shard < 0)
+      << "SetLinkLookahead must run on the driver (workers parked)";
+  RJOIN_CHECK(bound >= lookahead_)
+      << "per-link lookahead below the base lookahead";
+  link_lookahead_[static_cast<size_t>(src_shard) * num_shards_ + dst_shard] =
+      bound;
 }
 
 void ShardedRuntime::GrowNodes(size_t num_nodes) {
@@ -124,6 +148,15 @@ ShardedRuntime::MailboxStats ShardedRuntime::AggregateMailbox() {
   return s;
 }
 
+ShardedRuntime::SchedulerStats ShardedRuntime::AggregateScheduler() {
+  SchedulerStats s;
+  s.epochs = g_epochs.load(std::memory_order_relaxed);
+  s.watermark_stalls = g_stalls.load(std::memory_order_relaxed);
+  s.rendezvous_caps = g_caps.load(std::memory_order_relaxed);
+  s.equivalent_rounds = g_equiv_rounds.load(std::memory_order_relaxed);
+  return s;
+}
+
 // --------------------------------------------------------- thread roles
 
 int ShardedRuntime::CurrentShard() { return tls_current_shard; }
@@ -135,7 +168,7 @@ void ShardedRuntime::WorkerMain(uint32_t shard) {
   for (;;) {
     start_gate_.Arrive();
     if (stop_) return;
-    RunShardRound(*shard_state_[shard]);
+    RunShardEpoch(shard, *shard_state_[shard]);
     end_gate_.Arrive();
   }
 }
@@ -146,7 +179,8 @@ sim::SimTime ShardedRuntime::Now() const {
 }
 
 sim::SimTime ShardedRuntime::CurrentRoundEnd() const {
-  return tls_current_shard >= 0 ? round_end_ : now_;
+  const int s = tls_current_shard;
+  return s >= 0 ? sim::SaturatingAdd(shard_state_[s]->now, lookahead_) : now_;
 }
 
 EventKey ShardedRuntime::CurrentEventKey() const {
@@ -176,24 +210,40 @@ void ShardedRuntime::ScheduleEnvelope(core::EnvelopeRef env) {
   RJOIN_CHECK(place < num_nodes_) << "event for unknown node " << place;
   const uint32_t dst_shard = ShardOf(place);
   const int cur = tls_current_shard;
+  // Count the envelope into the plane before it becomes visible: zero
+  // pending is the workers' distributed-termination signal, so it may never
+  // be observed while a scheduled envelope is in flight.
+  pending_.fetch_add(1, std::memory_order_relaxed);
   if (cur < 0) {
     // Driver phase: workers are parked, every heap is safely writable.
     PushLocal(*shard_state_[dst_shard], std::move(env));
     return;
   }
+  ShardState& self = *shard_state_[cur];
   if (static_cast<uint32_t>(cur) == dst_shard) {
-    PushLocal(*shard_state_[cur], std::move(env));
-  } else {
-    // Cross-shard send: link into this round's (src, dst) batch chain.
-    // Single envelopes only reach here (MultiSend chains defer driver-side
-    // onto their own shard), so `link` is free to carry the batch.
-    OutChain& box = shard_state_[cur]->outbox[dst_shard];
-    core::Envelope* e = env.release();
-    RJOIN_DCHECK(e->link == nullptr);
-    e->link = box.head;
-    box.head = e;
-    ++box.count;
+    PushLocal(self, std::move(env));
+    return;
   }
+  // Cross-shard send: stamp the emission time (the receiver's frontier
+  // term) and CAS the envelope onto the (src, dst) mailbox chain. Single
+  // envelopes only reach here (MultiSend chains defer driver-side onto
+  // their own shard), so `link` is free to carry the chain.
+  core::Envelope* e = env.release();
+  RJOIN_DCHECK(e->link == nullptr);
+  e->emit_time = self.now;
+  // Cross-shard sends may not be due before emission + link lookahead.
+  RJOIN_DCHECK(e->time >=
+               sim::SaturatingAdd(e->emit_time,
+                                  LinkLookahead(static_cast<uint32_t>(cur),
+                                                dst_shard)));
+  Mailbox& box =
+      mailboxes_[static_cast<size_t>(cur) * num_shards_ + dst_shard];
+  core::Envelope* head = box.head.load(std::memory_order_relaxed);
+  do {
+    e->link = head;
+  } while (!box.head.compare_exchange_weak(
+      head, e, std::memory_order_release, std::memory_order_relaxed));
+  MaybeWakeParked();
 }
 
 void ShardedRuntime::ScheduleEvent(const EventKey& key, NodeIndex dst,
@@ -207,60 +257,257 @@ void ShardedRuntime::ScheduleEvent(const EventKey& key, NodeIndex dst,
   ScheduleEnvelope(std::move(env));
 }
 
-// ------------------------------------------------------------ round loop
-
-void ShardedRuntime::RunShardRound(ShardState& shard) {
-  auto& heap = shard.heap;
-  while (!heap.empty() && heap.front()->time < round_end_) {
-    std::pop_heap(heap.begin(), heap.end(), EnvelopeLater{});
-    core::EnvelopeRef env = std::move(heap.back());
-    heap.pop_back();
-    shard.now = env->time;
-    shard.current_key = EventKey{env->time, env->src, env->seq};
-    if (env->stage == core::EnvelopeStage::kDeliver &&
-        env->task.kind() == core::MessageKind::kControl) {
-      core::RunControl(std::move(env));
-    } else {
-      RJOIN_CHECK(dispatcher_ != nullptr)
-          << "typed envelope popped without a dispatcher";
-      dispatcher_->DispatchEnvelope(std::move(env));
+void ShardedRuntime::RequestRendezvousBy(sim::SimTime when) {
+  RJOIN_DCHECK(when > epoch_base_);  // cap must leave the epoch non-empty
+  sim::SimTime cur = horizon_.load(std::memory_order_relaxed);
+  while (when < cur) {
+    if (horizon_.compare_exchange_weak(cur, when, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+      caps_.fetch_add(1, std::memory_order_relaxed);
+      MaybeWakeParked();
+      return;
     }
-    ++shard.executed;
-    shard.last_executed = shard.current_key.time;
-    shard.executed_any = true;
   }
 }
 
-void ShardedRuntime::SerialPhase() {
-  // Drain mailbox chains in fixed shard order (order is irrelevant for the
-  // heap — events re-sort by EventKey — but fixed order keeps the walk
-  // deterministic and cache-friendly). Each non-empty chain is one batch:
-  // the whole round's (src, dst) traffic moved as a single linked list.
-  for (auto& src : shard_state_) {
-    for (uint32_t d = 0; d < num_shards_; ++d) {
-      OutChain& box = src->outbox[d];
-      if (box.head == nullptr) continue;
-      ++mailbox_.batches;
-      mailbox_.envelopes += box.count;
-      g_mailbox_batches.fetch_add(1, std::memory_order_relaxed);
-      g_mailbox_envelopes.fetch_add(box.count, std::memory_order_relaxed);
-      core::Envelope* e = box.head;
-      box = OutChain{};
+// ------------------------------------------------------- watermark loop
+
+void ShardedRuntime::DrainMailbox(uint32_t from, uint32_t self,
+                                  ShardState& shard) {
+  Mailbox& box = mailboxes_[static_cast<size_t>(from) * num_shards_ + self];
+  if (box.head.load(std::memory_order_relaxed) == nullptr) return;
+  core::Envelope* e = box.head.exchange(nullptr, std::memory_order_acquire);
+  if (e == nullptr) return;
+  uint64_t n = 0;
+  sim::SimTime newest = shard.last_drained_emit[from];
+  while (e != nullptr) {
+    core::Envelope* next = e->link;
+    e->link = nullptr;
+    newest = std::max(newest, e->emit_time);
+    // A drained delivery due before emission + link lookahead would mean
+    // the sender broke the bound this shard's watermark is built on.
+    RJOIN_DCHECK(e->time >=
+                 sim::SaturatingAdd(e->emit_time, LinkLookahead(from, self)));
+    PushLocal(shard, core::EnvelopeRef(e));
+    e = next;
+    ++n;
+  }
+  shard.last_drained_emit[from] = newest;
+  shard.mailbox.batches += 1;
+  shard.mailbox.envelopes += n;
+}
+
+sim::SimTime ShardedRuntime::ScanFrontier(uint32_t self, ShardState& shard) {
+  sim::SimTime in_bound = sim::kTimeMax;
+  for (uint32_t p = 0; p < num_shards_; ++p) {
+    if (p == self) continue;
+    // Read the peer's floor *before* draining its mailbox: anything the
+    // peer emitted before publishing that floor is then guaranteed to be
+    // in our heap, and anything later is due at or after floor + link
+    // lookahead. The drained chain's own send-times tighten the bound
+    // further (a shard's emissions are nondecreasing in time).
+    const sim::SimTime floor =
+        floors_[p].value.load(std::memory_order_acquire);
+    DrainMailbox(p, self, shard);
+    const sim::SimTime known = std::max(floor, shard.last_drained_emit[p]);
+    in_bound = std::min(in_bound,
+                        sim::SaturatingAdd(known, LinkLookahead(p, self)));
+  }
+  return in_bound;
+}
+
+void ShardedRuntime::ExecuteEnvelope(ShardState& shard,
+                                     core::EnvelopeRef env) {
+  shard.now = env->time;
+  shard.current_key = EventKey{env->time, env->src, env->seq};
+  if (env->stage == core::EnvelopeStage::kDeliver &&
+      env->task.kind() == core::MessageKind::kControl) {
+    core::RunControl(std::move(env));
+  } else {
+    RJOIN_CHECK(dispatcher_ != nullptr)
+        << "typed envelope popped without a dispatcher";
+    dispatcher_->DispatchEnvelope(std::move(env));
+  }
+  ++shard.executed;
+  shard.last_executed = shard.current_key.time;
+  shard.epoch_max_time = shard.current_key.time;
+  shard.executed_any = true;
+}
+
+void ShardedRuntime::MaybeWakeParked() {
+  if (parked_.load(std::memory_order_seq_cst) == 0) return;
+  // Taking the mutex (briefly, empty critical section) closes the race
+  // with a worker that passed its last re-check but has not slept yet; the
+  // timed wait in Park() backstops the remaining notify-before-increment
+  // window.
+  { std::lock_guard<std::mutex> lock(park_mutex_); }
+  park_cv_.notify_all();
+}
+
+void ShardedRuntime::Park(ShardState& shard) {
+  ++shard.stalls;
+  parked_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    park_cv_.wait_for(lock, std::chrono::microseconds(200));
+  }
+  parked_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void ShardedRuntime::RunShardEpoch(uint32_t self, ShardState& shard) {
+  auto& heap = shard.heap;
+  const int spin_scans = spin_ ? 128 : 2;
+  int idle_scans = 0;
+  for (;;) {
+    const sim::SimTime in_bound = ScanFrontier(self, shard);
+    // Execute strictly below the watermark, in EventKey order. The horizon
+    // is re-read per event: a peer staging churn caps it mid-epoch, and the
+    // frontier math guarantees the cap arrives before any shard could have
+    // executed past it (see RequestRendezvousBy).
+    uint64_t ran = 0;
+    while (!heap.empty() && heap.front()->time < in_bound &&
+           heap.front()->time < horizon_.load(std::memory_order_acquire)) {
+      std::pop_heap(heap.begin(), heap.end(), EnvelopeLater{});
+      core::EnvelopeRef env = std::move(heap.back());
+      heap.pop_back();
+      ExecuteEnvelope(shard, std::move(env));
+      // Decrement only after the event finished emitting: its sends were
+      // counted in first, so pending can never dip to a false zero.
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      ++ran;
+    }
+    // Publish the safe send floor: nothing this shard emits from here on
+    // can be due before min(next local event, earliest possible arrival).
+    // Monotone by construction; the release store orders it after every
+    // mailbox push of the batch above.
+    const sim::SimTime heap_min =
+        heap.empty() ? sim::kTimeMax : heap.front()->time;
+    const sim::SimTime floor = std::min(heap_min, in_bound);
+    if (floor > floors_[self].value.load(std::memory_order_relaxed)) {
+      floors_[self].value.store(floor, std::memory_order_release);
+      MaybeWakeParked();
+    }
+    // Epoch exit: the plane fully drained (stable — pending is incremented
+    // before any push is visible), or this shard proved it can neither
+    // execute nor receive anything below the horizon.
+    if (pending_.load(std::memory_order_acquire) == 0) return;
+    const sim::SimTime horizon = horizon_.load(std::memory_order_acquire);
+    if (in_bound >= horizon && heap_min >= horizon) return;
+    if (ran != 0) {
+      idle_scans = 0;
+      continue;
+    }
+    // Watermark stall: nothing executable until a peer advances. Spin a
+    // few scans (progress is usually one floor-publish away), then park.
+    if (++idle_scans < spin_scans) {
+      if (spin_) {
+        CpuRelax();
+      } else {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    Park(shard);
+    idle_scans = 0;
+  }
+}
+
+// ------------------------------------------------------------ driver loop
+
+void ShardedRuntime::RendezvousDrain() {
+  // Sweep mailbox chains workers left behind (a receiver exits its epoch as
+  // soon as its watermark passes the horizon; peers may push later — such
+  // mail is provably due at or after the horizon). Fixed scan order keeps
+  // the walk deterministic and cache-friendly.
+  for (uint32_t src = 0; src < num_shards_; ++src) {
+    for (uint32_t dst = 0; dst < num_shards_; ++dst) {
+      Mailbox& box =
+          mailboxes_[static_cast<size_t>(src) * num_shards_ + dst];
+      core::Envelope* e =
+          box.head.exchange(nullptr, std::memory_order_acquire);
+      if (e == nullptr) continue;
+      ShardState& to = *shard_state_[dst];
+      ++to.mailbox.batches;
       while (e != nullptr) {
         core::Envelope* next = e->link;
         e->link = nullptr;
         RJOIN_CHECK(e->time >= now_)
-            << "cross-shard event scheduled into the past (missing round "
-               "deferral?)";
-        PushLocal(*shard_state_[d], core::EnvelopeRef(e));
+            << "cross-shard event scheduled into the past (missing "
+               "lookahead deferral?)";
+        PushLocal(to, core::EnvelopeRef(e));
+        ++to.mailbox.envelopes;
         e = next;
       }
     }
   }
-  // Merge metrics deltas; sums commute, so the totals match the serial run.
+  // Merge per-shard counters and metrics deltas; sums commute, so the
+  // totals match the serial run.
   for (auto& shard : shard_state_) {
+    mailbox_.batches += shard->mailbox.batches;
+    mailbox_.envelopes += shard->mailbox.envelopes;
+    g_mailbox_batches.fetch_add(shard->mailbox.batches,
+                                std::memory_order_relaxed);
+    g_mailbox_envelopes.fetch_add(shard->mailbox.envelopes,
+                                  std::memory_order_relaxed);
+    shard->mailbox = MailboxStats{};
+    sched_.watermark_stalls += shard->stalls;
+    g_stalls.fetch_add(shard->stalls, std::memory_order_relaxed);
+    shard->stalls = 0;
     main_metrics_->MergeFrom(shard->metrics.get());
   }
+  const uint64_t caps = caps_.exchange(0, std::memory_order_relaxed);
+  sched_.rendezvous_caps += caps;
+  g_caps.fetch_add(caps, std::memory_order_relaxed);
+}
+
+void ShardedRuntime::InitFloors() {
+  // Exact serial fixpoint of the frontier equations, cheap with every heap
+  // visible: a shard's earliest future emission is its own next event, or
+  // any other pending event relayed over at least one hop into it.
+  sim::SimTime min_all = sim::kTimeMax;
+  sim::SimTime second = sim::kTimeMax;
+  uint32_t min_shard = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    const auto& heap = shard_state_[s]->heap;
+    const sim::SimTime top =
+        heap.empty() ? sim::kTimeMax : heap.front()->time;
+    if (top < min_all) {
+      second = min_all;
+      min_all = top;
+      min_shard = s;
+    } else {
+      second = std::min(second, top);
+    }
+  }
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    const auto& heap = shard_state_[s]->heap;
+    const sim::SimTime own =
+        heap.empty() ? sim::kTimeMax : heap.front()->time;
+    sim::SimTime min_in = sim::kTimeMax;
+    for (uint32_t q = 0; q < num_shards_; ++q) {
+      if (q != s) min_in = std::min(min_in, LinkLookahead(q, s));
+    }
+    const sim::SimTime others = s == min_shard ? second : min_all;
+    const sim::SimTime floor =
+        std::min(own, sim::SaturatingAdd(others, min_in));
+    floors_[s].value.store(floor, std::memory_order_relaxed);
+  }
+}
+
+sim::SimTime ShardedRuntime::ComputeHorizon(sim::SimTime base, bool bounded,
+                                            sim::SimTime until) {
+  sim::SimTime horizon = sim::kTimeMax;
+  for (BarrierHook* hook : hooks_) {
+    horizon = std::min(horizon, hook->NextRendezvous(base));
+  }
+  if (overlap_cap_ > 0) {
+    horizon = std::min(horizon, sim::SaturatingAdd(base, overlap_cap_));
+  }
+  if (bounded) horizon = std::min(horizon, until + 1);  // until is inclusive
+  // A bounded run whose clock already sits past `until` (events scheduled
+  // behind the cursor) still needs one degenerate epoch to execute them.
+  if (horizon <= base) horizon = sim::SaturatingAdd(base, 1);
+  return horizon;
 }
 
 bool ShardedRuntime::AllHeapsEmpty() const {
@@ -271,7 +518,7 @@ bool ShardedRuntime::AllHeapsEmpty() const {
 }
 
 sim::SimTime ShardedRuntime::MinHeapTime() const {
-  sim::SimTime min_time = std::numeric_limits<sim::SimTime>::max();
+  sim::SimTime min_time = sim::kTimeMax;
   for (const auto& shard : shard_state_) {
     if (!shard->heap.empty()) {
       min_time = std::min(min_time, shard->heap.front()->time);
@@ -287,10 +534,10 @@ uint64_t ShardedRuntime::RunLoop(bool bounded, sim::SimTime until) {
   for (auto& shard : shard_state_) shard->executed_any = false;
 
   for (;;) {
-    SerialPhase();
+    RendezvousDrain();
     if (AllHeapsEmpty() || (bounded && MinHeapTime() > until)) {
-      // Final barrier: lets hooks publish what the last round staged. A
-      // hook may also *create* work — churn staged in the last round is
+      // Final rendezvous: lets hooks publish what the last epoch staged. A
+      // hook may also *create* work — churn staged in the last epoch is
       // applied here and emits handoff envelopes — so re-check: only break
       // when the hooks left the heaps drained (or beyond the bound).
       for (BarrierHook* hook : hooks_) hook->OnBarrier(now_);
@@ -299,23 +546,42 @@ uint64_t ShardedRuntime::RunLoop(bool bounded, sim::SimTime until) {
     }
 
     now_ = std::max(now_, MinHeapTime());  // jump idle gaps in one step
-    sim::SimTime end = now_ + round_width_;
-    if (bounded && end > until) end = until + 1;  // until is inclusive
-    round_end_ = end;
     for (BarrierHook* hook : hooks_) hook->OnBarrier(now_);
-    for (auto& shard : shard_state_) shard->now = now_;
+    const sim::SimTime base = now_;
+    const sim::SimTime horizon = ComputeHorizon(base, bounded, until);
+    epoch_base_ = base;
+    horizon_.store(horizon, std::memory_order_relaxed);
+    InitFloors();
+    for (auto& shard : shard_state_) {
+      shard->now = base;
+      shard->epoch_max_time = base;
+      // Drained send-times only bound a peer's *future* emissions within
+      // one epoch (per-shard emission times are monotone there); across
+      // epochs the floors are re-derived exactly, so start the per-peer
+      // terms from scratch.
+      std::fill(shard->last_drained_emit.begin(),
+                shard->last_drained_emit.end(), sim::kTimeZero);
+    }
 
     start_gate_.Arrive();
     end_gate_.Arrive();
 
-    uint64_t round_executed = 0;
+    uint64_t epoch_executed = 0;
+    sim::SimTime max_exec = base;
     for (auto& shard : shard_state_) {
-      round_executed += shard->executed;
+      epoch_executed += shard->executed;
       shard->executed = 0;
+      max_exec = std::max(max_exec, shard->epoch_max_time);
     }
-    total_executed_ += round_executed;
-    ++total_rounds_;
-    now_ = round_end_ - 1;  // events up to here have executed
+    total_executed_ += epoch_executed;
+    ++sched_.epochs;
+    g_epochs.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t equiv = (max_exec - base) / lookahead_ + 1;
+    sched_.equivalent_rounds += equiv;
+    g_equiv_rounds.fetch_add(equiv, std::memory_order_relaxed);
+    // The epoch may have been capped below the horizon we launched with.
+    const sim::SimTime reached = horizon_.load(std::memory_order_relaxed);
+    now_ = reached == sim::kTimeMax ? max_exec : reached - 1;
   }
 
   // Mirror sim::Simulator clock semantics.
@@ -346,12 +612,8 @@ uint64_t ShardedRuntime::RunUntil(sim::SimTime until) {
 bool ShardedRuntime::Idle() const { return PendingEvents() == 0; }
 
 size_t ShardedRuntime::PendingEvents() const {
-  size_t pending = 0;
-  for (const auto& shard : shard_state_) {
-    pending += shard->heap.size();
-    for (const OutChain& box : shard->outbox) pending += box.count;
-  }
-  return pending;
+  const int64_t pending = pending_.load(std::memory_order_acquire);
+  return pending > 0 ? static_cast<size_t>(pending) : 0;
 }
 
 }  // namespace rjoin::runtime

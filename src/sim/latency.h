@@ -22,12 +22,22 @@ class LatencyModel {
   virtual SimTime max_delay() const = 0;
 
   /// Lower bound on a single hop. The sharded runtime uses this as its
-  /// lookahead: virtual-time rounds of this width can run in parallel
-  /// because no message emitted inside a round can be due before the round
-  /// ends. Models whose hops can take 0 ticks must return 0 (the runtime
-  /// then defers such deliveries to the next round boundary, still
-  /// deterministically).
+  /// conservative lookahead: a shard may execute ahead of its peers by up
+  /// to this many ticks, because no message a peer emits can be due sooner
+  /// than its emission time plus this bound. Models whose hops can take 0
+  /// ticks must return 0 (the runtime then defers such cross-node
+  /// deliveries by one tick, still deterministically).
   virtual SimTime min_delay() const { return 1; }
+
+  /// Per-link lower bound on a hop from `src` to `dst`. The watermark
+  /// scheduler folds this into each receiver's frontier — a link with a
+  /// larger guaranteed minimum lets the receiving shard run further ahead
+  /// of that peer. The default is the uniform bound; heterogeneous models
+  /// (e.g. a slow WAN link between two clusters) override it. Must never
+  /// exceed any delay the model can actually draw for that link.
+  virtual SimTime MinDelayBetween(uint32_t /*src*/, uint32_t /*dst*/) const {
+    return min_delay();
+  }
 };
 
 /// Every hop takes exactly `ticks`.

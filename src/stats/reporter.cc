@@ -92,7 +92,17 @@ void PrintMessagePlaneSummary(std::ostream& os,
              ? static_cast<double>(s.mailbox_envelopes) /
                    static_cast<double>(s.mailbox_batches)
              : 0.0)
-     << " (" << s.mailbox_envelopes << " envelopes)\n\n";
+     << " (" << s.mailbox_envelopes << " envelopes)\n";
+  os << "scheduler epochs:        " << s.sched_epochs << " (vs "
+     << s.equivalent_rounds << " lockstep rounds)\n";
+  os << "overlap ratio:           "
+     << (s.equivalent_rounds > 0
+             ? 1.0 - static_cast<double>(s.sched_epochs) /
+                         static_cast<double>(s.equivalent_rounds)
+             : 0.0)
+     << "\n";
+  os << "watermark stalls:        " << s.watermark_stalls << "\n";
+  os << "rendezvous caps (churn): " << s.rendezvous_caps << "\n\n";
 }
 
 }  // namespace rjoin::stats

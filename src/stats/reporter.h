@@ -64,15 +64,22 @@ struct MessagePlaneSummary {
   uint64_t interned_keys = 0;    ///< distinct keys in the interner
   uint64_t interner_hits = 0;    ///< Intern() calls resolved lock-free
   uint64_t interner_misses = 0;  ///< first-sight inserts
-  uint64_t mailbox_batches = 0;  ///< cross-shard (src, dst, round) chains
+  uint64_t mailbox_batches = 0;  ///< cross-shard (src, dst) chain takeovers
   uint64_t mailbox_envelopes = 0;  ///< envelopes those chains carried
+  uint64_t sched_epochs = 0;       ///< watermark rendezvous epochs run
+  uint64_t watermark_stalls = 0;   ///< worker park episodes (perf signal)
+  uint64_t rendezvous_caps = 0;    ///< epochs cut short by staged churn
+  uint64_t equivalent_rounds = 0;  ///< lockstep rounds the same span implies
 };
 
 /// Prints the message-plane summary: messages dispatched, envelope heap
 /// allocations and the allocs-per-message ratio (near zero once the pools
 /// reach their steady-state high-water mark), the key-interner size and
-/// hit rate (near one once the key dictionary is warm), and the mean
-/// cross-shard mailbox batch width (sharded runs only).
+/// hit rate (near one once the key dictionary is warm), the mean
+/// cross-shard mailbox batch width, and the watermark-scheduler health
+/// block — epochs vs the equivalent lockstep rounds (their ratio's
+/// complement is the overlap ratio: the fraction of global barriers the
+/// watermark model eliminated) and stall/cap counts (sharded runs only).
 void PrintMessagePlaneSummary(std::ostream& os,
                               const MessagePlaneSummary& s);
 

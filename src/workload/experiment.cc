@@ -124,11 +124,11 @@ Experiment::Experiment(ExperimentConfig config)
   if (resolved_shards_ >= 1) {
     runtime::ShardedRuntime::Options opt;
     opt.shards = resolved_shards_;
-    // Unset knob: auto-tune from the latency model's lookahead (the widest
-    // round that preserves exact per-hop delivery timing).
-    opt.round_width = config_.round_width != 0
-                          ? config_.round_width
-                          : runtime::AutoRoundWidth(latency_);
+    // Lookahead comes from the latency model alone — it is a timing
+    // guarantee, not a tuning knob. The legacy round_width knob survives
+    // as an overlap cap: 0 (default) lets epochs span whole RIC epochs.
+    opt.lookahead = runtime::AutoRoundWidth(latency_);
+    opt.overlap_cap = config_.round_width;
     runtime_ = std::make_unique<runtime::ShardedRuntime>(
         opt, network_->num_total(), &metrics_);
     router_ = std::make_unique<runtime::ShardRouter>(runtime_.get(),

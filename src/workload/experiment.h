@@ -76,11 +76,15 @@ struct ExperimentConfig {
 
   static constexpr uint32_t kForceSerial = UINT32_MAX;
 
-  /// Round width override for the sharded runtime; 0 (default) auto-tunes
-  /// via runtime::AutoRoundWidth — the latency model's lookahead
-  /// (min_delay()), the largest width that preserves exact message timing.
-  /// Explicit wider values trade coarser virtual latency for fewer
-  /// barriers (see bench_runtime_scaling).
+  /// Compatibility knob from the retired lockstep scheduler, now the
+  /// watermark runtime's overlap cap: a positive value bounds how far
+  /// execution may overlap between two rendezvous (epochs span at most
+  /// this many ticks — the old scheduler barriered at exactly this
+  /// spacing). 0 (default) leaves the overlap window unbounded; epochs
+  /// then stretch to the next RIC-epoch boundary or staged churn op.
+  /// Message *timing* is unaffected either way: the delivery lookahead is
+  /// always runtime::AutoRoundWidth(latency) — a property of the latency
+  /// model, not a tunable.
   sim::SimTime round_width = 0;
 
   /// Stream tuples back-to-back (one publication per tuple_gap of virtual

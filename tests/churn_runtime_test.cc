@@ -16,6 +16,7 @@
 #include "core/engine.h"
 #include "dht/chord_network.h"
 #include "dht/transport.h"
+#include "runtime/sharded_runtime.h"
 #include "sim/latency.h"
 #include "sim/simulator.h"
 #include "sql/evaluator.h"
@@ -364,6 +365,35 @@ TEST_P(SeededChurnStormTest, RandomTraceStaysEquivalentAndComplete) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededChurnStormTest,
                          ::testing::Values(11, 12, 13));
+
+TEST(ChurnRuntimeTest, JoinedNodesBalanceAcrossShards) {
+  // Churn-joined nodes (indices past the initial size) must round-robin
+  // across shards: a join-heavy run may not pile every new node onto the
+  // last block-partition shard, and growing may not move existing nodes.
+  constexpr size_t kInitial = 40;
+  constexpr size_t kJoined = 13;
+  constexpr uint32_t kShards = 4;
+  stats::MetricsRegistry metrics(kInitial);
+  runtime::ShardedRuntime rt({.shards = kShards, .lookahead = 1}, kInitial,
+                             &metrics);
+  std::vector<uint32_t> before(kInitial);
+  for (stats::NodeIndex n = 0; n < kInitial; ++n) before[n] = rt.ShardOf(n);
+  rt.GrowNodes(kInitial + kJoined);
+
+  std::vector<size_t> histogram(kShards, 0);
+  for (stats::NodeIndex n = kInitial; n < kInitial + kJoined; ++n) {
+    const uint32_t s = rt.ShardOf(n);
+    ASSERT_LT(s, kShards);
+    ++histogram[s];
+  }
+  const auto [lo, hi] = std::minmax_element(histogram.begin(),
+                                            histogram.end());
+  EXPECT_LE(*hi - *lo, 1u) << "joined-node ownership is unbalanced";
+  EXPECT_GT(*lo, 0u);  // every shard picked up join work
+  for (stats::NodeIndex n = 0; n < kInitial; ++n) {
+    EXPECT_EQ(rt.ShardOf(n), before[n]) << "node " << n << " moved shards";
+  }
+}
 
 TEST(ChurnTraceTest, GeneratorIsDeterministicAndClampsLeaves)
 {

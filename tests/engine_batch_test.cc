@@ -40,8 +40,9 @@ struct Harness {
                &metrics) {
     if (shards > 0) {
       runtime = std::make_unique<runtime::ShardedRuntime>(
-          runtime::ShardedRuntime::Options{shards,
-                                           runtime::AutoRoundWidth(*latency)},
+          runtime::ShardedRuntime::Options{
+              .shards = shards,
+              .lookahead = runtime::AutoRoundWidth(*latency)},
           network->num_total(), &metrics);
       router =
           std::make_unique<runtime::ShardRouter>(runtime.get(), seed * 31);

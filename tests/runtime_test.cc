@@ -54,7 +54,7 @@ std::vector<TraceEntry> RunStorm(uint32_t shards, size_t nodes, int depth) {
   stats::MetricsRegistry metrics(nodes);
   ShardedRuntime::Options opt;
   opt.shards = shards;
-  opt.round_width = 2;
+  opt.lookahead = 2;
   ShardedRuntime rt(opt, nodes, &metrics);
   Trace trace(nodes);
 
@@ -68,7 +68,7 @@ std::vector<TraceEntry> RunStorm(uint32_t shards, size_t nodes, int depth) {
           const stats::NodeIndex dst =
               static_cast<stats::NodeIndex>((node + step) % nodes);
           const uint64_t seq = rt.NextEmitSeq(node);
-          sim::SimTime when = rt.Now() + 2;  // matches round_width
+          sim::SimTime when = rt.Now() + 2;  // matches lookahead
           if (dst != node) when = std::max(when, rt.CurrentRoundEnd());
           rt.ScheduleEvent(EventKey{when, node, seq}, dst,
                            [&fire, dst, remaining, tag, step] {
@@ -87,7 +87,7 @@ std::vector<TraceEntry> RunStorm(uint32_t shards, size_t nodes, int depth) {
 
 TEST(ShardedRuntimeTest, RunDrainsAndCountsEvents) {
   stats::MetricsRegistry metrics(4);
-  ShardedRuntime rt({.shards = 2, .round_width = 1}, 4, &metrics);
+  ShardedRuntime rt({.shards = 2, .lookahead = 1}, 4, &metrics);
   int fired = 0;
   rt.ScheduleEvent(EventKey{5, 0, 1}, 0, [&] { ++fired; });
   rt.ScheduleEvent(EventKey{9, 3, 1}, 3, [&] { ++fired; });
@@ -103,7 +103,7 @@ TEST(ShardedRuntimeTest, RunDrainsAndCountsEvents) {
 
 TEST(ShardedRuntimeTest, RunUntilAdvancesClockAndHoldsFutureEvents) {
   stats::MetricsRegistry metrics(2);
-  ShardedRuntime rt({.shards = 2, .round_width = 1}, 2, &metrics);
+  ShardedRuntime rt({.shards = 2, .lookahead = 1}, 2, &metrics);
   int fired = 0;
   rt.ScheduleEvent(EventKey{3, 0, 1}, 0, [&] { ++fired; });
   rt.ScheduleEvent(EventKey{10, 1, 1}, 1, [&] { ++fired; });
@@ -119,7 +119,7 @@ TEST(ShardedRuntimeTest, MailboxDeliversInEventKeyOrder) {
   // Three same-time messages from different sources + seqs must execute at
   // the destination in (time, src, seq) order regardless of arrival path.
   stats::MetricsRegistry metrics(8);
-  ShardedRuntime rt({.shards = 4, .round_width = 4}, 8, &metrics);
+  ShardedRuntime rt({.shards = 4, .lookahead = 4}, 8, &metrics);
   std::vector<std::pair<stats::NodeIndex, uint64_t>> order;
   // Node 7 (shard 3) receives from nodes 0, 2, 4 (shards 0, 1, 2).
   for (stats::NodeIndex src : {4u, 0u, 2u}) {  // scheduled out of order
@@ -132,6 +132,205 @@ TEST(ShardedRuntimeTest, MailboxDeliversInEventKeyOrder) {
   const std::vector<std::pair<stats::NodeIndex, uint64_t>> want = {
       {0, 1}, {0, 2}, {2, 1}, {2, 2}, {4, 1}, {4, 2}};
   EXPECT_EQ(order, want);
+}
+
+// ------------------------------------------------------- watermark edges
+
+/// Storm over zero-latency links: cross-node hops take 0 ticks, so the
+/// delivery rule must defer them by the 1-tick lookahead (the clamp for
+/// zero-capable latency models) — identically for every partitioning.
+std::vector<TraceEntry> RunZeroDelayStorm(uint32_t shards, size_t nodes,
+                                          int depth) {
+  stats::MetricsRegistry metrics(nodes);
+  ShardedRuntime rt({.shards = shards, .lookahead = 1}, nodes, &metrics);
+  Trace trace(nodes);
+  std::function<void(stats::NodeIndex, int)> fire =
+      [&](stats::NodeIndex node, int remaining) {
+        trace.per_node[node].push_back(TraceEntry{rt.Now(), node, 1});
+        if (remaining == 0) return;
+        for (stats::NodeIndex step : {1u, 3u}) {
+          const stats::NodeIndex dst =
+              static_cast<stats::NodeIndex>((node + step) % nodes);
+          // Zero-delay hop, deferred to the lookahead edge (now + 1).
+          const sim::SimTime when =
+              std::max(rt.Now(), rt.CurrentRoundEnd());
+          rt.ScheduleEvent(EventKey{when, node, rt.NextEmitSeq(node)}, dst,
+                           [&fire, dst, remaining] {
+                             fire(dst, remaining - 1);
+                           });
+        }
+      };
+  for (stats::NodeIndex n = 0; n < nodes; ++n) {
+    rt.ScheduleEvent(EventKey{0, n, rt.NextEmitSeq(n)}, n,
+                     [&fire, n, depth] { fire(n, depth); });
+  }
+  rt.Run();
+  return trace.Merged();
+}
+
+TEST(ShardedRuntimeTest, ZeroLatencyLinksDeferOneTickInvariantly) {
+  const auto serial = RunZeroDelayStorm(/*shards=*/1, /*nodes=*/12, 6);
+  EXPECT_FALSE(serial.empty());
+  // Every generation lands exactly one tick after its parent.
+  for (uint32_t shards : {2u, 4u, 8u}) {
+    EXPECT_EQ(RunZeroDelayStorm(shards, 12, 6), serial)
+        << "shards=" << shards;
+  }
+}
+
+/// Storm over slow links: every cross-shard hop is guaranteed to take at
+/// least `kLink` ticks, declared via SetLinkLookahead — receivers may run
+/// that far ahead of their peers, and the trace must not change.
+std::vector<TraceEntry> RunWideLinkStorm(uint32_t shards, size_t nodes,
+                                         int depth) {
+  constexpr sim::SimTime kLink = 4;
+  stats::MetricsRegistry metrics(nodes);
+  ShardedRuntime rt({.shards = shards, .lookahead = 1}, nodes, &metrics);
+  for (uint32_t i = 0; i < shards; ++i) {
+    for (uint32_t j = 0; j < shards; ++j) {
+      if (i != j) rt.SetLinkLookahead(i, j, kLink);
+    }
+  }
+  Trace trace(nodes);
+  std::function<void(stats::NodeIndex, int)> fire =
+      [&](stats::NodeIndex node, int remaining) {
+        trace.per_node[node].push_back(TraceEntry{rt.Now(), node, 2});
+        if (remaining == 0) return;
+        for (stats::NodeIndex step : {1u, 5u}) {
+          const stats::NodeIndex dst =
+              static_cast<stats::NodeIndex>((node + step) % nodes);
+          // Every cross-node hop takes the full link minimum (the schedule
+          // rule must respect the widest bound for any partitioning).
+          rt.ScheduleEvent(
+              EventKey{rt.Now() + kLink, node, rt.NextEmitSeq(node)}, dst,
+              [&fire, dst, remaining] { fire(dst, remaining - 1); });
+        }
+      };
+  for (stats::NodeIndex n = 0; n < nodes; ++n) {
+    rt.ScheduleEvent(EventKey{0, n, rt.NextEmitSeq(n)}, n,
+                     [&fire, n, depth] { fire(n, depth); });
+  }
+  rt.Run();
+  return trace.Merged();
+}
+
+TEST(ShardedRuntimeTest, PerLinkLookaheadKeepsTraceInvariant) {
+  const auto serial = RunWideLinkStorm(/*shards=*/1, /*nodes=*/12, 5);
+  EXPECT_FALSE(serial.empty());
+  for (uint32_t shards : {2u, 4u}) {
+    EXPECT_EQ(RunWideLinkStorm(shards, 12, 5), serial)
+        << "shards=" << shards;
+  }
+}
+
+TEST(ShardedRuntimeTest, SingleShardWatermarkIsDegenerate) {
+  // S=1 has no peers: the frontier is unbounded, the whole run is one
+  // epoch, and the worker can never stall on a watermark.
+  stats::MetricsRegistry metrics(4);
+  ShardedRuntime rt({.shards = 1, .lookahead = 2}, 4, &metrics);
+  std::function<void(stats::NodeIndex, int)> fire =
+      [&](stats::NodeIndex node, int remaining) {
+        if (remaining == 0) return;
+        const stats::NodeIndex dst =
+            static_cast<stats::NodeIndex>((node + 1) % 4);
+        rt.ScheduleEvent(
+            EventKey{rt.Now() + 2, node, rt.NextEmitSeq(node)}, dst,
+            [&fire, dst, remaining] { fire(dst, remaining - 1); });
+      };
+  rt.ScheduleEvent(EventKey{0, 0, rt.NextEmitSeq(0)}, 0,
+                   [&fire] { fire(0, 20); });
+  rt.Run();
+  const auto sched = rt.scheduler_stats();
+  EXPECT_EQ(sched.epochs, 1u);
+  EXPECT_EQ(sched.watermark_stalls, 0u);
+  // 21 events spaced 2 ticks over one epoch: the lockstep scheduler would
+  // have run ~21 one-lookahead rounds; the watermark model ran 1 epoch.
+  EXPECT_GT(sched.equivalent_rounds, sched.epochs);
+  EXPECT_GT(sched.overlap_ratio(), 0.9);
+}
+
+TEST(ShardedRuntimeTest, StarvedShardRecoversWhenWorkArrives) {
+  // Shard 1's only events arrive late, produced by a long local chain on
+  // shard 0: its worker idles behind the watermark (parking after the spin
+  // budget) and must wake for each delivery. The result must not depend on
+  // any of that timing.
+  stats::MetricsRegistry metrics(2);
+  ShardedRuntime rt({.shards = 2, .lookahead = 1}, 2, &metrics);
+  std::vector<sim::SimTime> hits;  // node 1 only — single-writer
+  std::function<void(int)> step = [&](int k) {
+    if (k % 10 == 0 && k > 0) {
+      rt.ScheduleEvent(EventKey{rt.Now() + 1, 0, rt.NextEmitSeq(0)}, 1,
+                       [&] { hits.push_back(rt.Now()); });
+    }
+    if (k < 50) {
+      rt.ScheduleEvent(EventKey{rt.Now() + 1, 0, rt.NextEmitSeq(0)}, 0,
+                       [&step, k] { step(k + 1); });
+    }
+  };
+  rt.ScheduleEvent(EventKey{0, 0, rt.NextEmitSeq(0)}, 0, [&step] { step(0); });
+  rt.Run();
+  const std::vector<sim::SimTime> want = {11, 21, 31, 41, 51};
+  EXPECT_EQ(hits, want);
+  // Exactly the five cross-shard deliveries rode the mailbox plane.
+  EXPECT_EQ(rt.mailbox_stats().envelopes, 5u);
+}
+
+/// Barrier hook that records rendezvous times and requests a serial phase
+/// at fixed boundaries, like the engine's RIC-epoch schedule.
+struct RecordingHook : runtime::BarrierHook {
+  explicit RecordingHook(sim::SimTime period) : period(period) {}
+  void OnBarrier(sim::SimTime t) override { barriers.push_back(t); }
+  sim::SimTime NextRendezvous(sim::SimTime after) override {
+    return ((after / period) + 1) * period;
+  }
+  sim::SimTime period;
+  std::vector<sim::SimTime> barriers;
+};
+
+/// A chain on node 0 (events at 0, 1, 2, ... 2 * period) that stages a
+/// rendezvous cap from the events at `period - 1` and `period` — the first
+/// lands exactly on the hook's natural horizon (the cap is a no-op), the
+/// second caps the following epoch from its very first tick. Cross-sends
+/// to node 1 after each cap probe the post-rendezvous frontier.
+std::pair<std::vector<TraceEntry>, std::vector<sim::SimTime>> RunCapStorm(
+    uint32_t shards) {
+  constexpr sim::SimTime kPeriod = 8;
+  stats::MetricsRegistry metrics(2);
+  ShardedRuntime rt({.shards = shards, .lookahead = 1}, 2, &metrics);
+  RecordingHook hook(kPeriod);
+  rt.AddBarrierHook(&hook);
+  Trace trace(2);
+  std::function<void(int)> step = [&](int k) {
+    trace.per_node[0].push_back(TraceEntry{rt.Now(), 0, 3});
+    const sim::SimTime t = rt.Now();
+    if (t == kPeriod - 1 || t == kPeriod) {
+      // Stage a serial-phase request exactly like a churn op would: cap
+      // the horizon at this event's time + lookahead.
+      rt.RequestRendezvousBy(t + rt.lookahead());
+      rt.ScheduleEvent(EventKey{t + 1, 0, rt.NextEmitSeq(0)}, 1, [&] {
+        trace.per_node[1].push_back(TraceEntry{rt.Now(), 1, 4});
+      });
+    }
+    if (k < 2 * kPeriod) {
+      rt.ScheduleEvent(EventKey{t + 1, 0, rt.NextEmitSeq(0)}, 0,
+                       [&step, k] { step(k + 1); });
+    }
+  };
+  rt.ScheduleEvent(EventKey{0, 0, rt.NextEmitSeq(0)}, 0, [&step] { step(0); });
+  rt.Run();
+  return {trace.Merged(), hook.barriers};
+}
+
+TEST(ShardedRuntimeTest, RendezvousCapAtWatermarkBoundaryIsInvariant) {
+  const auto serial = RunCapStorm(/*shards=*/1);
+  EXPECT_FALSE(serial.first.empty());
+  // The cap schedule is a pure function of the event population: barrier
+  // times and the trace must match for any shard count.
+  for (uint32_t shards : {2u, 4u}) {
+    const auto sharded = RunCapStorm(shards);
+    EXPECT_EQ(sharded.first, serial.first) << "shards=" << shards;
+    EXPECT_EQ(sharded.second, serial.second) << "shards=" << shards;
+  }
 }
 
 TEST(ShardedRuntimeTest, StormTraceIsShardCountInvariant) {
@@ -154,7 +353,7 @@ TEST(ShardedRuntimeTest, ZeroDelaySelfSendExecutesInRound) {
   // A node sending to itself with zero delay (src == Successor(key) in the
   // transport) must execute within the same round and the same tick.
   stats::MetricsRegistry metrics(2);
-  ShardedRuntime rt({.shards = 2, .round_width = 1}, 2, &metrics);
+  ShardedRuntime rt({.shards = 2, .lookahead = 1}, 2, &metrics);
   std::vector<sim::SimTime> times;
   rt.ScheduleEvent(EventKey{4, 1, 1}, 1, [&] {
     times.push_back(rt.Now());
@@ -169,7 +368,7 @@ TEST(ShardedRuntimeTest, ZeroDelaySelfSendExecutesInRound) {
 
 TEST(ShardedRuntimeTest, ShardMetricsMergeIntoMainAtBarriers) {
   stats::MetricsRegistry metrics(4);
-  ShardedRuntime rt({.shards = 2, .round_width = 1}, 4, &metrics);
+  ShardedRuntime rt({.shards = 2, .lookahead = 1}, 4, &metrics);
   // Workers charge traffic through their own delta registries.
   rt.ScheduleEvent(EventKey{1, 0, 1}, 0, [&] {
     rt.ActiveMetrics()->AddTraffic(0, 2);
