@@ -1,11 +1,13 @@
 #include "bench/bench_common.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -153,6 +155,38 @@ const char* RewriteLevelsName(core::RewriteIndexLevels l) {
                                                         : "include_attribute";
 }
 
+// The commit the bench binary ran against: $RJOIN_GIT_SHA when the caller
+// (CI) pins it, else `git rev-parse HEAD` from the working directory,
+// "unknown" outside a checkout. Provenance only — never fails the bench.
+std::string GitSha() {
+  if (const char* env = std::getenv("RJOIN_GIT_SHA");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::string sha;
+  if (FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) sha.assign(buf);
+    pclose(p);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  if (sha.size() != 40 ||
+      sha.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return "unknown";
+  }
+  return sha;
+}
+
+const char* BuildType() {
+#ifdef RJOIN_BUILD_TYPE
+  return RJOIN_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
 }  // namespace
 
 JsonReporter::JsonReporter(std::string figure, std::string title,
@@ -178,6 +212,7 @@ JsonReporter::JsonReporter(std::string figure, std::string title,
   base_watermark_stalls_ = sched.watermark_stalls;
   base_rendezvous_caps_ = sched.rendezvous_caps;
   base_equivalent_rounds_ = sched.equivalent_rounds;
+  base_hist_ = stats::Tracer::Global().AggregateHistograms();
 }
 
 stats::MessagePlaneSummary JsonReporter::PlaneDelta() const {
@@ -203,6 +238,18 @@ stats::MessagePlaneSummary JsonReporter::PlaneDelta() const {
   s.watermark_stalls = sched.watermark_stalls - base_watermark_stalls_;
   s.rendezvous_caps = sched.rendezvous_caps - base_rendezvous_caps_;
   s.equivalent_rounds = sched.equivalent_rounds - base_equivalent_rounds_;
+  const stats::Tracer::HistogramSet hist =
+      stats::Tracer::Global().AggregateHistograms();
+  const stats::LogHistogram latency =
+      hist.answer_latency.DiffFrom(base_hist_.answer_latency);
+  s.answers = latency.count();
+  s.answer_latency_p50 = latency.Percentile(50);
+  s.answer_latency_p95 = latency.Percentile(95);
+  s.answer_latency_p99 = latency.Percentile(99);
+  const stats::LogHistogram stall =
+      hist.stall_ns.DiffFrom(base_hist_.stall_ns);
+  s.stall_wall_seconds = static_cast<double>(stall.sum()) / 1e9;
+  s.stall_p99_us = stall.Percentile(99) / 1000;
   return s;
 }
 
@@ -297,6 +344,25 @@ std::string JsonReporter::Write() const {
      << ", \"shards\": " << workload::ResolveShardCount(config_.shards)
      << ", \"seed\": " << config_.seed << "}";
 
+  // Provenance: which commit/build/knobs produced the file, so a BENCH_*.json
+  // pulled from a CI artifact is self-describing (the trajectory README's
+  // caveats stop depending on humans remembering the run setup).
+  const std::optional<workload::ChurnSpec> churn =
+      workload::ResolveChurnSpec(config_);
+  os << ",\n  \"provenance\": {\"git_sha\": ";
+  AppendJsonString(os, GitSha());
+  os << ", \"build_type\": ";
+  AppendJsonString(os, BuildType());
+  os << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ", \"rjoin_shards\": " << workload::ResolveShardCount(config_.shards)
+     << ", \"rjoin_churn\": ";
+  AppendJsonNumber(os, churn ? churn->rate : 0.0);
+  os << ", \"rjoin_trace\": "
+     << (stats::Tracer::Global().enabled() ? 1 : 0)
+     << ", \"rjoin_scale\": ";
+  AppendJsonNumber(os, AppliedScale());
+  os << "}";
+
   // Measured runtime of the whole figure (construction to Write): the bench
   // trajectory tracks real speedups, not just virtual message counts.
   const double wall_seconds =
@@ -362,6 +428,39 @@ std::string JsonReporter::Write() const {
   os << ", \"hardware_threads\": ";
   AppendJsonNumber(os,
                    static_cast<double>(std::thread::hardware_concurrency()));
+  // Observability scalars (docs/observability.md): end-to-end answer latency
+  // and routing/rewrite percentiles in virtual ticks/hops — deterministic
+  // across shard counts — plus the wall-clock stall breakdown (perf signal).
+  const stats::Tracer::HistogramSet hist =
+      stats::Tracer::Global().AggregateHistograms();
+  const stats::LogHistogram route =
+      hist.route_hops.DiffFrom(base_hist_.route_hops);
+  const stats::LogHistogram rewrite =
+      hist.rewrite_depth.DiffFrom(base_hist_.rewrite_depth);
+  os << ", \"answers\": ";
+  AppendJsonNumber(os, static_cast<double>(plane.answers));
+  os << ", \"answer_latency_p50\": ";
+  AppendJsonNumber(os, static_cast<double>(plane.answer_latency_p50));
+  os << ", \"answer_latency_p95\": ";
+  AppendJsonNumber(os, static_cast<double>(plane.answer_latency_p95));
+  os << ", \"answer_latency_p99\": ";
+  AppendJsonNumber(os, static_cast<double>(plane.answer_latency_p99));
+  os << ", \"route_hops_p50\": ";
+  AppendJsonNumber(os, static_cast<double>(route.Percentile(50)));
+  os << ", \"route_hops_p99\": ";
+  AppendJsonNumber(os, static_cast<double>(route.Percentile(99)));
+  os << ", \"rewrite_depth_p99\": ";
+  AppendJsonNumber(os, static_cast<double>(rewrite.Percentile(99)));
+  os << ", \"stall_wall_seconds\": ";
+  AppendJsonNumber(os, plane.stall_wall_seconds);
+  os << ", \"stall_p99_us\": ";
+  AppendJsonNumber(os, static_cast<double>(plane.stall_p99_us));
+  os << ", \"trace_events\": ";
+  AppendJsonNumber(os,
+                   stats::Tracer::Global().enabled()
+                       ? static_cast<double>(
+                             stats::Tracer::Global().MergedEvents().size())
+                       : 0.0);
   for (size_t i = 0; i < scalars_.size(); ++i) {
     os << ", ";
     AppendJsonString(os, scalars_[i].first);
@@ -405,6 +504,18 @@ std::string JsonReporter::Write() const {
     std::cerr << "failed to write " << path << "\n";
   } else {
     std::cout << "wrote " << path << "\n";
+  }
+
+  // With tracing on, drop the merged virtual-time timeline next to the bench
+  // JSON — chrome://tracing and ui.perfetto.dev load it directly.
+  if (stats::Tracer::Global().enabled()) {
+    const std::string trace_path =
+        BenchOutDir() + "/TRACE_" + figure_ + ".json";
+    if (stats::Tracer::Global().WriteChromeTraceFile(trace_path)) {
+      std::cout << "wrote " << trace_path << "\n";
+    } else {
+      std::cerr << "failed to write " << trace_path << "\n";
+    }
   }
   return path;
 }

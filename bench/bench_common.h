@@ -9,6 +9,7 @@
 
 #include "stats/distribution.h"
 #include "stats/reporter.h"
+#include "stats/trace.h"
 #include "workload/experiment.h"
 
 namespace rjoin::bench {
@@ -109,9 +110,15 @@ class JsonReporter {
   /// "tuples_per_sec", "messages_per_sec" (envelopes dispatched through the
   /// message plane per wall second), "allocs_per_tuple" (envelope heap
   /// allocations per tuple — near zero once the pools reach their
-  /// steady-state high-water mark), and "hardware_threads" scalars so the
+  /// steady-state high-water mark), "hardware_threads", and the
+  /// observability scalars (answer_latency_p50/p95/p99 in virtual ticks,
+  /// routing/rewrite percentiles, the wall-clock stall breakdown) so the
   /// bench trajectory records measured time and allocation behavior, not
-  /// just virtual-cost curves.
+  /// just virtual-cost curves. A "provenance" object (git SHA, build type,
+  /// effective RJOIN_* knobs) makes every file self-describing — the full
+  /// schema is documented in bench/trajectory/README.md. When RJOIN_TRACE
+  /// is on, the merged virtual-time timeline is additionally written as
+  /// Perfetto-loadable TRACE_<figure>.json next to the bench JSON.
   std::string Write() const;
 
  private:
@@ -141,6 +148,9 @@ class JsonReporter {
   uint64_t base_watermark_stalls_ = 0;
   uint64_t base_rendezvous_caps_ = 0;
   uint64_t base_equivalent_rounds_ = 0;
+  /// Observability histograms at construction; Write() reports bucket-count
+  /// deltas, so percentiles cover only this figure's samples.
+  stats::Tracer::HistogramSet base_hist_;
   uint64_t tuples_processed_ = 0;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<Chart> charts_;

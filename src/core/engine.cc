@@ -8,6 +8,7 @@
 #include <iterator>
 #include <map>
 
+#include "stats/trace.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -464,6 +465,10 @@ void RJoinEngine::PrefetchRic(dht::NodeIndex src, const IndexKey& key) {
 }
 
 void RJoinEngine::OnRicRequest(dht::NodeIndex self, const RicRequest& msg) {
+  if (stats::Tracer::On()) {
+    stats::Tracer::Record(stats::TraceCategory::kRicRequest, 0, self,
+                          msg.requester, msg.key, Now());
+  }
   RicReply reply;
   const uint64_t now = Now();
   reply.entry = RicEntry{.key = msg.key,
@@ -475,6 +480,10 @@ void RJoinEngine::OnRicRequest(dht::NodeIndex self, const RicRequest& msg) {
 }
 
 void RJoinEngine::OnRicReply(dht::NodeIndex self, const RicReply& msg) {
+  if (stats::Tracer::On()) {
+    stats::Tracer::Record(stats::TraceCategory::kRicReply, 0, self,
+                          msg.entry.node, msg.entry.rate, Now());
+  }
   state(self).ct.Merge(msg.entry);
 }
 
@@ -565,6 +574,10 @@ void RJoinEngine::ApplyJoin(const dht::NodeId& id, dht::NodeIndex bootstrap) {
   GrowForNode(*joined);
   ++churn_.joins_applied;
   forwarding_armed_ = true;
+  if (stats::Tracer::On()) {
+    stats::Tracer::Record(stats::TraceCategory::kChurn, /*kind=*/1, *joined,
+                          bootstrap, 0, Now());
+  }
   // The joiner takes (pred, id] from its successor, the old owner.
   const dht::NodeIndex pred = network_->node(*joined).predecessor();
   const dht::NodeIndex old_owner = network_->node(*joined).successor();
@@ -586,6 +599,10 @@ void RJoinEngine::ApplyLeave(dht::NodeIndex node) {
   }
   ++churn_.leaves_applied;
   forwarding_armed_ = true;
+  if (stats::Tracer::On()) {
+    stats::Tracer::Record(stats::TraceCategory::kChurn, /*kind=*/0, node,
+                          network_->SuccessorOf(range->high), 0, Now());
+  }
   // The departed node's range belongs to its successor now (the first
   // alive node past the range's high end).
   const dht::NodeIndex new_owner = network_->SuccessorOf(range->high);
@@ -974,15 +991,17 @@ void RJoinEngine::TryTrigger(dht::NodeIndex self, StoredQuery& sq,
     if (!sq.seen_projections.Insert(Fnv1a64(proj))) return;
   }
 
-  CompleteOrForward(self, r.Bind(rel, t));
+  CompleteOrForward(self, r.Bind(rel, t), t->pub_time);
 }
 
-void RJoinEngine::CompleteOrForward(dht::NodeIndex self, Residual next) {
+void RJoinEngine::CompleteOrForward(dht::NodeIndex self, Residual next,
+                                    uint64_t pub_time) {
   if (next.IsComplete()) {
     AnswerDeliver msg;
     msg.query_id = next.origin()->query_id();
     msg.row = next.ExtractAnswer();
     msg.completed_at = Now();
+    msg.pub_time = pub_time;
     transport_->SendDirect(self, next.origin()->owner(),
                            MessageTask(std::move(msg)));
     return;
@@ -1074,7 +1093,14 @@ void RJoinEngine::OnEval(dht::NodeIndex self, KeyId key, Residual&& residual,
 }
 
 void RJoinEngine::OnAnswer(dht::NodeIndex self, AnswerDeliver& msg) {
-  (void)self;
+  // End-to-end answer latency in virtual time: publication of the tuple
+  // that completed the residual -> delivery of the answer at Owner(q).
+  const uint64_t latency = Now() >= msg.pub_time ? Now() - msg.pub_time : 0;
+  stats::Tracer::RecordAnswerLatency(latency);
+  if (stats::Tracer::On()) {
+    stats::Tracer::Record(stats::TraceCategory::kAnswer, 0, self,
+                          static_cast<uint32_t>(msg.query_id), latency, Now());
+  }
   const bool distinct = [&] {
     auto it = queries_.find(msg.query_id);
     return it != queries_.end() && it->second->spec().distinct;
@@ -1269,6 +1295,15 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
   // Input queries ship as kQueryIndex (Procedure 2), rewritten residuals as
   // kRewrite (Procedure 3) — same wire shape, separable traffic.
   const bool is_input = residual.IsInputQuery();
+  if (!is_input) {
+    // Rewrite-chain depth: how many relations the shipped residual has
+    // bound so far (hop i of the k-1 hop chain of Procedure 3).
+    stats::Tracer::RecordRewriteDepth(residual.num_bound());
+    if (stats::Tracer::On()) {
+      stats::Tracer::Record(stats::TraceCategory::kRewrite, 0, src, key,
+                            residual.num_bound(), Now());
+    }
+  }
   const uint32_t copies = (interner_->level(key) == Level::kAttribute)
                               ? config_.attr_replication
                               : 1;

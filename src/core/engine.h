@@ -402,7 +402,8 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// exactly what a fresh arrival would).
   void ProbeStoredState(dht::NodeIndex self, KeyId key, StoredQuery& sq);
 
-  void CompleteOrForward(dht::NodeIndex self, Residual next);
+  void CompleteOrForward(dht::NodeIndex self, Residual next,
+                         uint64_t pub_time);
 
   /// Window-expiry check for a stored residual against the next possible
   /// tuple position (garbage-collection view; used by sweeps and when a

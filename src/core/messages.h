@@ -98,6 +98,10 @@ struct AnswerDeliver {
   uint64_t query_id = 0;
   std::vector<sql::Value> row;
   uint64_t completed_at = 0;
+  /// Publication time of the tuple whose arrival completed the residual —
+  /// the start of the end-to-end answer-latency measurement
+  /// (docs/observability.md).
+  uint64_t pub_time = 0;
 };
 
 /// Non-protocol work riding the event plane: simulator timers, deferred

@@ -1,8 +1,21 @@
 #include "dht/transport.h"
 
+#include "stats/trace.h"
 #include "util/logging.h"
 
 namespace rjoin::dht {
+
+namespace {
+
+// Typed-event shorthand: every emission/delivery is stamped with the
+// executing event's virtual time (the tracer context).
+void TraceMessage(stats::TraceCategory cat, core::MessageKind kind,
+                  NodeIndex node, NodeIndex peer, uint64_t arg) {
+  stats::Tracer::RecordAtContext(cat, static_cast<uint8_t>(kind), node, peer,
+                                 arg);
+}
+
+}  // namespace
 
 std::vector<NodeIndex>& Transport::RouteScratch() {
   static thread_local std::vector<NodeIndex> path;
@@ -43,8 +56,11 @@ size_t Transport::SerialSend(NodeIndex src, const NodeId& key,
     // is off the ring) but still knows the responsible node — one direct
     // hop, like the forwarding rule of docs/churn.md.
     Metrics().AddTraffic(src, 1, ric);
-    SerialDeliver(network_->SuccessorOf(key), std::move(task),
-                  latency_->Delay(rng_));
+    const NodeIndex dst = network_->SuccessorOf(key);
+    stats::Tracer::RecordRouteHops(1);
+    if (stats::Tracer::On())
+      TraceMessage(stats::TraceCategory::kSend, task.kind(), src, dst, 1);
+    SerialDeliver(dst, std::move(task), latency_->Delay(rng_));
     return 1;
   }
   std::vector<NodeIndex>& path = RouteScratch();
@@ -55,6 +71,11 @@ size_t Transport::SerialSend(NodeIndex src, const NodeId& key,
   for (size_t i = 0; i + 1 < path.size(); ++i) {
     metrics.AddTraffic(path[i], 1, ric);
     delay += latency_->Delay(rng_);
+  }
+  stats::Tracer::RecordRouteHops(path.size() - 1);
+  if (stats::Tracer::On()) {
+    TraceMessage(stats::TraceCategory::kRoute, task.kind(), src, path.back(),
+                 path.size() - 1);
   }
   SerialDeliver(path.back(), std::move(task), delay);
   return path.size() - 1;
@@ -83,6 +104,11 @@ size_t Transport::FinishRoute(core::EnvelopeRef env) {
   env->dst = path.back();
   env->stage = core::EnvelopeStage::kDeliver;
   const NodeIndex src = env->src;
+  stats::Tracer::RecordRouteHops(path.size() - 1);
+  if (stats::Tracer::On()) {
+    TraceMessage(stats::TraceCategory::kRoute, env->task.kind(), src,
+                 path.back(), path.size() - 1);
+  }
   router_->Deliver(src, seq, delay, std::move(env));
   return path.size() - 1;
 }
@@ -95,6 +121,11 @@ void Transport::FinishDirect(core::EnvelopeRef env) {
   RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
   env->stage = core::EnvelopeStage::kDeliver;
   const NodeIndex src = env->src;
+  stats::Tracer::RecordRouteHops(1);
+  if (stats::Tracer::On()) {
+    TraceMessage(stats::TraceCategory::kSend, env->task.kind(), src, env->dst,
+                 1);
+  }
   router_->Deliver(src, seq, delay, std::move(env));
 }
 
@@ -142,6 +173,9 @@ void Transport::SendDirect(NodeIndex src, NodeIndex dst,
     return;
   }
   Metrics().AddTraffic(src, 1, ric);
+  stats::Tracer::RecordRouteHops(1);
+  if (stats::Tracer::On())
+    TraceMessage(stats::TraceCategory::kSend, task.kind(), src, dst, 1);
   SerialDeliver(dst, std::move(task), latency_->Delay(rng_));
 }
 
@@ -172,6 +206,10 @@ void Transport::DispatchOne(core::EnvelopeRef env) {
   }
   RJOIN_CHECK(handler_ != nullptr) << "no message handler registered";
   const NodeIndex dst = env->dst;
+  if (stats::Tracer::On()) {
+    TraceMessage(stats::TraceCategory::kDeliver, env->task.kind(), dst,
+                 env->src, 0);
+  }
   core::MessageTask task = std::move(env->task);
   // Recycle before handling: anything the handler emits reuses this
   // envelope first, keeping the pool's high-water mark at the true number

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 
+#include "stats/trace.h"
 #include "util/logging.h"
 
 namespace rjoin::runtime {
@@ -165,6 +166,7 @@ void ShardedRuntime::WorkerMain(uint32_t shard) {
   tls_current_shard = static_cast<int>(shard);
   shard_state_[shard]->metrics->BindOwnerThread();
   shard_state_[shard]->pool->BindOwnerThread();
+  stats::Tracer::BindTrack(shard);
   for (;;) {
     start_gate_.Arrive();
     if (stop_) return;
@@ -320,6 +322,9 @@ void ShardedRuntime::ExecuteEnvelope(ShardState& shard,
                                      core::EnvelopeRef env) {
   shard.now = env->time;
   shard.current_key = EventKey{env->time, env->src, env->seq};
+  if (stats::Tracer::On()) {
+    stats::Tracer::SetContext(env->time, env->src, env->seq);
+  }
   if (env->stage == core::EnvelopeStage::kDeliver &&
       env->task.kind() == core::MessageKind::kControl) {
     core::RunControl(std::move(env));
@@ -347,11 +352,22 @@ void ShardedRuntime::MaybeWakeParked() {
 void ShardedRuntime::Park(ShardState& shard) {
   ++shard.stalls;
   parked_.fetch_add(1, std::memory_order_seq_cst);
+  const auto parked_at = std::chrono::steady_clock::now();
   {
     std::unique_lock<std::mutex> lock(park_mutex_);
     park_cv_.wait_for(lock, std::chrono::microseconds(200));
   }
   parked_.fetch_sub(1, std::memory_order_seq_cst);
+  const uint64_t stall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - parked_at)
+          .count());
+  stats::Tracer::RecordStallNanos(stall_ns);
+  if (stats::Tracer::On()) {
+    stats::Tracer::Record(stats::TraceCategory::kStall, 0,
+                          static_cast<uint32_t>(tls_current_shard), 0,
+                          stall_ns, shard.now);
+  }
 }
 
 void ShardedRuntime::RunShardEpoch(uint32_t self, ShardState& shard) {
@@ -540,12 +556,17 @@ uint64_t ShardedRuntime::RunLoop(bool bounded, sim::SimTime until) {
       // hook may also *create* work — churn staged in the last epoch is
       // applied here and emits handoff envelopes — so re-check: only break
       // when the hooks left the heaps drained (or beyond the bound).
+      if (stats::Tracer::On()) stats::Tracer::SetContext(now_, 0, 0);
       for (BarrierHook* hook : hooks_) hook->OnBarrier(now_);
       if (AllHeapsEmpty() || (bounded && MinHeapTime() > until)) break;
       continue;
     }
 
     now_ = std::max(now_, MinHeapTime());  // jump idle gaps in one step
+    // Driver-phase records (churn application inside OnBarrier, the
+    // rendezvous marker below) carry the EventKey (now, 0, 0); real events
+    // never use seq 0, so the driver cannot collide with a worker key.
+    if (stats::Tracer::On()) stats::Tracer::SetContext(now_, 0, 0);
     for (BarrierHook* hook : hooks_) hook->OnBarrier(now_);
     const sim::SimTime base = now_;
     const sim::SimTime horizon = ComputeHorizon(base, bounded, until);
@@ -576,6 +597,10 @@ uint64_t ShardedRuntime::RunLoop(bool bounded, sim::SimTime until) {
     total_executed_ += epoch_executed;
     ++sched_.epochs;
     g_epochs.fetch_add(1, std::memory_order_relaxed);
+    if (stats::Tracer::On()) {
+      stats::Tracer::Record(stats::TraceCategory::kRendezvous, 0, 0,
+                            num_shards_, horizon, base);
+    }
     const uint64_t equiv = (max_exec - base) / lookahead_ + 1;
     sched_.equivalent_rounds += equiv;
     g_equiv_rounds.fetch_add(equiv, std::memory_order_relaxed);

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include "stats/trace.h"
 #include "util/logging.h"
 
 namespace rjoin::sim {
@@ -20,6 +21,11 @@ void Simulator::Step() {
   core::EnvelopeRef env = queue_.Pop();
   now_ = env->time;
   ++executed_;
+  if (stats::Tracer::On()) {
+    // Serial path: the queue's insertion order stands in for the emission
+    // seq (the serial ordering key, docs/messaging.md).
+    stats::Tracer::SetContext(env->time, env->src, env->order);
+  }
   if (env->task.kind() == core::MessageKind::kControl) {
     core::RunControl(std::move(env));
     return;

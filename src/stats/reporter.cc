@@ -25,11 +25,14 @@ void TableReporter::Print(std::ostream& os) const {
 
 std::vector<size_t> SampleRankGrid(size_t max_nodes, size_t points) {
   std::vector<size_t> ranks;
-  ranks.reserve(points);
-  for (size_t i = 0; i < points; ++i) {
-    ranks.push_back(max_nodes > 0 && points > 1
-                        ? (max_nodes - 1) * i / (points - 1)
-                        : 0);
+  if (max_nodes == 0 || points == 0) return ranks;
+  // Clamping the grid to the population size keeps the ranks distinct:
+  // with n <= max_nodes sample points the stride (max_nodes-1)/(n-1) is
+  // >= 1, so the floored positions are strictly increasing.
+  const size_t n = std::min(points, max_nodes);
+  ranks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ranks.push_back(n > 1 ? (max_nodes - 1) * i / (n - 1) : 0);
   }
   return ranks;
 }
@@ -102,7 +105,13 @@ void PrintMessagePlaneSummary(std::ostream& os,
              : 0.0)
      << "\n";
   os << "watermark stalls:        " << s.watermark_stalls << "\n";
-  os << "rendezvous caps (churn): " << s.rendezvous_caps << "\n\n";
+  os << "rendezvous caps (churn): " << s.rendezvous_caps << "\n";
+  os << "answer latency (vticks): p50 " << s.answer_latency_p50 << "  p95 "
+     << s.answer_latency_p95 << "  p99 " << s.answer_latency_p99 << " ("
+     << s.answers << " answers)\n";
+  os << "stall wall time:         " << std::fixed << std::setprecision(6)
+     << s.stall_wall_seconds << " s (p99 park " << s.stall_p99_us
+     << " us)\n\n";
 }
 
 }  // namespace rjoin::stats

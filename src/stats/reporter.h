@@ -41,9 +41,10 @@ class TableReporter {
   std::vector<Series> series_;
 };
 
-/// The rank positions a ranked figure samples: `points` evenly spaced ranks
-/// over [0, max_nodes - 1]. Shared by PrintRankedFigure and the benches'
-/// JSON output so the two never diverge.
+/// The rank positions a ranked figure samples: at most `points` evenly
+/// spaced distinct ranks over [0, max_nodes - 1] (fewer when max_nodes <
+/// points — the grid never repeats a rank). Shared by PrintRankedFigure
+/// and the benches' JSON output so the two never diverge.
 std::vector<size_t> SampleRankGrid(size_t max_nodes, size_t points);
 
 /// Prints a ranked-distribution figure: one row per sampled rank, one column
@@ -70,6 +71,15 @@ struct MessagePlaneSummary {
   uint64_t watermark_stalls = 0;   ///< worker park episodes (perf signal)
   uint64_t rendezvous_caps = 0;    ///< epochs cut short by staged churn
   uint64_t equivalent_rounds = 0;  ///< lockstep rounds the same span implies
+  // Observability layer (docs/observability.md): end-to-end answer latency
+  // in virtual ticks (deterministic) and the wall-clock stall breakdown
+  // (a perf signal, like watermark_stalls).
+  uint64_t answers = 0;                 ///< answer-latency samples
+  uint64_t answer_latency_p50 = 0;
+  uint64_t answer_latency_p95 = 0;
+  uint64_t answer_latency_p99 = 0;
+  double stall_wall_seconds = 0.0;      ///< total time workers spent parked
+  uint64_t stall_p99_us = 0;            ///< p99 single park, wall microsecs
 };
 
 /// Prints the message-plane summary: messages dispatched, envelope heap

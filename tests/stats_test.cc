@@ -71,6 +71,27 @@ TEST(DistributionTest, GiniZeroWhenBalanced) {
   EXPECT_NEAR(d.gini(), 0.0, 1e-9);
 }
 
+TEST(DistributionTest, GiniEmptyDistributionIsZero) {
+  auto d = MakeRanked({});
+  EXPECT_DOUBLE_EQ(d.gini(), 0.0);
+}
+
+TEST(DistributionTest, GiniSingleNodeIsZero) {
+  auto d = MakeRanked({42});
+  EXPECT_NEAR(d.gini(), 0.0, 1e-9);
+}
+
+TEST(DistributionTest, GiniAllZeroLoadsIsZero) {
+  auto d = MakeRanked({0, 0, 0});
+  EXPECT_DOUBLE_EQ(d.gini(), 0.0);
+}
+
+TEST(DistributionTest, GiniPerfectlyUniformLargePopulation) {
+  std::vector<uint64_t> loads(1000, 7);
+  auto d = MakeRanked(loads);
+  EXPECT_NEAR(d.gini(), 0.0, 1e-9);
+}
+
 TEST(DistributionTest, GiniHighWhenConcentrated) {
   std::vector<uint64_t> loads(100, 0);
   loads[0] = 1000;
@@ -101,6 +122,41 @@ TEST(DistributionTest, SampleRanksSpansRange) {
   ASSERT_EQ(samples.size(), 5u);
   EXPECT_EQ(samples.front(), 100u);  // Rank 0: the max.
   EXPECT_EQ(samples.back(), 1u);     // Last rank: the min.
+}
+
+TEST(DistributionTest, SampleRanksClampsToPopulation) {
+  // Fewer nodes than requested points: one sample per node, no repeats.
+  auto d = MakeRanked({9, 5, 2});
+  auto samples = SampleRanks(d, 10);
+  EXPECT_EQ(samples, (std::vector<uint64_t>{9, 5, 2}));
+}
+
+TEST(DistributionTest, SampleRanksSingleNode) {
+  auto d = MakeRanked({7});
+  auto samples = SampleRanks(d, 10);
+  EXPECT_EQ(samples, (std::vector<uint64_t>{7}));
+}
+
+TEST(ReporterTest, SampleRankGridNeverRepeatsARank) {
+  for (size_t max_nodes : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                           size_t{9}, size_t{10}, size_t{11}, size_t{100}}) {
+    auto ranks = SampleRankGrid(max_nodes, 10);
+    EXPECT_EQ(ranks.size(), std::min<size_t>(10, max_nodes));
+    for (size_t i = 1; i < ranks.size(); ++i) {
+      EXPECT_LT(ranks[i - 1], ranks[i])
+          << "duplicate/unordered rank with max_nodes=" << max_nodes;
+    }
+    if (!ranks.empty()) {
+      EXPECT_EQ(ranks.front(), 0u);
+      EXPECT_EQ(ranks.back(), max_nodes - 1);
+    }
+  }
+}
+
+TEST(ReporterTest, SampleRankGridEmptyEdges) {
+  EXPECT_TRUE(SampleRankGrid(0, 10).empty());
+  EXPECT_TRUE(SampleRankGrid(10, 0).empty());
+  EXPECT_EQ(SampleRankGrid(1, 10), (std::vector<size_t>{0}));
 }
 
 TEST(ReporterTest, TablePrintsAllSeries) {
