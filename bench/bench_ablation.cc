@@ -50,33 +50,34 @@ int main() {
 
   std::vector<Row> rows;
 
-  {
-    workload::ExperimentConfig cfg = base;
-    rows.push_back(RunVariant("RJoin (all optimizations)", cfg));
-  }
-  {
-    workload::ExperimentConfig cfg = base;
-    cfg.reuse_ric_info = false;
-    rows.push_back(RunVariant("no CT/piggyback reuse (S7 off)", cfg));
-  }
-  {
-    workload::ExperimentConfig cfg = base;
-    cfg.charge_ric = false;
-    rows.push_back(RunVariant("free statistics (oracle RIC)", cfg));
-  }
-  {
-    workload::ExperimentConfig cfg = base;
-    cfg.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
-    rows.push_back(RunVariant("full S6 candidate set", cfg));
-  }
-  {
-    workload::ExperimentConfig cfg = base;
-    cfg.attr_replication = 4;
-    rows.push_back(RunVariant("attr replication r=4", cfg));
-  }
-  json.AddTuplesProcessed(rows.size() * base.num_tuples);
+  bench::RunRepeated(json, [&] {
+    rows.clear();
+    {
+      workload::ExperimentConfig cfg = base;
+      rows.push_back(RunVariant("RJoin (all optimizations)", cfg));
+    }
+    {
+      workload::ExperimentConfig cfg = base;
+      cfg.reuse_ric_info = false;
+      rows.push_back(RunVariant("no CT/piggyback reuse (S7 off)", cfg));
+    }
+    {
+      workload::ExperimentConfig cfg = base;
+      cfg.charge_ric = false;
+      rows.push_back(RunVariant("free statistics (oracle RIC)", cfg));
+    }
+    {
+      workload::ExperimentConfig cfg = base;
+      cfg.rewrite_levels = core::RewriteIndexLevels::kIncludeAttribute;
+      rows.push_back(RunVariant("full S6 candidate set", cfg));
+    }
+    {
+      workload::ExperimentConfig cfg = base;
+      cfg.attr_replication = 4;
+      rows.push_back(RunVariant("attr replication r=4", cfg));
+    }
+    json.AddTuplesProcessed(rows.size() * base.num_tuples);
 
-  {
     std::vector<double> xs;
     stats::Series msgs{"msgs_per_node", {}}, ric{"ric_per_node", {}},
         qpl{"qpl_per_node", {}}, max_qpl{"max_qpl", {}};
@@ -91,8 +92,8 @@ int main() {
     }
     json.AddChart("Ablations (per-node averages)", "variant index", xs,
                   {msgs, ric, qpl, max_qpl});
-    json.Write();
-  }
+  });
+  json.Write();
 
   std::cout << "== Ablations (per-node averages over the whole run) ==\n";
   printf("%-34s %14s %14s %14s %12s\n", "variant", "msgs/node", "ric/node",

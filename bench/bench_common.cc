@@ -1,5 +1,6 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -92,6 +93,51 @@ std::string BenchOutDir() {
       << "RJOIN_BENCH_OUT=" << dir
       << " does not exist and could not be created: " << ec.message();
   return dir;
+}
+
+size_t BenchRepeat() {
+  const char* env = std::getenv("RJOIN_BENCH_REPEAT");
+  if (env == nullptr || *env == '\0') return 1;
+  const long v = std::atol(env);
+  if (v <= 1) return 1;
+  return static_cast<size_t>(std::min<long>(v, 32));
+}
+
+void RunRepeated(JsonReporter& json, const std::function<void()>& body) {
+  const size_t repeats = BenchRepeat();
+  std::vector<double> secs;
+  std::vector<double> tps;
+  secs.reserve(repeats);
+  tps.reserve(repeats);
+  for (size_t i = 0; i < repeats; ++i) {
+    const uint64_t tuples_before = json.tuples_processed();
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    const double tuples =
+        static_cast<double>(json.tuples_processed() - tuples_before);
+    secs.push_back(s);
+    tps.push_back(s > 0.0 ? tuples / s : 0.0);
+    if (repeats > 1) {
+      std::cout << "# repeat " << (i + 1) << "/" << repeats << ": " << s
+                << " s, " << tps.back() << " tuples/s\n";
+    }
+  }
+  if (repeats == 1) return;
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+  };
+  const double tps_median = median(tps);
+  const auto [tps_min, tps_max] = std::minmax_element(tps.begin(), tps.end());
+  json.AddScalar("bench_repeats", static_cast<double>(repeats));
+  json.AddScalar("tuples_per_sec_median", tps_median);
+  json.AddScalar("tuples_per_sec_spread",
+                 tps_median > 0.0 ? (*tps_max - *tps_min) / tps_median : 0.0);
+  json.AddScalar("wall_seconds_median", median(secs));
 }
 
 namespace {
@@ -213,6 +259,7 @@ JsonReporter::JsonReporter(std::string figure, std::string title,
   base_rendezvous_caps_ = sched.rendezvous_caps;
   base_equivalent_rounds_ = sched.equivalent_rounds;
   base_hist_ = stats::Tracer::Global().AggregateHistograms();
+  base_allocs_ = stats::ReadAllocCounts();
 }
 
 stats::MessagePlaneSummary JsonReporter::PlaneDelta() const {
@@ -250,14 +297,31 @@ stats::MessagePlaneSummary JsonReporter::PlaneDelta() const {
       hist.stall_ns.DiffFrom(base_hist_.stall_ns);
   s.stall_wall_seconds = static_cast<double>(stall.sum()) / 1e9;
   s.stall_p99_us = stall.Percentile(99) / 1000;
+  const stats::AllocCounts allocs = stats::ReadAllocCounts();
+  s.alloc_tuple = allocs.tuple() - base_allocs_.tuple();
+  s.alloc_residual = allocs.residual() - base_allocs_.residual();
+  s.alloc_message = allocs.message() - base_allocs_.message();
+  s.alloc_other = allocs.other() - base_allocs_.other();
+  s.alloc_pool_capacity =
+      allocs.pool_capacity() - base_allocs_.pool_capacity();
   return s;
+}
+
+void JsonReporter::UpsertChart(Chart&& chart) {
+  for (Chart& existing : charts_) {
+    if (existing.title == chart.title) {
+      existing = std::move(chart);
+      return;
+    }
+  }
+  charts_.push_back(std::move(chart));
 }
 
 void JsonReporter::AddChart(const std::string& title,
                             const std::string& x_label,
                             std::vector<double> xs,
                             std::vector<stats::Series> series) {
-  charts_.push_back(Chart{title, x_label, std::move(xs), std::move(series)});
+  UpsertChart(Chart{title, x_label, std::move(xs), std::move(series)});
 }
 
 void JsonReporter::AddChart(const stats::TableReporter& table) {
@@ -288,7 +352,7 @@ void JsonReporter::AddRankedChart(
     }
     chart.series.push_back(std::move(s));
   }
-  charts_.push_back(std::move(chart));
+  UpsertChart(std::move(chart));
 }
 
 void JsonReporter::AddScalar(const std::string& name, double value) {
@@ -303,6 +367,16 @@ void JsonReporter::AddScalar(const std::string& name, double value) {
 
 void JsonReporter::PrintMessagePlane(std::ostream& os) const {
   stats::PrintMessagePlaneSummary(os, PlaneDelta());
+}
+
+void JsonReporter::SetSteadyStateAllocs(const stats::AllocCounts& begin,
+                                        const stats::AllocCounts& end,
+                                        uint64_t window_tuples) {
+  if (window_tuples == 0) return;
+  for (int i = 0; i < stats::kNumAllocPlanes; ++i) {
+    steady_allocs_delta_.counts[i] = end.counts[i] - begin.counts[i];
+  }
+  steady_allocs_tuples_ = window_tuples;
 }
 
 void JsonReporter::AddSpeedup(const std::string& name,
@@ -380,21 +454,69 @@ std::string JsonReporter::Write() const {
                            : 0.0);
   // Message-plane scalars: every delivered message is one pooled-envelope
   // acquire, and envelope allocations only happen while the in-flight
-  // high-water mark still grows — allocs_per_tuple near zero is the
-  // zero-allocation steady state of the typed message plane. The interner
-  // scalars track the key-id plane: hit rate near one means steady-state
-  // key construction neither allocates nor hashes beyond the dictionary
-  // probe; the mailbox scalars track cross-shard batching (sharded runs).
+  // high-water mark still grows. "allocs_per_tuple" is the data-plane heap
+  // allocation count (tuple + residual + message planes, alloc_tracker.h)
+  // per streamed tuple — the zero-alloc rewrite hot path targets <= 1; the
+  // per-plane breakdown makes a regression locatable. Capacity growth of
+  // amortized structures (slab doubling, table rehashes) is charged to the
+  // pool-capacity plane and reported as its own scalar: it is O(log n) per
+  // structure by construction, so folding it into the per-record headline
+  // would just measure how many structures doubled inside the window, not
+  // whether a record started costing heap again. When the figure
+  // marked a steady-state window (SetSteadyStateAllocs), the per-plane
+  // scalars cover that window and the whole-run average survives as
+  // allocs_per_tuple_lifetime; otherwise they cover the whole run. The old
+  // envelope-only metric survives as envelope_allocs_per_tuple. The
+  // interner scalars track the key-id plane: hit rate near one means
+  // steady-state key construction neither allocates nor hashes beyond the
+  // dictionary probe; the mailbox scalars track cross-shard batching
+  // (sharded runs).
   const stats::MessagePlaneSummary plane = PlaneDelta();
   const double messages = static_cast<double>(plane.messages);
   const double envelope_allocs = static_cast<double>(plane.envelope_allocs);
+  const double tuples = static_cast<double>(tuples_processed_);
+  auto per_tuple = [&](uint64_t count) {
+    return tuples_processed_ > 0 ? static_cast<double>(count) / tuples : 0.0;
+  };
+  const bool steady = steady_allocs_tuples_ > 0;
+  auto alloc_per_tuple = [&](uint64_t window_count, uint64_t run_count) {
+    if (steady) {
+      return static_cast<double>(window_count) /
+             static_cast<double>(steady_allocs_tuples_);
+    }
+    return per_tuple(run_count);
+  };
+  const uint64_t run_data_plane =
+      plane.alloc_tuple + plane.alloc_residual + plane.alloc_message;
   os << ", \"messages_per_sec\": ";
   AppendJsonNumber(os, wall_seconds > 0.0 ? messages / wall_seconds : 0.0);
   os << ", \"allocs_per_tuple\": ";
-  AppendJsonNumber(os, tuples_processed_ > 0
-                           ? envelope_allocs /
-                                 static_cast<double>(tuples_processed_)
-                           : 0.0);
+  AppendJsonNumber(os, alloc_per_tuple(steady_allocs_delta_.data_plane(),
+                                       run_data_plane));
+  os << ", \"allocs_per_tuple_tuple\": ";
+  AppendJsonNumber(
+      os, alloc_per_tuple(steady_allocs_delta_.tuple(), plane.alloc_tuple));
+  os << ", \"allocs_per_tuple_residual\": ";
+  AppendJsonNumber(os, alloc_per_tuple(steady_allocs_delta_.residual(),
+                                       plane.alloc_residual));
+  os << ", \"allocs_per_tuple_message\": ";
+  AppendJsonNumber(os, alloc_per_tuple(steady_allocs_delta_.message(),
+                                       plane.alloc_message));
+  os << ", \"allocs_per_tuple_other\": ";
+  AppendJsonNumber(
+      os, alloc_per_tuple(steady_allocs_delta_.other(), plane.alloc_other));
+  os << ", \"allocs_per_tuple_pool_capacity\": ";
+  AppendJsonNumber(os, alloc_per_tuple(steady_allocs_delta_.pool_capacity(),
+                                       plane.alloc_pool_capacity));
+  os << ", \"allocs_per_tuple_lifetime\": ";
+  AppendJsonNumber(os, per_tuple(run_data_plane));
+  if (steady) {
+    os << ", \"alloc_steady_window_tuples\": ";
+    AppendJsonNumber(os, static_cast<double>(steady_allocs_tuples_));
+  }
+  os << ", \"envelope_allocs_per_tuple\": ";
+  AppendJsonNumber(os, tuples_processed_ > 0 ? envelope_allocs / tuples
+                                             : 0.0);
   const double interns =
       static_cast<double>(plane.interner_hits + plane.interner_misses);
   os << ", \"interned_keys\": ";

@@ -3,10 +3,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "stats/alloc_tracker.h"
 #include "stats/distribution.h"
 #include "stats/reporter.h"
 #include "stats/trace.h"
@@ -50,6 +52,23 @@ stats::RankedDistribution Ranked(const std::vector<uint64_t>& loads);
 /// fresh path never silently drops the results.
 std::string BenchOutDir();
 
+/// Number of times each figure body runs: $RJOIN_BENCH_REPEAT clamped to
+/// [1, 32], default 1. Repeats quantify run-to-run noise on a machine —
+/// one fast run is a point estimate, the median of N is a measurement.
+size_t BenchRepeat();
+
+class JsonReporter;
+
+/// Runs `body` BenchRepeat() times, timing each repeat and snapshotting the
+/// reporter's tuple counter around it. With N > 1, records the scalars
+/// "bench_repeats", "tuples_per_sec_median", "tuples_per_sec_spread"
+/// ((max - min) / median), and "wall_seconds_median" on `json`. Charts and
+/// named scalars the body re-adds overwrite their previous repeat's values
+/// (see JsonReporter::UpsertChart), so the emitted JSON has one copy of
+/// everything regardless of N. Repeats re-run the same seeds: virtual-cost
+/// results are identical, only wall-clock timing varies.
+void RunRepeated(JsonReporter& json, const std::function<void()>& body);
+
 /// Machine-readable bench output: collects the figure's charts and writes
 /// them as `BENCH_<figure>.json` so the perf trajectory across PRs can be
 /// diffed and plotted without scraping the printed tables.
@@ -62,6 +81,13 @@ std::string BenchOutDir();
 ///                "series": [{"label", "values": [...]}]}]}
 class JsonReporter {
  public:
+  struct Chart {
+    std::string title;
+    std::string x_label;
+    std::vector<double> xs;
+    std::vector<stats::Series> series;
+  };
+
   /// `figure` is the file slug (BENCH_<figure>.json); `title` the printed
   /// figure name; `cfg` the base experiment setup recorded under "config".
   JsonReporter(std::string figure, std::string title,
@@ -104,12 +130,29 @@ class JsonReporter {
   /// throughput scalar that tracks speedups across PRs.
   void AddTuplesProcessed(uint64_t tuples) { tuples_processed_ += tuples; }
 
+  /// Restricts the allocs_per_tuple* scalars to a steady-state window:
+  /// per-plane counter snapshots taken `window_tuples` apart (e.g. the
+  /// last two experiment checkpoints). Without this, the scalars average
+  /// the cold ramp — pool/dictionary capacity growth from process start —
+  /// into every tuple, which is not what the <= 1 steady-state target
+  /// measures. The whole-run average is still emitted as
+  /// "allocs_per_tuple_lifetime". Under RJOIN_BENCH_REPEAT the last
+  /// repeat's window wins (same rule as UpsertChart).
+  void SetSteadyStateAllocs(const stats::AllocCounts& begin,
+                            const stats::AllocCounts& end,
+                            uint64_t window_tuples);
+
+  /// Running tuple total (RunRepeated snapshots it around each repeat).
+  uint64_t tuples_processed() const { return tuples_processed_; }
+
   /// Writes BENCH_<figure>.json into $RJOIN_BENCH_OUT (default: the working
   /// directory) and returns the path. Logs the path to stdout. Every file
   /// carries "wall_seconds" (construction to Write), "tuples_processed",
   /// "tuples_per_sec", "messages_per_sec" (envelopes dispatched through the
-  /// message plane per wall second), "allocs_per_tuple" (envelope heap
-  /// allocations per tuple — near zero once the pools reach their
+  /// message plane per wall second), "allocs_per_tuple" (data-plane heap
+  /// allocations — tuple + residual + message planes — per streamed tuple,
+  /// with an allocs_per_tuple_<plane> breakdown plus the envelope-only
+  /// "envelope_allocs_per_tuple"; near zero once the pools reach their
   /// steady-state high-water mark), "hardware_threads", and the
   /// observability scalars (answer_latency_p50/p95/p99 in virtual ticks,
   /// routing/rewrite percentiles, the wall-clock stall breakdown) so the
@@ -122,16 +165,14 @@ class JsonReporter {
   std::string Write() const;
 
  private:
-  struct Chart {
-    std::string title;
-    std::string x_label;
-    std::vector<double> xs;
-    std::vector<stats::Series> series;
-  };
-
   /// Message-plane counters (envelope pools, key interner, cross-shard
   /// mailboxes) measured since construction.
   stats::MessagePlaneSummary PlaneDelta() const;
+
+  /// Appends `chart`, replacing an existing chart with the same title —
+  /// RunRepeated re-runs a figure body, and the last repeat wins instead of
+  /// duplicating every chart N times.
+  void UpsertChart(Chart&& chart);
 
   std::string figure_;
   std::string title_;
@@ -151,6 +192,13 @@ class JsonReporter {
   /// Observability histograms at construction; Write() reports bucket-count
   /// deltas, so percentiles cover only this figure's samples.
   stats::Tracer::HistogramSet base_hist_;
+  /// Per-plane heap-allocation counters at construction (alloc_tracker.h);
+  /// Write() reports deltas as allocs_per_tuple_<plane> scalars.
+  stats::AllocCounts base_allocs_;
+  /// Steady-state alloc window (SetSteadyStateAllocs); tuples == 0 means
+  /// unset and Write() falls back to the whole-run delta.
+  stats::AllocCounts steady_allocs_delta_;
+  uint64_t steady_allocs_tuples_ = 0;
   uint64_t tuples_processed_ = 0;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<Chart> charts_;

@@ -75,67 +75,70 @@ int main() {
   bench::JsonReporter json("runtime_scaling",
                            "Runtime scaling: serial vs sharded workers", cfg);
 
-  std::vector<Row> rows;
-  // kForceSerial, not 0: the baseline must stay on the legacy serial
-  // simulator even when RJOIN_SHARDS is set (as in the sharded CI job).
-  rows.push_back(RunConfig(cfg, workload::ExperimentConfig::kForceSerial,
-                           "serial simulator"));
-  json.AddTuplesProcessed(cfg.num_tuples);
-  for (uint32_t s : {1u, 2u, 4u, 8u}) {
-    rows.push_back(RunConfig(cfg, s, "shards=" + std::to_string(s)));
+  bench::RunRepeated(json, [&] {
+    std::vector<Row> rows;
+    // kForceSerial, not 0: the baseline must stay on the legacy serial
+    // simulator even when RJOIN_SHARDS is set (as in the sharded CI job).
+    rows.push_back(RunConfig(cfg, workload::ExperimentConfig::kForceSerial,
+                             "serial simulator"));
     json.AddTuplesProcessed(cfg.num_tuples);
-  }
+    for (uint32_t s : {1u, 2u, 4u, 8u}) {
+      rows.push_back(RunConfig(cfg, s, "shards=" + std::to_string(s)));
+      json.AddTuplesProcessed(cfg.num_tuples);
+    }
 
-  // Sharded runs execute one deterministic schedule: any divergence between
-  // S values is a runtime bug, so check it on every bench run.
-  for (size_t i = 2; i < rows.size(); ++i) {
-    RJOIN_CHECK(rows[i].answers == rows[1].answers &&
-                rows[i].total_messages == rows[1].total_messages)
-        << rows[i].label << " diverged from shards=1: answers "
-        << rows[i].answers << " vs " << rows[1].answers << ", messages "
-        << rows[i].total_messages << " vs " << rows[1].total_messages;
-  }
+    // Sharded runs execute one deterministic schedule: any divergence
+    // between S values is a runtime bug, so check it on every bench run.
+    for (size_t i = 2; i < rows.size(); ++i) {
+      RJOIN_CHECK(rows[i].answers == rows[1].answers &&
+                  rows[i].total_messages == rows[1].total_messages)
+          << rows[i].label << " diverged from shards=1: answers "
+          << rows[i].answers << " vs " << rows[1].answers << ", messages "
+          << rows[i].total_messages << " vs " << rows[1].total_messages;
+    }
 
-  const double base_tps = rows[1].tuples_per_sec;  // shards=1 runtime
-  std::vector<double> xs;
-  stats::Series tps{"tuples_per_sec", {}}, wall{"wall_seconds", {}},
-      speedup{"speedup_vs_s1", {}};
-  printf("%-18s %12s %14s %12s %12s %14s %10s %9s\n", "config", "wall s",
-         "tuples/s", "speedup", "answers", "messages", "stalls", "overlap");
-  for (const Row& r : rows) {
-    const double sp = base_tps > 0 ? r.tuples_per_sec / base_tps : 0;
-    xs.push_back(static_cast<double>(r.shards));
-    tps.values.push_back(r.tuples_per_sec);
-    wall.values.push_back(r.wall_seconds);
-    speedup.values.push_back(sp);
-    printf("%-18s %12.3f %14.0f %11.2fx %12llu %14llu %10llu %9.3f\n",
-           r.label.c_str(), r.wall_seconds, r.tuples_per_sec, sp,
-           static_cast<unsigned long long>(r.answers),
-           static_cast<unsigned long long>(r.total_messages),
-           static_cast<unsigned long long>(r.watermark_stalls),
-           r.overlap_ratio);
-    json.AddScalar(r.label + " tuples_per_sec", r.tuples_per_sec);
-  }
-  // Scheduler-health trajectory scalars, from the widest sharded run: the
-  // overlap ratio is the fraction of the old lockstep barrier schedule the
-  // watermark model eliminated (deterministic); stalls count worker park
-  // episodes (wall-clock-dependent, perf signal only).
-  const Row& widest = rows.back();
-  json.AddScalar("watermark_stalls", static_cast<double>(widest.watermark_stalls));
-  json.AddScalar("overlap_ratio", widest.overlap_ratio);
-  json.AddChart("Streaming throughput vs worker shards",
-                "shards (0 = serial)", xs, {tps, wall, speedup});
-  json.AddScalar("speedup_s2_vs_s1", speedup.values[2]);
-  json.AddScalar("speedup_s4_vs_s1", speedup.values[3]);
-  json.AddScalar("speedup_s8_vs_s1", speedup.values[4]);
-  // The trajectory scalar: best sharded throughput over the legacy serial
-  // simulator (rows[0]); bounded by hardware_threads on small machines.
-  double best_sharded_tps = 0;
-  for (size_t i = 1; i < rows.size(); ++i) {
-    best_sharded_tps = std::max(best_sharded_tps, rows[i].tuples_per_sec);
-  }
-  json.AddSpeedup("speedup_sharded_vs_serial", rows[0].tuples_per_sec,
-                  best_sharded_tps);
+    const double base_tps = rows[1].tuples_per_sec;  // shards=1 runtime
+    std::vector<double> xs;
+    stats::Series tps{"tuples_per_sec", {}}, wall{"wall_seconds", {}},
+        speedup{"speedup_vs_s1", {}};
+    printf("%-18s %12s %14s %12s %12s %14s %10s %9s\n", "config", "wall s",
+           "tuples/s", "speedup", "answers", "messages", "stalls", "overlap");
+    for (const Row& r : rows) {
+      const double sp = base_tps > 0 ? r.tuples_per_sec / base_tps : 0;
+      xs.push_back(static_cast<double>(r.shards));
+      tps.values.push_back(r.tuples_per_sec);
+      wall.values.push_back(r.wall_seconds);
+      speedup.values.push_back(sp);
+      printf("%-18s %12.3f %14.0f %11.2fx %12llu %14llu %10llu %9.3f\n",
+             r.label.c_str(), r.wall_seconds, r.tuples_per_sec, sp,
+             static_cast<unsigned long long>(r.answers),
+             static_cast<unsigned long long>(r.total_messages),
+             static_cast<unsigned long long>(r.watermark_stalls),
+             r.overlap_ratio);
+      json.AddScalar(r.label + " tuples_per_sec", r.tuples_per_sec);
+    }
+    // Scheduler-health trajectory scalars, from the widest sharded run: the
+    // overlap ratio is the fraction of the old lockstep barrier schedule the
+    // watermark model eliminated (deterministic); stalls count worker park
+    // episodes (wall-clock-dependent, perf signal only).
+    const Row& widest = rows.back();
+    json.AddScalar("watermark_stalls",
+                   static_cast<double>(widest.watermark_stalls));
+    json.AddScalar("overlap_ratio", widest.overlap_ratio);
+    json.AddChart("Streaming throughput vs worker shards",
+                  "shards (0 = serial)", xs, {tps, wall, speedup});
+    json.AddScalar("speedup_s2_vs_s1", speedup.values[2]);
+    json.AddScalar("speedup_s4_vs_s1", speedup.values[3]);
+    json.AddScalar("speedup_s8_vs_s1", speedup.values[4]);
+    // The trajectory scalar: best sharded throughput over the legacy serial
+    // simulator (rows[0]); bounded by hardware_threads on small machines.
+    double best_sharded_tps = 0;
+    for (size_t i = 1; i < rows.size(); ++i) {
+      best_sharded_tps = std::max(best_sharded_tps, rows[i].tuples_per_sec);
+    }
+    json.AddSpeedup("speedup_sharded_vs_serial", rows[0].tuples_per_sec,
+                    best_sharded_tps);
+  });
   json.Write();
 
   json.PrintMessagePlane(std::cout);

@@ -8,6 +8,7 @@
 #include <iterator>
 #include <map>
 
+#include "stats/alloc_tracker.h"
 #include "stats/trace.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -16,16 +17,95 @@ namespace rjoin::core {
 
 namespace {
 
-/// Reusable per-thread scratch for projection rendering: the DISTINCT
-/// trigger rule fingerprints a projection per matching tuple, which must
-/// not allocate on the delivery hot path.
-std::string& ProjectionBuffer() {
-  static thread_local std::string buf;
+constexpr uint32_t kNil = SlabPool<StoredQuery>::kNil;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/// DISTINCT projection fingerprint of Section 4, over interned value ids:
+/// vid equality is value equality (injective interner) and vids are
+/// canonical across shard counts, so the fingerprint is deterministic and
+/// needs no string rendering. Shared by the single-tuple trigger and the
+/// batched probe kernel — both sides of the rule must hash identically.
+uint64_t ProjectionFingerprint(const InputQuery& q, int rel,
+                               const TupleRef& t) {
+  uint64_t h = kFnvOffset;
+  const ValueId* cols = t.rec().columns();
+  for (int attr : q.projection_attrs(rel)) {
+    h ^= static_cast<uint64_t>(cols[attr]) + 1;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Owner-side DISTINCT row fingerprint: FNV over the flat answer row's
+/// value ids (replaces the seed's per-row key string).
+uint64_t AnswerRowFingerprint(const AnswerDeliver& msg) {
+  uint64_t h = kFnvOffset;
+  for (uint16_t i = 0; i < msg.row_len; ++i) {
+    h ^= static_cast<uint64_t>(msg.row[i]) + 1;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Materializes the flat answer row at the user-facing sink — the one
+/// deliberate allocation left on the answer path, tagged kOther (answers
+/// are output, not rewrite-plane work; see docs/perf.md).
+std::vector<sql::Value> MaterializeRow(const AnswerDeliver& msg) {
+  stats::AllocScope plane(stats::AllocPlane::kOther);
+  std::vector<sql::Value> row;
+  row.reserve(msg.row_len);
+  ValueInterner& vi = ValueInterner::Global();
+  for (uint16_t i = 0; i < msg.row_len; ++i) {
+    row.push_back(vi.value(msg.row[i]));
+  }
+  return row;
+}
+
+/// Reusable per-thread match buffer of the batched probe kernel (phase 1
+/// collects pointers to matched refs here; phase 2 consumes them). The
+/// pointers address chunk/span storage that phase 2 never mutates.
+std::vector<const TupleRef*>& MatchBuffer() {
+  static thread_local std::vector<const TupleRef*> buf;
   buf.clear();
   return buf;
 }
 
-constexpr uint32_t kNil = SlabPool<StoredQuery>::kNil;
+/// Reusable per-thread span list: the value-bucket probe describes its
+/// chunk chain as (data, count) runs so the kernel reads chunk storage in
+/// place — no gather, no refcount traffic.
+std::vector<TupleSpan>& SpanListBuffer() {
+  static thread_local std::vector<TupleSpan> buf;
+  buf.clear();
+  return buf;
+}
+
+/// Reusable per-thread span buffer: the ALTT probe gathers its non-expired
+/// chain entries into contiguous storage for the batched kernel. Cleared
+/// after use so the handles do not pin records between probes.
+std::vector<TupleRef>& AlttSpanBuffer() {
+  static thread_local std::vector<TupleRef> buf;
+  buf.clear();
+  return buf;
+}
+
+/// Reusable per-thread candidate buffer for IndexResidual (one rewrite hop
+/// enumerates its indexing candidates allocation-free once warm).
+std::vector<KeyId>& CandidateBuffer() {
+  static thread_local std::vector<KeyId> buf;
+  return buf;
+}
+
+/// Reusable per-thread RIC gather scratch (rates / responsible nodes).
+std::vector<uint64_t>& RicRateBuffer() {
+  static thread_local std::vector<uint64_t> buf;
+  return buf;
+}
+std::vector<dht::NodeIndex>& RicNodeBuffer() {
+  static thread_local std::vector<dht::NodeIndex> buf;
+  return buf;
+}
 
 }  // namespace
 
@@ -206,9 +286,9 @@ StatusOr<uint64_t> RJoinEngine::SubmitQuerySql(dht::NodeIndex owner,
   return SubmitQuery(owner, std::move(*parsed));
 }
 
-StatusOr<sql::TuplePtr> RJoinEngine::PublishTuple(
+StatusOr<TupleRef> RJoinEngine::PublishTuple(
     dht::NodeIndex publisher, const std::string& relation,
-    std::vector<sql::Value> values) {
+    const std::vector<sql::Value>& values) {
   const sql::Schema* schema = catalog_->Find(relation);
   if (schema == nullptr) {
     return Status::NotFound("unknown relation " + relation);
@@ -216,16 +296,18 @@ StatusOr<sql::TuplePtr> RJoinEngine::PublishTuple(
   if (schema->arity() != values.size()) {
     return Status::InvalidArgument("tuple arity mismatch for " + relation);
   }
-  sql::TuplePtr t =
-      sql::MakeTuple(relation, std::move(values), Now(),
-                     ++global_seq_, next_tuple_id_++);
-  if (config_.keep_history) history_.push_back(t);
+  // One flat pooled record per published tuple; the 2k indexed copies below
+  // share it through 4-byte handles.
+  TupleRef t = TuplePool::Global().Make(relation, values, Now(),
+                                        ++global_seq_, next_tuple_id_++);
+  if (config_.keep_history) history_.push_back(t.Materialize());
 
   // Procedure 1: index the tuple under 2k keys — one attribute-level and
   // one value-level key per attribute — with one multiSend. Keys are
   // interned once here; every later layer carries the u32 id and routes on
-  // the entry's cached ring identifier.
-  std::vector<std::pair<dht::NodeId, MessageTask>> batch;
+  // the entry's cached ring identifier. The emission buffer is a reused
+  // member: MultiSend drains it in place, keeping its capacity.
+  std::vector<std::pair<dht::NodeId, MessageTask>>& batch = publish_batch_;
   batch.reserve(2 * schema->arity());
   // Under attribute-level replication ([18]), each tuple's attribute-level
   // copy goes to exactly one shard of the replica set.
@@ -245,18 +327,18 @@ StatusOr<sql::TuplePtr> RJoinEngine::PublishTuple(
     TuplePublish value_msg;
     value_msg.tuple = t;
     value_msg.key = interner_->InternValue(relation, schema->attributes()[i],
-                                           t->values[i]);
+                                           values[i]);
     value_msg.publisher = publisher;
     const dht::NodeId& value_id = interner_->ring_id(value_msg.key);
     batch.emplace_back(value_id, MessageTask(std::move(value_msg)));
   }
-  transport_->MultiSend(publisher, std::move(batch));
+  transport_->MultiSend(publisher, &batch);
   return t;
 }
 
-StatusOr<std::vector<sql::TuplePtr>> RJoinEngine::PublishBatch(
+StatusOr<std::vector<TupleRef>> RJoinEngine::PublishBatch(
     dht::NodeIndex publisher, const std::string& relation,
-    std::vector<std::vector<sql::Value>> rows) {
+    const std::vector<std::vector<sql::Value>>& rows) {
   const sql::Schema* schema = catalog_->Find(relation);
   if (schema == nullptr) {
     return Status::NotFound("unknown relation " + relation);
@@ -295,15 +377,15 @@ StatusOr<std::vector<sql::TuplePtr>> RJoinEngine::PublishBatch(
     return targets;
   };
 
-  std::vector<sql::TuplePtr> published;
+  std::vector<TupleRef> published;
   published.reserve(rows.size());
-  std::vector<std::pair<dht::NodeId, MessageTask>> batch;
+  std::vector<std::pair<dht::NodeId, MessageTask>>& batch = publish_batch_;
   batch.reserve(2 * k * rows.size());
 
-  for (auto& row : rows) {
-    sql::TuplePtr t = sql::MakeTuple(relation, std::move(row), now,
-                                     ++global_seq_, next_tuple_id_++);
-    if (config_.keep_history) history_.push_back(t);
+  for (const auto& row : rows) {
+    TupleRef t = TuplePool::Global().Make(relation, row, now, ++global_seq_,
+                                          next_tuple_id_++);
+    if (config_.keep_history) history_.push_back(t.Materialize());
     const uint32_t shard =
         replication > 1 ? static_cast<uint32_t>(t->seq_no % replication) : 0;
     const std::vector<AttrTarget>& targets = shard_targets(shard);
@@ -317,14 +399,14 @@ StatusOr<std::vector<sql::TuplePtr>> RJoinEngine::PublishBatch(
       TuplePublish value_msg;
       value_msg.tuple = t;
       value_msg.key = interner_->InternValue(relation, schema->attributes()[i],
-                                             t->values[i]);
+                                             row[i]);
       value_msg.publisher = publisher;
       const dht::NodeId& value_id = interner_->ring_id(value_msg.key);
       batch.emplace_back(value_id, MessageTask(std::move(value_msg)));
     }
     published.push_back(std::move(t));
   }
-  transport_->MultiSend(publisher, std::move(batch));
+  transport_->MultiSend(publisher, &batch);
   return published;
 }
 
@@ -640,7 +722,7 @@ void RJoinEngine::EmitHandoff(dht::NodeIndex from, dht::NodeIndex to,
     while (bucket->head != kNil) {
       StoredQuery& sq = st.query_pool.at(bucket->head).value;
       if (sq.residual.origin()->spec().distinct) {
-        st.distinct_fingerprints.erase(StoredFingerprint(key, sq.residual));
+        st.distinct_fingerprints.Erase(StoredFingerprint(key, sq.residual));
       }
       Metrics().RemoveStore(from);
       batch->queries.push_back(HandoffQuery{key, std::move(sq)});
@@ -650,12 +732,12 @@ void RJoinEngine::EmitHandoff(dht::NodeIndex from, dht::NodeIndex to,
 
   for (KeyId key :
        KeysInRangeSorted(st.tuples, *interner_, range.low, range.high)) {
-    std::vector<sql::TuplePtr>* bucket = st.tuples.Find(key);
-    for (sql::TuplePtr& t : *bucket) {
+    TupleBucket* bucket = st.tuples.Find(key);
+    TupleBucketForEach(st.tuple_chunks, *bucket, [&](TupleRef& t) {
       Metrics().RemoveStore(from);
       batch->tuples.push_back(HandoffTuple{key, std::move(t)});
-    }
-    bucket->clear();
+    });
+    TupleBucketClear(st.tuple_chunks, *bucket);
   }
 
   const uint64_t now = Now();
@@ -703,12 +785,12 @@ void RJoinEngine::InstallQuery(dht::NodeIndex self, KeyId key,
   NodeState& st = state(self);
   Metrics().AddQpl(self);
   const bool distinct = sq.residual.origin()->spec().distinct;
-  std::string fp;
+  uint64_t fp = 0;
   if (distinct) {
     fp = StoredFingerprint(key, sq.residual);
     // An identical rewritten query was already indexed at the new owner
     // after the responsibility change: set semantics keep one copy.
-    if (st.distinct_fingerprints.contains(fp)) return;
+    if (st.distinct_fingerprints.Contains(fp)) return;
   }
 
   // Probe the destination's pre-handoff state, exactly as OnEval probes on
@@ -719,7 +801,7 @@ void RJoinEngine::InstallQuery(dht::NodeIndex self, KeyId key,
   ProbeStoredState(self, key, sq);
 
   if (IsExpired(sq.residual)) return;  // Window closed while in flight.
-  if (distinct) st.distinct_fingerprints.insert(std::move(fp));
+  if (distinct) st.distinct_fingerprints.Insert(fp);
   AppendStoredQuery(st, st.queries[key], std::move(sq));
   Metrics().AddStore(self);
 }
@@ -782,7 +864,7 @@ void RJoinEngine::OnStateHandoff(dht::NodeIndex self, StateHandoff& msg) {
   // entries: visit at most *budget pre-existing stored queries; drops
   // shrink the budget so later moved tuples stay inside the pre-existing
   // prefix.
-  auto trigger_preexisting = [&](KeyId key, const sql::TuplePtr& tuple) {
+  auto trigger_preexisting = [&](KeyId key, const TupleRef& tuple) {
     uint32_t* budget = pre_count_of(key);
     BucketList* bucket = st.queries.Find(key);
     if (budget == nullptr || bucket == nullptr) return;
@@ -793,7 +875,7 @@ void RJoinEngine::OnStateHandoff(dht::NodeIndex self, StateHandoff& msg) {
       --remaining;
       StoredQuery& sq = st.query_pool.at(cur).value;
       const uint32_t next = st.query_pool.at(cur).next;
-      if (WindowClosedByTuple(sq.residual, *tuple)) {
+      if (WindowClosedByTuple(sq.residual, tuple)) {
         // A dropped pre-existing entry shrinks the prefix later moved
         // tuples may visit (the offset keeps the slot >= 1).
         DropStoredQuery(self, key, *bucket, prev, cur);
@@ -826,7 +908,11 @@ void RJoinEngine::OnStateHandoff(dht::NodeIndex self, StateHandoff& msg) {
     }
     Metrics().AddQpl(self);
     trigger_preexisting(ht.key, ht.tuple);
-    st.tuples[ht.key].push_back(std::move(ht.tuple));
+    {
+      stats::AllocScope plane(stats::AllocPlane::kTuple);
+      TupleBucketAppend(st.tuple_chunks, st.tuples[ht.key],
+                        std::move(ht.tuple));
+    }
     Metrics().AddStore(self);
   }
 
@@ -841,6 +927,7 @@ void RJoinEngine::OnStateHandoff(dht::NodeIndex self, StateHandoff& msg) {
     if (ha.entry.expires < now) continue;  // Delta elapsed in flight.
     Metrics().AddQpl(self);
     trigger_preexisting(ha.key, ha.entry.tuple);
+    stats::AllocScope plane(stats::AllocPlane::kTuple);
     BucketList& dq = st.altt[ha.key];
     const uint32_t idx = BucketAppend(st.altt_pool, dq);
     st.altt_pool.at(idx).value = std::move(ha.entry);
@@ -899,12 +986,12 @@ bool RJoinEngine::IsExpired(const Residual& r) const {
 }
 
 bool RJoinEngine::WindowClosedByTuple(const Residual& r,
-                                      const sql::Tuple& t) const {
+                                      const TupleRef& t) const {
   if (r.IsInputQuery()) return false;
   const sql::WindowSpec& w = r.origin()->spec().window;
   if (!w.use_windows || w.size == 0) return false;
   const uint64_t pos =
-      w.unit == sql::WindowSpec::Unit::kTime ? t.pub_time : t.seq_no;
+      w.unit == sql::WindowSpec::Unit::kTime ? t->pub_time : t->seq_no;
   if (pos <= r.window_min()) return false;  // Older tuple: window still open.
   if (w.kind == sql::WindowSpec::Kind::kSliding) {
     return pos - r.window_min() + 1 > w.size;
@@ -912,11 +999,11 @@ bool RJoinEngine::WindowClosedByTuple(const Residual& r,
   return pos / w.size > r.window_min() / w.size;
 }
 
-std::string RJoinEngine::StoredFingerprint(KeyId key, const Residual& r) {
-  std::string fp(sizeof(KeyId), '\0');
-  std::memcpy(fp.data(), &key, sizeof(key));
-  fp += r.ContentFingerprint();
-  return fp;
+uint64_t RJoinEngine::StoredFingerprint(KeyId key, const Residual& r) {
+  uint64_t h = r.ContentFingerprint64();
+  h ^= static_cast<uint64_t>(key) + 1;
+  h *= kFnvPrime;
+  return h;
 }
 
 void RJoinEngine::DropStoredQuery(dht::NodeIndex self, KeyId key,
@@ -925,7 +1012,7 @@ void RJoinEngine::DropStoredQuery(dht::NodeIndex self, KeyId key,
   NodeState& st = state(self);
   StoredQuery& sq = st.query_pool.at(idx).value;
   if (sq.residual.origin()->spec().distinct) {
-    st.distinct_fingerprints.erase(StoredFingerprint(key, sq.residual));
+    st.distinct_fingerprints.Erase(StoredFingerprint(key, sq.residual));
   }
   Metrics().RemoveStore(self);
   BucketUnlink(st.query_pool, bucket, prev_idx, idx);
@@ -933,6 +1020,7 @@ void RJoinEngine::DropStoredQuery(dht::NodeIndex self, KeyId key,
 
 StoredQuery& RJoinEngine::AppendStoredQuery(NodeState& st, BucketList& bucket,
                                             StoredQuery&& sq) {
+  stats::AllocScope plane(stats::AllocPlane::kResidual);
   const uint32_t idx = BucketAppend(st.query_pool, bucket);
   auto& node = st.query_pool.at(idx);
   node.value = std::move(sq);
@@ -943,29 +1031,124 @@ void RJoinEngine::ProbeStoredState(dht::NodeIndex self, KeyId key,
                                    StoredQuery& sq) {
   NodeState& st = state(self);
   if (interner_->level(key) == Level::kValue) {
-    if (const auto* bucket = st.tuples.Find(key)) {
-      // Probing only emits async messages; the tuple list is stable.
-      for (const sql::TuplePtr& t : *bucket) {
-        TryTrigger(self, sq, key, t);
+    if (const TupleBucket* bucket = st.tuples.Find(key)) {
+      // Probing only emits async messages; the chunk chain is stable, so
+      // the kernel reads it in place, one span per chunk.
+      std::vector<TupleSpan>& spans = SpanListBuffer();
+      for (uint32_t cur = bucket->head; cur != kNil;
+           cur = st.tuple_chunks.at(cur).next) {
+        const TupleChunk& chunk = st.tuple_chunks.at(cur).value;
+        spans.push_back(TupleSpan{chunk.refs, chunk.count});
       }
+      ProbeTupleSpans(self, key, sq, spans.data(),
+                      static_cast<uint32_t>(spans.size()));
+      spans.clear();
     }
   } else if (config_.enable_altt) {
     if (const BucketList* dq = st.altt.Find(key)) {
+      // Gather the non-expired chain into a reusable contiguous span, then
+      // run the same batched kernel the value bucket uses.
+      std::vector<TupleRef>& span = AlttSpanBuffer();
       const uint64_t now = Now();
       for (uint32_t cur = dq->head; cur != kNil;
            cur = st.altt_pool.at(cur).next) {
         const AlttEntry& e = st.altt_pool.at(cur).value;
         if (e.expires < now) continue;
-        TryTrigger(self, sq, key, e.tuple);
+        span.push_back(e.tuple);
       }
+      const TupleSpan whole{span.data(), static_cast<uint32_t>(span.size())};
+      ProbeTupleSpans(self, key, sq, &whole, 1);
+      span.clear();  // Drop the refs: the span must not pin records.
     }
   }
 }
 
-void RJoinEngine::TryTrigger(dht::NodeIndex self, StoredQuery& sq,
-                             KeyId key, const sql::TuplePtr& t) {
+void RJoinEngine::ProbeTupleSpans(dht::NodeIndex self, KeyId key,
+                                  StoredQuery& sq, const TupleSpan* spans,
+                                  uint32_t num_spans) {
+  while (num_spans > 0 && spans[0].count == 0) {
+    ++spans;
+    --num_spans;
+  }
+  if (num_spans == 0) return;
   Residual& r = sq.residual;
-  const int rel = r.origin()->RelIndex(t->relation);
+  const InputQuery& q = *r.origin();
+  // Every tuple under one index key belongs to one relation, so the FROM
+  // position and the temporal bounds are loop invariants of the spans.
+  const int rel = q.RelIndexOf(spans[0].data[0]->relation);
+  if (rel < 0 || r.IsBound(rel)) return;
+  const bool one_time = q.one_time();
+  const uint64_t ins_time = q.ins_time();
+
+  // Hoist the predicate program: original selections on `rel` plus join
+  // predicates whose other side is bound, each reduced to one (column,
+  // value-id) equality. Phase 1 below is then a tight u32-compare loop.
+  struct Pred {
+    int attr;
+    ValueId vid;
+  };
+  static thread_local std::vector<Pred> preds;
+  preds.clear();
+  for (const auto& sel : q.selections()) {
+    if (sel.rel == rel) preds.push_back(Pred{sel.attr, sel.value_id});
+  }
+  for (const auto& j : q.joins()) {
+    if (j.left_rel == rel && r.IsBound(j.right_rel)) {
+      preds.push_back(Pred{j.left_attr,
+                           r.BoundValueId(j.right_rel, j.right_attr)});
+    } else if (j.right_rel == rel && r.IsBound(j.left_rel)) {
+      preds.push_back(Pred{j.right_attr,
+                           r.BoundValueId(j.left_rel, j.left_attr)});
+    }
+  }
+
+  // Phase 1: pure evaluation over the spans — temporal check, window
+  // admission, predicate program — collecting matched refs. No sends, no
+  // mutation, no allocation (the match buffer is reused).
+  std::vector<const TupleRef*>& matches = MatchBuffer();
+  for (uint32_t s = 0; s < num_spans; ++s) {
+    const TupleRef* tuples = spans[s].data;
+    const uint32_t count = spans[s].count;
+    for (uint32_t i = 0; i < count; ++i) {
+      const TuplePool::Rec& rec = tuples[i].rec();
+      if (one_time) {
+        // One-time semantics: a snapshot over what existed at submission.
+        if (rec.pub_time > ins_time) continue;
+      } else {
+        // Temporal condition of Definition 1 / Procedure 2.
+        if (rec.pub_time < ins_time) continue;
+      }
+      if (!r.WindowAdmits(rel, tuples[i])) continue;
+      const ValueId* cols = rec.columns();
+      bool ok = true;
+      for (const Pred& p : preds) {
+        if (cols[p.attr] != p.vid) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) matches.push_back(&tuples[i]);
+    }
+  }
+
+  // Phase 2: DISTINCT rule + bind + forward for the matches. Sends are
+  // async (never re-entering this node's state), so the spans stay stable.
+  const bool check_distinct =
+      q.spec().distinct && interner_->level(key) == Level::kValue;
+  for (const TupleRef* match : matches) {
+    const TupleRef& t = *match;
+    if (check_distinct &&
+        !sq.seen_projections.Insert(ProjectionFingerprint(q, rel, t))) {
+      continue;
+    }
+    CompleteOrForward(self, r.Bind(rel, t), t->pub_time);
+  }
+}
+
+void RJoinEngine::TryTrigger(dht::NodeIndex self, StoredQuery& sq,
+                             KeyId key, const TupleRef& t) {
+  Residual& r = sq.residual;
+  const int rel = r.origin()->RelIndexOf(t->relation);
   if (rel < 0 || r.IsBound(rel)) return;
   if (r.origin()->one_time()) {
     // One-time semantics: a snapshot over what existed at submission.
@@ -974,21 +1157,19 @@ void RJoinEngine::TryTrigger(dht::NodeIndex self, StoredQuery& sq,
     // Temporal condition of Definition 1 / Procedure 2: pubT(t) >= insT(q).
     if (t->pub_time < r.origin()->ins_time()) return;
   }
-  if (!r.WindowAdmits(rel, *t)) return;
-  if (!r.Matches(rel, *t)) return;
+  if (!r.WindowAdmits(rel, t)) return;
+  if (!r.Matches(rel, t)) return;
 
   // DISTINCT rule of Section 4: a new tuple triggers this stored query only
   // if its projection over the referenced attributes is new. Projections
-  // are kept as 64-bit fingerprints in an inline set (see ProjectionSet),
-  // rendered into a reusable buffer — no allocation per trigger.
+  // are 64-bit fingerprints over interned value ids (see ProjectionSet) —
+  // no rendering, no allocation per trigger.
   if (r.origin()->spec().distinct &&
       interner_->level(key) == Level::kValue) {
-    std::string& proj = ProjectionBuffer();
-    for (int attr : r.origin()->projection_attrs(rel)) {
-      t->values[static_cast<size_t>(attr)].AppendKeyString(&proj);
-      proj += '|';
+    if (!sq.seen_projections.Insert(
+            ProjectionFingerprint(*r.origin(), rel, t))) {
+      return;
     }
-    if (!sq.seen_projections.Insert(Fnv1a64(proj))) return;
   }
 
   CompleteOrForward(self, r.Bind(rel, t), t->pub_time);
@@ -997,11 +1178,13 @@ void RJoinEngine::TryTrigger(dht::NodeIndex self, StoredQuery& sq,
 void RJoinEngine::CompleteOrForward(dht::NodeIndex self, Residual next,
                                     uint64_t pub_time) {
   if (next.IsComplete()) {
+    // The answer row ships as a flat array of interned value ids — the
+    // message is POD; the owner materializes values at the sink.
     AnswerDeliver msg;
     msg.query_id = next.origin()->query_id();
-    msg.row = next.ExtractAnswer();
     msg.completed_at = Now();
     msg.pub_time = pub_time;
+    msg.row_len = static_cast<uint16_t>(next.ExtractAnswerIds(msg.row));
     transport_->SendDirect(self, next.origin()->owner(),
                            MessageTask(std::move(msg)));
     return;
@@ -1022,7 +1205,7 @@ void RJoinEngine::OnNewTuple(dht::NodeIndex self, TuplePublish& msg) {
       StoredQuery& sq = st.query_pool.at(cur).value;
       // Section 5: a triggering tuple that falls beyond the residual's
       // window proves the window closed — the residual is deleted.
-      if (WindowClosedByTuple(sq.residual, *msg.tuple)) {
+      if (WindowClosedByTuple(sq.residual, msg.tuple)) {
         const uint32_t next = st.query_pool.at(cur).next;
         DropStoredQuery(self, msg.key, *bucket, prev, cur);
         cur = next;
@@ -1036,13 +1219,18 @@ void RJoinEngine::OnNewTuple(dht::NodeIndex self, TuplePublish& msg) {
 
   if (interner_->level(msg.key) == Level::kValue) {
     // Procedure 2: value-level tuples are stored for future rewritten
-    // queries.
-    st.tuples[msg.key].push_back(msg.tuple);
+    // queries. Storing a TupleRef is one u32 handle copy plus a refcount;
+    // only bucket growth allocates (charged to the tuple plane).
+    {
+      stats::AllocScope plane(stats::AllocPlane::kTuple);
+      TupleBucketAppend(st.tuple_chunks, st.tuples[msg.key], msg.tuple);
+    }
     Metrics().AddStore(self);
     RecordKeyLoad(msg.key);
   } else if (config_.enable_altt) {
     // Section 4 fix: keep attribute-level tuples for Delta so that delayed
     // input queries are not starved (Example 1).
+    stats::AllocScope plane(stats::AllocPlane::kTuple);
     BucketList& dq = st.altt[msg.key];
     const uint64_t now = Now();
     const uint64_t expires = altt_delta_ > UINT64_MAX - now
@@ -1061,17 +1249,17 @@ void RJoinEngine::OnNewTuple(dht::NodeIndex self, TuplePublish& msg) {
 }
 
 void RJoinEngine::OnEval(dht::NodeIndex self, KeyId key, Residual&& residual,
-                         const std::vector<RicEntry>& piggyback) {
+                         const RicVec& piggyback) {
   Metrics().AddQpl(self);
   NodeState& st = state(self);
   for (const RicEntry& e : piggyback) st.ct.Merge(e);
 
   // DISTINCT set semantics: identical rewritten queries are handled once.
   const bool distinct = residual.origin()->spec().distinct;
-  std::string fp;
+  uint64_t fp = 0;
   if (distinct) {
     fp = StoredFingerprint(key, residual);
-    if (st.distinct_fingerprints.contains(fp)) return;
+    if (st.distinct_fingerprints.Contains(fp)) return;
   }
 
   // Procedure 3: probe already-present tuples first — stored tuples can be
@@ -1086,7 +1274,10 @@ void RJoinEngine::OnEval(dht::NodeIndex self, KeyId key, Residual&& residual,
   // Store for future tuples unless the window has already closed
   // (Section 5's status reduction).
   if (IsExpired(sq.residual)) return;
-  if (distinct) st.distinct_fingerprints.insert(std::move(fp));
+  if (distinct) {
+    stats::AllocScope plane(stats::AllocPlane::kResidual);
+    st.distinct_fingerprints.Insert(fp);
+  }
   AppendStoredQuery(st, st.queries[key], std::move(sq));
   Metrics().AddStore(self);
   RecordKeyLoad(key);
@@ -1113,28 +1304,27 @@ void RJoinEngine::OnAnswer(dht::NodeIndex self, AnswerDeliver& msg) {
     // shard and dedup is exact.
     ShardSink& sink = sinks_[shard];
     if (distinct) {
-      const std::string row_key = sql::AnswerRowKey(msg.row);
-      if (!sink.distinct_rows[msg.query_id].insert(row_key).second) {
+      if (!sink.distinct_rows[msg.query_id].Insert(AnswerRowFingerprint(msg))) {
         ++sink.distinct_suppressed;
         return;
       }
     }
     sink.answers.emplace_back(
         runtime_->CurrentEventKey(),
-        Answer{msg.query_id, std::move(msg.row), Now()});
+        Answer{msg.query_id, MaterializeRow(msg), Now()});
     Metrics().AddAnswer();
     return;
   }
   if (distinct) {
     // Owner-side final duplicate suppression for DISTINCT queries: a local
-    // computation at the querying node, no network cost.
-    const std::string row_key = sql::AnswerRowKey(msg.row);
-    if (!distinct_rows_[msg.query_id].insert(row_key).second) {
+    // computation at the querying node, no network cost. Rows dedup on a
+    // 64-bit fingerprint over interned value ids — no rendering.
+    if (!distinct_rows_[msg.query_id].Insert(AnswerRowFingerprint(msg))) {
       ++distinct_suppressed_;
       return;
     }
   }
-  answers_.push_back(Answer{msg.query_id, std::move(msg.row), Now()});
+  answers_.push_back(Answer{msg.query_id, MaterializeRow(msg), Now()});
   Metrics().AddAnswer();
 }
 
@@ -1201,8 +1391,11 @@ void RJoinEngine::GatherRic(dht::NodeIndex src,
 }
 
 void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
-  const std::vector<KeyId> candidates =
-      IndexingCandidates(residual, config_.rewrite_levels, *interner_);
+  // Candidate enumeration fills a reusable thread-local buffer — the
+  // per-rewrite hot path does not allocate here once warm.
+  std::vector<KeyId>& candidates = CandidateBuffer();
+  IndexingCandidates(residual, config_.rewrite_levels, *interner_,
+                     &candidates);
   RJOIN_CHECK(!candidates.empty())
       << "residual of query " << residual.origin()->query_id()
       << " has no indexing candidates";
@@ -1253,8 +1446,8 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
       break;
     }
     case PlannerPolicy::kRic: {
-      std::vector<uint64_t> rates;
-      std::vector<dht::NodeIndex> nodes;
+      std::vector<uint64_t>& rates = RicRateBuffer();
+      std::vector<dht::NodeIndex>& nodes = RicNodeBuffer();
       GatherRic(src, candidates, &rates, &nodes);
       uint64_t best = UINT64_MAX;
       for (size_t i = 0; i < candidates.size(); ++i) {
@@ -1282,10 +1475,12 @@ void RJoinEngine::IndexResidual(dht::NodeIndex src, Residual residual) {
   // so the next node can avoid re-asking (typically only the one new
   // implied triple needs a lookup there).
   NodeState& st = state(src);
-  std::vector<RicEntry> piggyback;
+  RicVec piggyback;
   if (config_.reuse_ric_info) {
     for (KeyId c : candidates) {
-      if (const RicEntry* e = st.ct.Find(c)) piggyback.push_back(*e);
+      if (const RicEntry* e = st.ct.Find(c)) {
+        if (!piggyback.TryPush(*e)) break;  // Inline cap: first kCap win.
+      }
     }
   }
 
@@ -1347,8 +1542,8 @@ void RJoinEngine::SweepWindows() {
     if (!drop_tuples) continue;
     // A stored tuple older than the largest window can never combine with
     // future tuples for any live (all-windowed) query.
-    st.tuples.ForEach([&](KeyId, std::vector<sql::TuplePtr>& tuples) {
-      auto expired = [&](const sql::TuplePtr& t) {
+    st.tuples.ForEach([&](KeyId, TupleBucket& bucket) {
+      auto expired = [&](const TupleRef& t) {
         // Conservative: use both clocks; drop only if out of range for the
         // larger of the two interpretations.
         const uint64_t now_time = Now();
@@ -1359,15 +1554,32 @@ void RJoinEngine::SweepWindows() {
             now_seq > t->seq_no && now_seq - t->seq_no + 1 > max_window_span_;
         return time_out && seq_out;
       };
-      size_t kept = 0;
-      for (size_t i = 0; i < tuples.size(); ++i) {
-        if (expired(tuples[i])) {
+      // Rebuild compactly through a reusable scratch: survivors move out
+      // (no refcount traffic), the chunks recycle through the pool's
+      // freelist, and the survivors move back in — so every chunk stays
+      // full except the tail, the invariant the probe's span walk assumes.
+      static thread_local std::vector<TupleRef> survivors;
+      survivors.clear();
+      TupleBucketForEach(st.tuple_chunks, bucket, [&](TupleRef& t) {
+        if (expired(t)) {
           Metrics().RemoveStore(n);
         } else {
-          tuples[kept++] = tuples[i];
+          survivors.push_back(std::move(t));
+        }
+      });
+      if (survivors.size() == bucket.size) {
+        // Nothing expired: put the moved refs back in place instead of
+        // reshuffling chunks.
+        size_t i = 0;
+        TupleBucketForEach(st.tuple_chunks, bucket,
+                           [&](TupleRef& t) { t = std::move(survivors[i++]); });
+      } else {
+        TupleBucketClear(st.tuple_chunks, bucket);
+        for (TupleRef& t : survivors) {
+          TupleBucketAppend(st.tuple_chunks, bucket, std::move(t));
         }
       }
-      tuples.resize(kept);
+      survivors.clear();
     });
   }
 }
@@ -1392,9 +1604,7 @@ size_t RJoinEngine::CountStoredTuples() const {
   size_t n = 0;
   for (const auto& st : states_) {
     st->tuples.ForEach(
-        [&](KeyId, const std::vector<sql::TuplePtr>& bucket) {
-          n += bucket.size();
-        });
+        [&](KeyId, const TupleBucket& bucket) { n += bucket.size; });
   }
   return n;
 }

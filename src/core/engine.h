@@ -6,7 +6,6 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/handoff.h"
@@ -166,10 +165,13 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
                                         sql::Query spec);
 
   /// Publishes a tuple from `publisher` (Procedure 1: 2k messages). Returns
-  /// the published tuple (with pub_time/seq_no assigned).
-  StatusOr<sql::TuplePtr> PublishTuple(dht::NodeIndex publisher,
-                                       const std::string& relation,
-                                       std::vector<sql::Value> values);
+  /// the published tuple (with pub_time/seq_no assigned) as a pooled-record
+  /// handle; all 2k indexed copies share that one flat record. `values` is
+  /// borrowed (interned into the flat plane), so callers can reuse one row
+  /// buffer across publishes.
+  StatusOr<TupleRef> PublishTuple(dht::NodeIndex publisher,
+                                  const std::string& relation,
+                                  const std::vector<sql::Value>& values);
 
   /// Batched Procedure 1: publishes every row of `rows` as one tuple of
   /// `relation`, in order, producing exactly the messages, routing, and
@@ -178,10 +180,11 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// keys repeat across rows of one relation; only the value-level keys are
   /// per-row), and the MultiSend dispatch across the batch. The whole batch
   /// is validated before anything is sent, so a bad row means no tuple of
-  /// the batch is published.
-  StatusOr<std::vector<sql::TuplePtr>> PublishBatch(
+  /// the batch is published. `rows` is borrowed, never consumed — callers
+  /// (the workload generator) reuse one row-buffer across batches.
+  StatusOr<std::vector<TupleRef>> PublishBatch(
       dht::NodeIndex publisher, const std::string& relation,
-      std::vector<std::vector<sql::Value>> rows);
+      const std::vector<std::vector<sql::Value>>& rows);
 
   /// Records the rate observations a tuple would generate, without
   /// publishing it: each responsible node counts one arrival under the
@@ -299,6 +302,10 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// The input query object (for tests).
   InputQueryPtr FindQuery(uint64_t query_id) const;
 
+  /// Read-only node-state access (pool-balance assertions, handoff
+  /// inspection in tests); node-local mutation stays engine-internal.
+  const NodeState& state_of(dht::NodeIndex n) const { return *states_[n]; }
+
   const EngineConfig& config() const { return config_; }
 
  private:
@@ -336,7 +343,7 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// Shared body of kQueryIndex and kRewrite (Procedures 2 and 3 store and
   /// probe identically; only the message kind differs on the wire).
   void OnEval(dht::NodeIndex self, KeyId key, Residual&& residual,
-              const std::vector<RicEntry>& piggyback);
+              const RicVec& piggyback);
   void OnAnswer(dht::NodeIndex self, AnswerDeliver& msg);
   void OnRicRequest(dht::NodeIndex self, const RicRequest& msg);
   void OnRicReply(dht::NodeIndex self, const RicReply& msg);
@@ -390,10 +397,11 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   void AddChurnCounters(const ChurnSinkCounters& delta);
 
   /// Shared trigger step: try to bind `t` into the stored query `sq`
-  /// (temporal check, predicate match, window admission, DISTINCT rule).
+  /// (temporal check, predicate match, window admission, DISTINCT rule —
+  /// all over interned value ids, allocation-free).
   /// On success forwards or completes the new residual.
   void TryTrigger(dht::NodeIndex self, StoredQuery& sq, KeyId key,
-                  const sql::TuplePtr& t);
+                  const TupleRef& t);
 
   /// Probes `sq` against everything already stored at `self` under `key`:
   /// the value-level tuple bucket, or the non-expired ALTT entries for an
@@ -401,6 +409,17 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// by OnEval (Procedure 3) and InstallQuery (a migrated query must see
   /// exactly what a fresh arrival would).
   void ProbeStoredState(dht::NodeIndex self, KeyId key, StoredQuery& sq);
+
+  /// Batched probe kernel over contiguous spans of stored tuples, all of
+  /// the same relation (one index key maps to one relation): phase 1
+  /// evaluates the temporal check, window admission, and join predicates
+  /// over value-id columns in a tight loop, collecting matched refs into a
+  /// reusable thread-local buffer; phase 2 runs the DISTINCT rule and binds
+  /// the matches (which may emit async messages — never touching the
+  /// spans). Callers pass one span per tuple-bucket chunk (probing the
+  /// chunk storage in place) or a single gathered span (ALTT).
+  void ProbeTupleSpans(dht::NodeIndex self, KeyId key, StoredQuery& sq,
+                       const TupleSpan* spans, uint32_t num_spans);
 
   void CompleteOrForward(dht::NodeIndex self, Residual next,
                          uint64_t pub_time);
@@ -412,13 +431,14 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
 
   /// Section 5's per-trigger validity rule: the incoming tuple `t` proves
   /// the residual's window has closed (t is newer than the window allows).
-  bool WindowClosedByTuple(const Residual& r, const sql::Tuple& t) const;
+  bool WindowClosedByTuple(const Residual& r, const TupleRef& t) const;
 
   /// Fingerprint for DISTINCT set semantics of a stored residual: the
-  /// interned key id (fixed 4-byte prefix) plus the residual's content
-  /// fingerprint. Ids are a per-process bijection with key text, so
-  /// membership semantics match the seed's text-prefixed form.
-  static std::string StoredFingerprint(KeyId key, const Residual& r);
+  /// interned key id folded into the residual's 64-bit content fingerprint
+  /// (bound value ids, which are a per-process bijection with values).
+  /// Two different residuals can collide in 64 bits (probability
+  /// ~n^2/2^64) — the ProjectionSet trade, applied here too.
+  static uint64_t StoredFingerprint(KeyId key, const Residual& r);
 
   /// Unlinks the pool node `idx` (whose predecessor in the bucket list is
   /// `prev_idx`, or kNil when idx is the head) and frees it, with metric +
@@ -450,8 +470,9 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// its owner, i.e. on one fixed shard.
   struct alignas(64) ShardSink {
     std::vector<std::pair<runtime::EventKey, Answer>> answers;
-    std::unordered_map<uint64_t, std::unordered_set<std::string>>
-        distinct_rows;
+    /// Per-DISTINCT-query delivered rows, as 64-bit fingerprints over the
+    /// row's value ids (flat plane: no per-row key string).
+    std::unordered_map<uint64_t, FlatU64Set> distinct_rows;
     uint64_t distinct_suppressed = 0;
     KeyIdMap<uint64_t> key_load;
     /// Join/leave requests staged by this shard's events, applied by the
@@ -475,12 +496,18 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   std::vector<std::unique_ptr<NodeState>> states_;
   std::unordered_map<uint64_t, InputQueryPtr> queries_;
   std::vector<Answer> answers_;
-  std::unordered_map<uint64_t, std::unordered_set<std::string>>
-      distinct_rows_;  // per-DISTINCT-query delivered rows (owner-side)
+  /// Per-DISTINCT-query delivered row fingerprints (owner-side, serial
+  /// path) — value-id FNV, same scheme as ShardSink::distinct_rows.
+  std::unordered_map<uint64_t, FlatU64Set> distinct_rows_;
   uint64_t distinct_suppressed_ = 0;
 
   std::vector<sql::TuplePtr> history_;
   KeyIdMap<uint64_t> key_load_;
+
+  /// Reusable Procedure-1 emission buffer: PublishTuple/PublishBatch fill
+  /// it and MultiSend drains it in place, so a steady-state publish
+  /// performs no vector allocation. Driver-phase only (like publishing).
+  std::vector<std::pair<dht::NodeId, MessageTask>> publish_batch_;
 
   // ---- churn state ----
 

@@ -33,10 +33,11 @@ struct HandoffQuery {
 };
 
 /// A value-level stored tuple changing owners (arrival order per key is
-/// preserved by the batch's emission order).
+/// preserved by the batch's emission order). Moves a 4-byte pooled-record
+/// handle, not a shared_ptr graph.
 struct HandoffTuple {
   KeyId key = kInvalidKeyId;
-  sql::TuplePtr tuple;
+  TupleRef tuple;
 };
 
 /// An ALTT entry changing owners. `expires` is the entry's original absolute
@@ -81,11 +82,10 @@ struct HandoffBatch {
     uint64_t bytes = 64;  // header: from + range + emission time
     bytes += queries.size() * 64;
     for (const HandoffTuple& t : tuples) {
-      bytes += 32 + 8 * (t.tuple != nullptr ? t.tuple->values.size() : 0);
+      bytes += 32 + 8 * (t.tuple ? t.tuple->arity : 0);
     }
     for (const HandoffAltt& a : altt) {
-      bytes += 40 + 8 * (a.entry.tuple != nullptr ? a.entry.tuple->values.size()
-                                                  : 0);
+      bytes += 40 + 8 * (a.entry.tuple ? a.entry.tuple->arity : 0);
     }
     bytes += rates.size() * 32;
     return bytes;

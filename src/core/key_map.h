@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/key.h"
+#include "stats/alloc_tracker.h"
 #include "util/logging.h"
 
 namespace rjoin::core {
@@ -92,6 +93,7 @@ class KeyIdMap {
   size_t Next(size_t i) const { return (i + 1) & (slots_.size() - 1); }
 
   void Grow() {
+    stats::AllocScope plane(stats::AllocPlane::kPoolCapacity);
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
     size_ = 0;

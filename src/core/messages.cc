@@ -1,8 +1,10 @@
 #include "core/messages.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "core/handoff.h"
+#include "stats/alloc_tracker.h"
 #include "util/logging.h"
 
 namespace rjoin::core {
@@ -57,6 +59,7 @@ std::vector<const MessagePool*>& LivePools() {
 }
 std::atomic<uint64_t> g_retired_envelopes_allocated{0};
 std::atomic<uint64_t> g_retired_acquired{0};
+std::atomic<uint64_t> g_retired_released{0};
 
 }  // namespace
 
@@ -68,7 +71,7 @@ void EnvelopeRef::Reset() {
 }
 
 MessagePool::MessagePool(size_t slab_envelopes)
-    : slab_size_(slab_envelopes > 0 ? slab_envelopes : 1),
+    : base_slab_size_(slab_envelopes > 0 ? slab_envelopes : 1),
       owner_(std::this_thread::get_id()) {
   std::lock_guard<std::mutex> lock(g_pools_mutex);
   LivePools().push_back(this);
@@ -92,11 +95,22 @@ MessagePool::~MessagePool() {
       std::memory_order_relaxed);
   g_retired_acquired.fetch_add(acquired_.load(std::memory_order_relaxed),
                                std::memory_order_relaxed);
+  g_retired_released.fetch_add(released_.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
 }
 
 Envelope* MessagePool::NewEnvelope() {
-  if (slabs_.empty() || last_slab_used_ == slab_size_) {
-    slabs_.push_back(std::make_unique<Envelope[]>(slab_size_));
+  // Slab growth is capacity acquisition (only while the in-flight
+  // high-water mark rises), not per-envelope traffic — charge it to the
+  // capacity plane so the per-record message plane stays a clean ratchet.
+  stats::AllocScope plane(stats::AllocPlane::kPoolCapacity);
+  if (slabs_.empty() || last_slab_used_ == last_slab_size_) {
+    // Doubling growth (capped): a still-rising in-flight high-water mark
+    // costs O(log) slabs, not linear in envelopes.
+    last_slab_size_ = slabs_.empty()
+                          ? base_slab_size_
+                          : std::min(last_slab_size_ * 2, kMaxSlabEnvelopes);
+    slabs_.push_back(std::make_unique<Envelope[]>(last_slab_size_));
     last_slab_used_ = 0;
     slabs_allocated_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -175,10 +189,12 @@ MessagePool::GlobalStats MessagePool::Aggregate() {
   g.envelopes_allocated =
       g_retired_envelopes_allocated.load(std::memory_order_relaxed);
   g.acquired = g_retired_acquired.load(std::memory_order_relaxed);
+  g.released = g_retired_released.load(std::memory_order_relaxed);
   for (const MessagePool* pool : LivePools()) {
     g.envelopes_allocated +=
         pool->envelopes_allocated_.load(std::memory_order_relaxed);
     g.acquired += pool->acquired_.load(std::memory_order_relaxed);
+    g.released += pool->released_.load(std::memory_order_relaxed);
   }
   return g;
 }

@@ -13,6 +13,7 @@
 #include "core/key.h"
 #include "core/residual.h"
 #include "core/ric.h"
+#include "core/tuple_ref.h"
 #include "dht/chord_node.h"
 #include "dht/id.h"
 #include "sim/time.h"
@@ -52,9 +53,11 @@ const char* MessageKindName(MessageKind kind);
 /// of its 2k keys (k attribute-level + k value-level). The key is an
 /// interned id — the canonical text and level were interned once at
 /// publication; receivers resolve level/text through the KeyInterner
-/// without hashing anything.
+/// without hashing anything. The tuple travels as a pooled-record handle
+/// (core::TupleRef): the 2k copies of a publish share one flat record and
+/// each message holds a 4-byte reference, not a shared_ptr control block.
 struct TuplePublish {
-  sql::TuplePtr tuple;
+  TupleRef tuple;
   KeyId key = kInvalidKeyId;
   dht::NodeIndex publisher = dht::kInvalidNode;
 };
@@ -65,7 +68,7 @@ struct TuplePublish {
 struct QueryIndex {
   Residual residual;
   KeyId key = kInvalidKeyId;
-  std::vector<RicEntry> piggyback;
+  RicVec piggyback;
 };
 
 /// Procedure 3's Eval(q', Key, Owner(q)): a rewritten residual being
@@ -75,7 +78,7 @@ struct QueryIndex {
 struct Rewrite {
   Residual residual;
   KeyId key = kInvalidKeyId;
-  std::vector<RicEntry> piggyback;
+  RicVec piggyback;
 };
 
 /// Section 7's direct RIC exchange, request half: "what is the rate of
@@ -93,15 +96,18 @@ struct RicReply {
 };
 
 /// An answer tuple sent back to the node that submitted the input query
-/// (sendDirect to Owner(q)).
+/// (sendDirect to Owner(q)). The row is a flat array of interned ValueIds
+/// (select lists are bounded by kMaxSelectItems): the message is POD and
+/// the owner materializes sql::Values only at the user-facing sink.
 struct AnswerDeliver {
   uint64_t query_id = 0;
-  std::vector<sql::Value> row;
   uint64_t completed_at = 0;
   /// Publication time of the tuple whose arrival completed the residual —
   /// the start of the end-to-end answer-latency measurement
   /// (docs/observability.md).
   uint64_t pub_time = 0;
+  uint16_t row_len = 0;
+  ValueId row[kMaxSelectItems] = {};
 };
 
 /// Non-protocol work riding the event plane: simulator timers, deferred
@@ -346,6 +352,11 @@ class MessagePool {
   struct GlobalStats {
     uint64_t envelopes_allocated = 0;
     uint64_t acquired = 0;
+    uint64_t released = 0;
+
+    /// Envelopes in flight across every pool. Zero once all runtimes have
+    /// drained and shut down — the balance the pool-balance suite asserts.
+    uint64_t outstanding() const { return acquired - released; }
   };
   static GlobalStats Aggregate();
 
@@ -354,8 +365,14 @@ class MessagePool {
 
   Envelope* NewEnvelope();
 
-  const size_t slab_size_;
+  /// Each slab doubles the previous one up to this cap, so a pool whose
+  /// in-flight high-water mark keeps rising costs O(log) slab allocations
+  /// instead of high_water / slab_size (same policy as core::SlabPool).
+  static constexpr size_t kMaxSlabEnvelopes = 16384;
+
+  const size_t base_slab_size_;
   std::vector<std::unique_ptr<Envelope[]>> slabs_;
+  size_t last_slab_size_ = 0;
   size_t last_slab_used_ = 0;
   Envelope* free_ = nullptr;                    // owner-thread freelist
   std::atomic<Envelope*> remote_free_{nullptr};  // cross-thread returns

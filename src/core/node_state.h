@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "core/key.h"
@@ -12,9 +11,109 @@
 #include "core/residual.h"
 #include "core/ric.h"
 #include "core/slab_pool.h"
+#include "core/tuple_ref.h"
 #include "sql/tuple.h"
+#include "stats/alloc_tracker.h"
 
 namespace rjoin::core {
+
+/// Flat open-addressing set of 64-bit fingerprints with erase support
+/// (backward-shift deletion, so probing stays tombstone-free). The
+/// DISTINCT bookkeeping — stored-residual fingerprints per node, answer
+/// rows per query at the owner — keys by u64 hashes on the flat plane
+/// instead of the seed's unordered_set<std::string>, and churn handoff
+/// needs to *remove* a stored residual's fingerprint, which ProjectionSet
+/// (insert-only) cannot.
+///
+/// Like ProjectionSet, two different payloads can collide in 64 bits
+/// (probability ~n^2/2^64) and the later one is suppressed — same
+/// documented trade.
+class FlatU64Set {
+ public:
+  FlatU64Set() = default;
+  FlatU64Set(FlatU64Set&&) noexcept = default;
+  FlatU64Set& operator=(FlatU64Set&&) noexcept = default;
+
+  /// Inserts `v`; returns false if it was already present.
+  bool Insert(uint64_t v) {
+    v = Alias(v);
+    if (cap_ == 0 || (size_ + 1) * 10 >= cap_ * 7) Grow();
+    size_t i = Home(v);
+    for (; table_[i] != 0; i = Next(i)) {
+      if (table_[i] == v) return false;
+    }
+    table_[i] = v;
+    ++size_;
+    return true;
+  }
+
+  bool Contains(uint64_t v) const {
+    if (size_ == 0) return false;
+    v = Alias(v);
+    for (size_t i = Home(v); table_[i] != 0; i = Next(i)) {
+      if (table_[i] == v) return true;
+    }
+    return false;
+  }
+
+  /// Removes `v`; returns false if it was absent. Backward-shift: the
+  /// probe chain is compacted in place, no tombstones.
+  bool Erase(uint64_t v) {
+    if (size_ == 0) return false;
+    v = Alias(v);
+    size_t i = Home(v);
+    for (; table_[i] != v; i = Next(i)) {
+      if (table_[i] == 0) return false;
+    }
+    size_t j = i;
+    for (;;) {
+      j = Next(j);
+      const uint64_t x = table_[j];
+      if (x == 0) break;
+      const size_t h = Home(x);
+      // x may shift back into the hole unless its home lies in (i, j].
+      const bool home_between =
+          i <= j ? (i < h && h <= j) : (i < h || h <= j);
+      if (!home_between) {
+        table_[i] = x;
+        i = j;
+      }
+    }
+    table_[i] = 0;
+    --size_;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  static constexpr uint64_t kZeroAlias = 0x9e3779b97f4a7c15ull;
+
+  static uint64_t Alias(uint64_t v) { return v == 0 ? kZeroAlias : v; }
+  size_t Home(uint64_t v) const { return v & (cap_ - 1); }
+  size_t Next(size_t i) const { return (i + 1) & (cap_ - 1); }
+
+  void Grow() {
+    stats::AllocScope plane(stats::AllocPlane::kPoolCapacity);
+    const size_t cap = cap_ == 0 ? 16 : cap_ * 2;
+    auto bigger = std::make_unique<uint64_t[]>(cap);
+    for (size_t i = 0; i < cap; ++i) bigger[i] = 0;
+    for (size_t i = 0; i < cap_; ++i) {
+      const uint64_t v = table_[i];
+      if (v == 0) continue;
+      size_t j = v & (cap - 1);
+      while (bigger[j] != 0) j = (j + 1) & (cap - 1);
+      bigger[j] = v;
+    }
+    table_ = std::move(bigger);
+    cap_ = cap;
+  }
+
+  std::unique_ptr<uint64_t[]> table_;
+  size_t cap_ = 0;
+  size_t size_ = 0;
+};
 
 /// Set of 64-bit projection fingerprints implementing the DISTINCT rule of
 /// Section 4 (a tuple triggers a stored query only if its projection over
@@ -70,6 +169,7 @@ class ProjectionSet {
   }
 
   void GrowTable() {
+    stats::AllocScope plane(stats::AllocPlane::kPoolCapacity);
     const uint32_t cap = table_cap_ == 0 ? 16 : table_cap_ * 2;
     auto bigger = std::make_unique<uint64_t[]>(cap);
     for (uint32_t i = 0; i < cap; ++i) bigger[i] = 0;
@@ -105,7 +205,7 @@ struct StoredQuery {
 /// for Delta time units so that an input query delayed in transit still
 /// meets it.
 struct AlttEntry {
-  sql::TuplePtr tuple;
+  TupleRef tuple;
   uint64_t expires = 0;
 };
 
@@ -119,9 +219,10 @@ struct BucketList {
 };
 
 /// Appends a fresh pool node to `bucket`'s tail; returns its index. The
-/// one definition of the head/tail/next append invariant.
-template <typename T>
-uint32_t BucketAppend(SlabPool<T>& pool, BucketList& bucket) {
+/// one definition of the head/tail/next append invariant. `Bucket` is any
+/// struct with u32 head/tail (BucketList, TupleBucket).
+template <typename T, typename Bucket>
+uint32_t BucketAppend(SlabPool<T>& pool, Bucket& bucket) {
   const uint32_t idx = pool.Allocate();
   if (bucket.tail == SlabPool<T>::kNil) {
     bucket.head = idx;
@@ -130,6 +231,69 @@ uint32_t BucketAppend(SlabPool<T>& pool, BucketList& bucket) {
   }
   bucket.tail = idx;
   return idx;
+}
+
+/// A chunk of the value-level tuple store: TupleRefs pack kCap to a pooled
+/// record, and a bucket is a chain of chunks through the pool's `next`
+/// links. Compared to one heap vector per bucket, bucket birth and growth
+/// draw from the node's chunk pool (geometric slabs), so the windowless
+/// store path — which keeps minting fresh (relation, attribute, value)
+/// buckets for the Zipf tail of the stream — stays allocation-free in
+/// steady state. Chunks are never empty: append fills the tail before
+/// chaining a new chunk, and the sweep rebuilds compactly.
+struct TupleChunk {
+  static constexpr uint32_t kCap = 8;
+  TupleRef refs[kCap];
+  uint32_t count = 0;
+};
+
+/// A chunked tuple bucket: chunk-chain bounds plus the stored-ref count.
+struct TupleBucket {
+  uint32_t head = SlabPool<TupleChunk>::kNil;
+  uint32_t tail = SlabPool<TupleChunk>::kNil;
+  uint32_t size = 0;
+};
+
+/// A contiguous run of stored tuple handles — one chunk, or a gathered
+/// ALTT chain — that the batched probe kernel evaluates in a tight loop.
+struct TupleSpan {
+  const TupleRef* data;
+  uint32_t count;
+};
+
+/// Appends `ref` to `bucket`'s tail chunk, chaining a fresh chunk from
+/// `pool` when the tail is full (or the bucket is empty).
+inline void TupleBucketAppend(SlabPool<TupleChunk>& pool, TupleBucket& bucket,
+                              TupleRef ref) {
+  if (bucket.tail == SlabPool<TupleChunk>::kNil ||
+      pool.at(bucket.tail).value.count == TupleChunk::kCap) {
+    BucketAppend(pool, bucket);
+  }
+  TupleChunk& chunk = pool.at(bucket.tail).value;
+  chunk.refs[chunk.count++] = std::move(ref);
+  ++bucket.size;
+}
+
+/// Calls `fn(TupleRef&)` for every stored ref in arrival order.
+template <typename Fn>
+void TupleBucketForEach(SlabPool<TupleChunk>& pool, const TupleBucket& bucket,
+                        Fn&& fn) {
+  for (uint32_t cur = bucket.head; cur != SlabPool<TupleChunk>::kNil;
+       cur = pool.at(cur).next) {
+    TupleChunk& chunk = pool.at(cur).value;
+    for (uint32_t i = 0; i < chunk.count; ++i) fn(chunk.refs[i]);
+  }
+}
+
+/// Recycles every chunk (dropping the refs) and resets the bucket.
+inline void TupleBucketClear(SlabPool<TupleChunk>& pool, TupleBucket& bucket) {
+  uint32_t cur = bucket.head;
+  while (cur != SlabPool<TupleChunk>::kNil) {
+    const uint32_t next = pool.at(cur).next;
+    pool.Free(cur);
+    cur = next;
+  }
+  bucket = TupleBucket{};
 }
 
 /// Unlinks node `idx` (whose predecessor is `prev_idx`, kNil when idx is
@@ -150,9 +314,9 @@ void BucketUnlink(SlabPool<T>& pool, BucketList& bucket, uint32_t prev_idx,
 
 /// All RJoin state of one network node. Buckets are keyed by interned
 /// KeyId; a node only ever receives keys it is the successor of. Stored
-/// queries and ALTT entries live in per-node slab pools (zero steady-state
-/// heap traffic for store/drop cycles); value-level tuple buckets stay
-/// simple TuplePtr vectors (append-only between sweeps).
+/// queries, ALTT entries, and value-level tuple chunks all live in
+/// per-node slab pools (zero steady-state heap traffic for store/drop
+/// cycles; pool capacity itself grows in geometric slabs).
 class NodeState {
  public:
   explicit NodeState(uint64_t ric_epoch) : rates(ric_epoch) {}
@@ -161,8 +325,10 @@ class NodeState {
   KeyIdMap<BucketList> queries;
   SlabPool<StoredQuery> query_pool;
 
-  /// Value-level tuple store (Procedure 2 stores every value-level tuple).
-  KeyIdMap<std::vector<sql::TuplePtr>> tuples;
+  /// Value-level tuple store (Procedure 2 stores every value-level tuple):
+  /// chunked buckets over the node's pooled chunk arena.
+  KeyIdMap<TupleBucket> tuples;
+  SlabPool<TupleChunk> tuple_chunks;
 
   /// Attribute-level tuple table with Delta-expiry (entries append in
   /// arrival order, so expired entries cluster at the head).
@@ -171,7 +337,8 @@ class NodeState {
 
   /// Fingerprints of stored residuals of DISTINCT queries (key + content),
   /// so identical rewritten queries are stored once (set semantics).
-  std::unordered_set<std::string> distinct_fingerprints;
+  /// Erase-capable: churn handoff removes a migrated residual's print.
+  FlatU64Set distinct_fingerprints;
 
   /// Tuple-arrival rates per key (the RIC source, Section 6).
   RateTracker rates;

@@ -31,9 +31,17 @@ void PushUnique(std::vector<KeyId>& out, KeyId key) {
 std::vector<KeyId> IndexingCandidates(const Residual& residual,
                                       RewriteIndexLevels levels,
                                       KeyInterner& interner) {
+  std::vector<KeyId> out;
+  IndexingCandidates(residual, levels, interner, &out);
+  return out;
+}
+
+void IndexingCandidates(const Residual& residual, RewriteIndexLevels levels,
+                        KeyInterner& interner, std::vector<KeyId>* out_ptr) {
   const InputQuery& q = *residual.origin();
   const sql::Query& spec = q.spec();
-  std::vector<KeyId> out;
+  std::vector<KeyId>& out = *out_ptr;
+  out.clear();
 
   if (residual.IsInputQuery()) {
     // Input queries: attribute-level keys from WHERE-clause expressions, in
@@ -56,7 +64,7 @@ std::vector<KeyId> IndexingCandidates(const Residual& residual,
       out.push_back(interner.InternAttribute(q.relation_name(0),
                                              schema.attributes()[0]));
     }
-    return out;
+    return;
   }
 
   // Rewritten queries — value-level candidates first.
@@ -86,7 +94,7 @@ std::vector<KeyId> IndexingCandidates(const Residual& residual,
   // kValuePreferred these are a fallback for residuals with no value-level
   // option (see RewriteIndexLevels for the completeness rationale).
   if (levels == RewriteIndexLevels::kValuePreferred && !out.empty()) {
-    return out;
+    return;
   }
   for (size_t i = 0; i < q.joins().size(); ++i) {
     const auto& rj = q.joins()[i];
@@ -100,7 +108,6 @@ std::vector<KeyId> IndexingCandidates(const Residual& residual,
     PushUnique(out, interner.InternAttribute(orig.right.relation,
                                              orig.right.attribute));
   }
-  return out;
 }
 
 }  // namespace rjoin::core

@@ -62,6 +62,13 @@ enum class RewriteIndexLevels {
 /// Candidates come back as interned KeyIds: key text is built once into a
 /// reusable buffer and interned (a lock-free hit in steady state), and the
 /// planner/engine compare, route, and store by u32 id from here on.
+///
+/// The out-parameter form clears and fills a caller-owned buffer — the
+/// engine passes a reusable thread-local vector, so the per-rewrite
+/// candidate enumeration is allocation-free once warm.
+void IndexingCandidates(const Residual& residual, RewriteIndexLevels levels,
+                        KeyInterner& interner, std::vector<KeyId>* out);
+
 std::vector<KeyId> IndexingCandidates(
     const Residual& residual,
     RewriteIndexLevels levels = RewriteIndexLevels::kValuePreferred,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace rjoin::core {
@@ -23,7 +24,16 @@ StatusOr<InputQueryPtr> InputQuery::Create(uint64_t query_id,
   if (s.relations.empty()) {
     return Status::InvalidArgument("query has no FROM relations");
   }
-  // Resolve relations.
+  if (s.relations.size() > static_cast<size_t>(kMaxQueryRels)) {
+    return Status::Unimplemented(
+        "FROM list wider than the flat residual capacity (kMaxQueryRels)");
+  }
+  if (s.select_list.size() > static_cast<size_t>(kMaxSelectItems)) {
+    return Status::Unimplemented(
+        "select list wider than the flat answer capacity (kMaxSelectItems)");
+  }
+  // Resolve relations: schema plus the dense TuplePool id the flat tuple
+  // plane tags records with (driver-phase intern, canonical across runs).
   for (size_t i = 0; i < s.relations.size(); ++i) {
     for (size_t j = i + 1; j < s.relations.size(); ++j) {
       if (s.relations[i] == s.relations[j]) {
@@ -36,6 +46,7 @@ StatusOr<InputQueryPtr> InputQuery::Create(uint64_t query_id,
       return Status::NotFound("unknown relation " + s.relations[i]);
     }
     q->schemas_.push_back(schema);
+    q->rel_ids_[i] = TuplePool::Global().InternRelation(s.relations[i]);
   }
 
   auto resolve = [&](const sql::AttrRef& a, int& rel,
@@ -70,6 +81,7 @@ StatusOr<InputQueryPtr> InputQuery::Create(uint64_t query_id,
     ResolvedSelection rs{};
     if (auto st = resolve(sel.attr, rs.rel, rs.attr); !st.ok()) return st;
     rs.value = sel.value;
+    rs.value_id = ValueInterner::Global().Intern(rs.value);
     q->selections_.push_back(rs);
   }
   for (const auto& item : s.select_list) {
@@ -77,6 +89,7 @@ StatusOr<InputQueryPtr> InputQuery::Create(uint64_t query_id,
     if (item.is_constant()) {
       ri.is_const = true;
       ri.constant = *item.constant;
+      ri.constant_id = ValueInterner::Global().Intern(ri.constant);
     } else {
       if (auto st = resolve(item.attr, ri.rel, ri.attr); !st.ok()) return st;
     }
@@ -134,19 +147,45 @@ int InputQuery::RelIndex(const std::string& relation) const {
 }
 
 const sql::Value* Residual::BoundValue(int rel, int attr) const {
-  const sql::TuplePtr* t = FindBound(rel);
-  if (t == nullptr) return nullptr;
-  return &(*t)->values[static_cast<size_t>(attr)];
+  const ValueId id = BoundValueId(rel, attr);
+  if (id == kInvalidValueId) return nullptr;
+  return &ValueInterner::Global().value(id);
+}
+
+bool Residual::Matches(int rel, const TupleRef& t) const {
+  const ValueId* cols = t.rec().columns();
+  // Original selection predicates on this relation: one u32 compare each.
+  for (const auto& sel : origin_->selections()) {
+    if (sel.rel != rel) continue;
+    if (cols[sel.attr] != sel.value_id) return false;
+  }
+  // Join predicates whose other side is already bound act as implied
+  // selections (the rewriting of Section 3).
+  for (const auto& j : origin_->joins()) {
+    int my_attr, other_rel, other_attr;
+    if (j.left_rel == rel) {
+      my_attr = j.left_attr;
+      other_rel = j.right_rel;
+      other_attr = j.right_attr;
+    } else if (j.right_rel == rel) {
+      my_attr = j.right_attr;
+      other_rel = j.left_rel;
+      other_attr = j.left_attr;
+    } else {
+      continue;
+    }
+    const ValueId other = BoundValueId(other_rel, other_attr);
+    if (other == kInvalidValueId) continue;  // Both sides still unbound.
+    if (cols[my_attr] != other) return false;
+  }
+  return true;
 }
 
 bool Residual::Matches(int rel, const sql::Tuple& t) const {
-  // Original selection predicates on this relation.
   for (const auto& sel : origin_->selections()) {
     if (sel.rel != rel) continue;
     if (t.values[static_cast<size_t>(sel.attr)] != sel.value) return false;
   }
-  // Join predicates whose other side is already bound act as implied
-  // selections (the rewriting of Section 3).
   for (const auto& j : origin_->joins()) {
     int my_attr, other_rel, other_attr;
     if (j.left_rel == rel) {
@@ -171,16 +210,16 @@ namespace {
 uint64_t WindowPositionOf(const sql::WindowSpec& w, const sql::Tuple& t) {
   return w.unit == sql::WindowSpec::Unit::kTime ? t.pub_time : t.seq_no;
 }
-}  // namespace
+uint64_t WindowPositionOf(const sql::WindowSpec& w, const TupleRef& t) {
+  return w.unit == sql::WindowSpec::Unit::kTime ? t->pub_time : t->seq_no;
+}
 
-bool Residual::WindowAdmits(int rel, const sql::Tuple& t) const {
-  (void)rel;
-  const sql::WindowSpec& w = origin_->spec().window;
+bool WindowAdmitsAt(const sql::WindowSpec& w, int num_bound,
+                    uint64_t window_min, uint64_t window_max, uint64_t p) {
   if (!w.use_windows) return true;
-  if (bound_.empty()) return true;  // First binding opens the window.
-  const uint64_t p = WindowPositionOf(w, t);
-  const uint64_t lo = std::min(window_min_, p);
-  const uint64_t hi = std::max(window_max_, p);
+  if (num_bound == 0) return true;  // First binding opens the window.
+  const uint64_t lo = std::min(window_min, p);
+  const uint64_t hi = std::max(window_max, p);
   if (w.kind == sql::WindowSpec::Kind::kSliding) {
     // The paper's rule: |start(q) - pubT(t)| + 1 <= window. We track the
     // true extremes of the partial combination, which makes the test exact
@@ -190,16 +229,41 @@ bool Residual::WindowAdmits(int rel, const sql::Tuple& t) const {
   if (w.size == 0) return false;
   return lo / w.size == hi / w.size;  // Tumbling: same epoch.
 }
+}  // namespace
 
-Residual Residual::Bind(int rel, sql::TuplePtr t) const {
+bool Residual::WindowAdmits(int rel, const TupleRef& t) const {
+  (void)rel;
+  const sql::WindowSpec& w = origin_->spec().window;
+  if (!w.use_windows) return true;
+  return WindowAdmitsAt(w, num_bound_, window_min_, window_max_,
+                        WindowPositionOf(w, t));
+}
+
+bool Residual::WindowAdmits(int rel, const sql::Tuple& t) const {
+  (void)rel;
+  const sql::WindowSpec& w = origin_->spec().window;
+  if (!w.use_windows) return true;
+  return WindowAdmitsAt(w, num_bound_, window_min_, window_max_,
+                        WindowPositionOf(w, t));
+}
+
+Residual Residual::Bind(int rel, TupleRef t) const {
   RJOIN_CHECK(!IsBound(rel)) << "relation already bound";
   Residual out = *this;
   const sql::WindowSpec& w = origin_->spec().window;
-  const uint64_t p = WindowPositionOf(w, *t);
+  const uint64_t p = WindowPositionOf(w, t);
   out.window_min_ = std::min(out.window_min_, p);
   out.window_max_ = std::max(out.window_max_, p);
-  out.bound_.push_back({static_cast<uint8_t>(rel), std::move(t)});
+  out.bound_[static_cast<size_t>(rel)] = std::move(t);
+  out.bound_mask_ |= static_cast<uint16_t>(1u << static_cast<unsigned>(rel));
+  ++out.num_bound_;
   return out;
+}
+
+Residual Residual::Bind(int rel, const sql::TuplePtr& t) const {
+  return Bind(rel, TuplePool::Global().Make(t->relation, t->values,
+                                            t->pub_time, t->seq_no,
+                                            t->tuple_id));
 }
 
 std::vector<sql::Value> Residual::ExtractAnswer() const {
@@ -218,18 +282,54 @@ std::vector<sql::Value> Residual::ExtractAnswer() const {
   return row;
 }
 
+int Residual::ExtractAnswerIds(ValueId* out) const {
+  RJOIN_CHECK(IsComplete());
+  int n = 0;
+  for (const auto& item : origin_->select_items()) {
+    if (item.is_const) {
+      out[n++] = item.constant_id;
+    } else {
+      const ValueId v = BoundValueId(item.rel, item.attr);
+      RJOIN_CHECK(v != kInvalidValueId) << "answer from incomplete residual";
+      out[n++] = v;
+    }
+  }
+  return n;
+}
+
 std::string Residual::ContentFingerprint() const {
   std::string fp = std::to_string(origin_->query_id());
   for (size_t rel = 0; rel < origin_->num_relations(); ++rel) {
     fp += '#';
-    const sql::TuplePtr* t = FindBound(static_cast<int>(rel));
+    const TupleRef* t = FindBound(static_cast<int>(rel));
     if (t == nullptr) continue;
     for (int attr : origin_->projection_attrs(static_cast<int>(rel))) {
-      fp += (*t)->values[static_cast<size_t>(attr)].ToKeyString();
+      fp += t->value(attr).ToKeyString();
       fp += '|';
     }
   }
   return fp;
+}
+
+uint64_t Residual::ContentFingerprint64() const {
+  // FNV-style chain over the query id and the bound projections' interned
+  // value ids — the same identity ContentFingerprint() renders as text
+  // (vids are injective), without touching a string.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(origin_->query_id());
+  for (size_t rel = 0; rel < origin_->num_relations(); ++rel) {
+    mix(0x2323232323232323ull);  // per-relation separator ('#')
+    if (!IsBound(static_cast<int>(rel))) continue;
+    const TupleRef& t = bound_[rel];
+    for (int attr : origin_->projection_attrs(static_cast<int>(rel))) {
+      mix(t.value_id(attr) + 1ull);
+    }
+  }
+  return h;
 }
 
 sql::Query Residual::ToRewrittenQuery() const {

@@ -1,12 +1,14 @@
 #ifndef RJOIN_CORE_RESIDUAL_H_
 #define RJOIN_CORE_RESIDUAL_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/key.h"
+#include "core/tuple_ref.h"
 #include "dht/chord_node.h"
 #include "sql/query.h"
 #include "sql/schema.h"
@@ -15,10 +17,21 @@
 
 namespace rjoin::core {
 
+/// Upper bound on FROM-list width. The flat residual stores one TupleRef
+/// slot per FROM relation inline (no heap), so the bound is a hard
+/// capacity; Create() rejects wider queries with Unimplemented. The
+/// paper's workloads top out at 10-way joins.
+inline constexpr int kMaxQueryRels = 10;
+
+/// Upper bound on SELECT-list width, sized for the flat AnswerDeliver
+/// payload (the workload generator emits exactly 2 items).
+inline constexpr int kMaxSelectItems = 12;
+
 /// A submitted continuous query, compiled once: attribute names are resolved
-/// to (relation index, attribute index) pairs so that triggering and
-/// rewriting are integer operations. Immutable and shared by every residual
-/// derived from it.
+/// to (relation index, attribute index) pairs — and, for the flat tuple
+/// plane, relation names to dense TuplePool ids and predicate constants to
+/// interned ValueIds — so that triggering and rewriting are integer
+/// operations. Immutable and shared by every residual derived from it.
 class InputQuery {
  public:
   struct ResolvedJoin {
@@ -31,12 +44,14 @@ class InputQuery {
     int rel;
     int attr;
     sql::Value value;
+    ValueId value_id = kInvalidValueId;  ///< interned `value`
   };
   struct ResolvedSelectItem {
     bool is_const = false;
     int rel = -1;
     int attr = -1;
     sql::Value constant;
+    ValueId constant_id = kInvalidValueId;  ///< interned `constant`
   };
 
   /// Validates and compiles `spec`. Fails on unknown relations/attributes,
@@ -65,6 +80,21 @@ class InputQuery {
   /// Index of `relation` in the FROM list, or -1.
   int RelIndex(const std::string& relation) const;
 
+  /// Dense TuplePool id of FROM-relation `rel` (resolved at Create).
+  uint32_t relation_id(int rel) const {
+    return rel_ids_[static_cast<size_t>(rel)];
+  }
+
+  /// Index of the FROM relation with dense pool id `rel_id`, or -1. The
+  /// trigger hot path resolves an arriving tuple's relation with this
+  /// integer scan instead of string comparison.
+  int RelIndexOf(uint32_t rel_id) const {
+    for (size_t i = 0; i < spec_.relations.size(); ++i) {
+      if (rel_ids_[i] == rel_id) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
   const std::vector<ResolvedJoin>& joins() const { return joins_; }
   const std::vector<ResolvedSelection>& selections() const {
     return selections_;
@@ -91,6 +121,7 @@ class InputQuery {
   uint64_t ins_time_ = 0;
   bool one_time_ = false;
   sql::Query spec_;
+  std::array<uint32_t, kMaxQueryRels> rel_ids_ = {};
   std::vector<ResolvedJoin> joins_;
   std::vector<ResolvedSelection> selections_;
   std::vector<ResolvedSelectItem> select_items_;
@@ -104,31 +135,31 @@ using InputQueryPtr = std::shared_ptr<const InputQuery>;
 /// Instead of materializing rewritten SQL text, a residual references its
 /// immutable input query plus the tuples bound so far — semantically
 /// identical to the paper's rewritten queries (sql::Rewriter is the
-/// reference implementation; property tests check agreement) but a few
-/// pointers in size, which matters when millions of rewritten queries are
-/// stored across the network.
+/// reference implementation; property tests check agreement).
+///
+/// Flat representation: bound tuples live in a fixed inline array of
+/// TupleRef handles indexed by FROM position, so Bind() is allocation-free
+/// and copying a residual (every rewrite hop stores one) is a handful of
+/// refcount increments — no heap traffic on the steady-state path.
 class Residual {
  public:
   Residual() = default;
   explicit Residual(InputQueryPtr origin) : origin_(std::move(origin)) {}
 
   const InputQueryPtr& origin() const { return origin_; }
-  int num_bound() const { return static_cast<int>(bound_.size()); }
-  bool IsInputQuery() const { return bound_.empty(); }
+  int num_bound() const { return num_bound_; }
+  bool IsInputQuery() const { return num_bound_ == 0; }
   bool IsComplete() const {
-    return bound_.size() == origin_->num_relations();
+    return static_cast<size_t>(num_bound_) == origin_->num_relations();
   }
 
-  /// The tuple bound at FROM-relation index `rel`, or nullptr. Residuals
-  /// store only their bound relations (usually 1-2 of many), keeping the
-  /// millions of stored rewritten queries of a long run small.
-  const sql::TuplePtr* FindBound(int rel) const {
-    for (const auto& b : bound_) {
-      if (b.rel == rel) return &b.tuple;
-    }
-    return nullptr;
+  /// The tuple bound at FROM-relation index `rel`, or nullptr.
+  const TupleRef* FindBound(int rel) const {
+    return IsBound(rel) ? &bound_[static_cast<size_t>(rel)] : nullptr;
   }
-  bool IsBound(int rel) const { return FindBound(rel) != nullptr; }
+  bool IsBound(int rel) const {
+    return (bound_mask_ >> static_cast<unsigned>(rel)) & 1u;
+  }
 
   /// Window positions (pub_time or seq_no, per the window unit) of the
   /// earliest and latest bound tuples. Meaningful once num_bound > 0.
@@ -144,18 +175,33 @@ class Residual {
   /// selections on the relation, and join predicates whose other side is
   /// already bound. Join predicates between two unbound relations impose
   /// nothing yet. Temporal checks are separate (see WindowAdmits).
+  ///
+  /// The TupleRef form is the hot path: every predicate is one u32
+  /// ValueId comparison (interning is injective, so vid equality is value
+  /// equality). The sql::Tuple form is the cold/test boundary.
+  bool Matches(int rel, const TupleRef& t) const;
   bool Matches(int rel, const sql::Tuple& t) const;
 
   /// Window validity test of Section 5 for binding `t`: the resulting
   /// combination must fit in one window. Always true without windows.
+  bool WindowAdmits(int rel, const TupleRef& t) const;
   bool WindowAdmits(int rel, const sql::Tuple& t) const;
 
   /// Returns a new residual with `t` bound at `rel`. Caller must have
-  /// verified Matches and WindowAdmits. This is the engine's rewrite step.
-  Residual Bind(int rel, sql::TuplePtr t) const;
+  /// verified Matches and WindowAdmits. This is the engine's rewrite step —
+  /// allocation-free: a fixed-size copy plus refcount increments.
+  Residual Bind(int rel, TupleRef t) const;
 
-  /// Answer row of a complete residual.
+  /// Cold-boundary form (tests): pools a flat record for `t` first.
+  Residual Bind(int rel, const sql::TuplePtr& t) const;
+
+  /// Answer row of a complete residual (materialized; owner-side only).
   std::vector<sql::Value> ExtractAnswer() const;
+
+  /// Flat answer row of a complete residual: writes the interned ValueIds
+  /// of the select list into `out` (capacity >= kMaxSelectItems) and
+  /// returns the item count. Allocation-free.
+  int ExtractAnswerIds(ValueId* out) const;
 
   /// Fingerprint of the residual's *rewritten content*: origin query plus,
   /// for every bound relation, the projection of its tuple over the
@@ -163,21 +209,30 @@ class Residual {
   /// are the same rewritten query (used for DISTINCT set semantics).
   std::string ContentFingerprint() const;
 
-  /// Value of attribute (rel, attr) if that relation is bound.
+  /// 64-bit fingerprint over interned ValueIds — the hot-path form, no
+  /// string rendering. Vids are canonical across shard counts (driver-phase
+  /// interning), so this is bit-identical at S=1/4/7.
+  uint64_t ContentFingerprint64() const;
+
+  /// Value of attribute (rel, attr) if that relation is bound. The
+  /// reference is stable (ValueInterner entries are immortal).
   const sql::Value* BoundValue(int rel, int attr) const;
+
+  /// Interned id of attribute (rel, attr), or kInvalidValueId if unbound.
+  ValueId BoundValueId(int rel, int attr) const {
+    if (!IsBound(rel)) return kInvalidValueId;
+    return bound_[static_cast<size_t>(rel)].value_id(attr);
+  }
 
   /// The equivalent textual rewritten query (reference form, for tracing
   /// and tests against sql::Rewriter).
   sql::Query ToRewrittenQuery() const;
 
  private:
-  struct BoundTuple {
-    uint8_t rel = 0;
-    sql::TuplePtr tuple;
-  };
-
   InputQueryPtr origin_;
-  std::vector<BoundTuple> bound_;  // Sparse: bound relations only.
+  std::array<TupleRef, kMaxQueryRels> bound_;  ///< dense by FROM index
+  uint16_t bound_mask_ = 0;
+  uint8_t num_bound_ = 0;
   uint64_t window_min_ = UINT64_MAX;
   uint64_t window_max_ = 0;
 };

@@ -22,6 +22,30 @@ struct RicEntry {
   uint64_t timestamp = 0;  ///< when the rate was learned (T_r)
 };
 
+/// Fixed-capacity RIC piggyback (Section 7): the candidate-table excerpt a
+/// QueryIndex/Rewrite message carries. Inline — a rewrite message with
+/// piggyback is a flat POD, no heap vector per hop. Capacity covers one
+/// entry per indexing candidate of the widest supported query
+/// (kMaxQueryRels, plus slack); overflow drops deterministically
+/// (TryPush keeps the first kCap in construction order, which is identical
+/// across shard counts), costing at most a cache-warming hint.
+struct RicVec {
+  static constexpr int kCap = 12;
+
+  uint16_t count = 0;
+  RicEntry entries[kCap];
+
+  bool TryPush(const RicEntry& e) {
+    if (count >= kCap) return false;
+    entries[count++] = e;
+    return true;
+  }
+  const RicEntry* begin() const { return entries; }
+  const RicEntry* end() const { return entries + count; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+};
+
 /// Per-node tuple-arrival counter. Tracks, for every index key the node is
 /// responsible for, the number of tuples received in the current and the
 /// previous observation epoch; the predicted rate is their sum — i.e. "we

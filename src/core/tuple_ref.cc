@@ -1,0 +1,275 @@
+#include "core/tuple_ref.h"
+
+#include <utility>
+
+#include "stats/alloc_tracker.h"
+#include "util/hash.h"
+
+namespace rjoin::core {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Domain-tagged value hash: int and string values can never collide into
+/// the same id because equality is checked against the stored sql::Value,
+/// but tagging keeps probe chains short when both domains are in play.
+uint64_t HashValue(const sql::Value& v) {
+  if (v.is_int()) {
+    return SplitMix64(static_cast<uint64_t>(v.AsInt()) ^
+                      0x7475706c65696e74ull);
+  }
+  return rjoin::Fnv1a64(v.AsString()) ^ 0x7475706c65737472ull;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ValueInterner
+
+ValueInterner::Table::Table(size_t capacity)
+    : mask(capacity - 1),
+      slots(std::make_unique<std::atomic<uint64_t>[]>(capacity)) {
+  for (size_t i = 0; i < capacity; ++i) {
+    slots[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+ValueInterner::ValueInterner()
+    : slabs_(std::make_unique<std::atomic<sql::Value*>[]>(kMaxSlabs)) {
+  for (uint32_t i = 0; i < kMaxSlabs; ++i) {
+    slabs_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  auto table = std::make_unique<Table>(1024);
+  table_.store(table.get(), std::memory_order_release);
+  retired_.push_back(std::move(table));
+}
+
+ValueInterner::~ValueInterner() {
+  for (uint32_t s = 0; s < kMaxSlabs; ++s) {
+    sql::Value* slab = slabs_[s].load(std::memory_order_relaxed);
+    if (slab == nullptr) break;
+    delete[] slab;
+  }
+}
+
+ValueInterner& ValueInterner::Global() {
+  static ValueInterner* g = new ValueInterner();
+  return *g;
+}
+
+ValueId ValueInterner::FindIn(const Table& table, const sql::Value& v,
+                              uint64_t hash) const {
+  const uint64_t tag = hash >> 32;
+  size_t i = hash & table.mask;
+  for (;;) {
+    const uint64_t slot = table.slots[i].load(std::memory_order_acquire);
+    if (slot == 0) return kInvalidValueId;
+    if ((slot >> 32) == tag) {
+      const ValueId id = static_cast<ValueId>(slot & 0xffffffffu) - 1;
+      if (value(id) == v) return id;
+    }
+    i = (i + 1) & table.mask;
+  }
+}
+
+void ValueInterner::PublishInto(Table& table, uint64_t hash, ValueId id) {
+  size_t i = hash & table.mask;
+  while (table.slots[i].load(std::memory_order_relaxed) != 0) {
+    i = (i + 1) & table.mask;
+  }
+  table.slots[i].store((hash >> 32 << 32) | (id + 1),
+                       std::memory_order_release);
+}
+
+ValueId ValueInterner::Find(const sql::Value& v) const {
+  const uint64_t hash = HashValue(v);
+  const Table* table = table_.load(std::memory_order_acquire);
+  return FindIn(*table, v, hash);
+}
+
+ValueId ValueInterner::Intern(const sql::Value& v) {
+  const uint64_t hash = HashValue(v);
+  {
+    const Table* table = table_.load(std::memory_order_acquire);
+    const ValueId id = FindIn(*table, v, hash);
+    if (id != kInvalidValueId) return id;
+  }
+  rjoin::stats::AllocScope scope(rjoin::stats::AllocPlane::kTuple);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Table* table = table_.load(std::memory_order_relaxed);
+  const ValueId found = FindIn(*table, v, hash);
+  if (found != kInvalidValueId) return found;
+
+  const uint32_t id = size_.load(std::memory_order_relaxed);
+  RJOIN_CHECK(id < kMaxSlabs * kSlabSize);
+  const uint32_t slab = id >> kSlabBits;
+  sql::Value* base = slabs_[slab].load(std::memory_order_relaxed);
+  if (base == nullptr) {
+    base = new sql::Value[kSlabSize];
+    slabs_[slab].store(base, std::memory_order_release);
+  }
+  base[id & (kSlabSize - 1)] = v;
+
+  // Grow at 70% load; readers holding the old table fall back here.
+  if ((id + 1) * 10 >= (table->mask + 1) * 7) {
+    auto bigger = std::make_unique<Table>((table->mask + 1) * 2);
+    for (uint32_t existing = 0; existing < id; ++existing) {
+      PublishInto(*bigger, HashValue(value(existing)), existing);
+    }
+    table_.store(bigger.get(), std::memory_order_release);
+    retired_.push_back(std::move(bigger));
+    table = table_.load(std::memory_order_relaxed);
+  }
+  size_.store(id + 1, std::memory_order_release);
+  PublishInto(*table, hash, id);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// TuplePool
+
+TuplePool::TuplePool()
+    : slabs_(std::make_unique<std::atomic<Rec*>[]>(kMaxSlabs)),
+      rel_names_(
+          std::make_unique<std::atomic<const std::string*>[]>(kMaxRelations)) {
+  for (uint32_t i = 0; i < kMaxSlabs; ++i) {
+    slabs_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  for (uint32_t i = 0; i < kMaxRelations; ++i) {
+    rel_names_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+TuplePool::~TuplePool() {
+  for (uint32_t s = 0; s < kMaxSlabs; ++s) {
+    Rec* slab = slabs_[s].load(std::memory_order_relaxed);
+    if (slab == nullptr) break;
+    delete[] slab;
+  }
+}
+
+TuplePool& TuplePool::Global() {
+  static TuplePool* g = new TuplePool();
+  return *g;
+}
+
+uint32_t TuplePool::InternRelation(std::string_view name) {
+  const uint32_t n = rel_count_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (*rel_names_[i].load(std::memory_order_acquire) == name) return i;
+  }
+  rjoin::stats::AllocScope scope(rjoin::stats::AllocPlane::kTuple);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint32_t m = rel_count_.load(std::memory_order_relaxed);
+  for (uint32_t i = n; i < m; ++i) {
+    if (*rel_names_[i].load(std::memory_order_relaxed) == name) return i;
+  }
+  RJOIN_CHECK(m < kMaxRelations);
+  rel_storage_.push_back(std::make_unique<std::string>(name));
+  rel_names_[m].store(rel_storage_.back().get(), std::memory_order_release);
+  rel_count_.store(m + 1, std::memory_order_release);
+  return m;
+}
+
+uint32_t TuplePool::Allocate() {
+  acquired_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Reclaim worker-released records in bulk (cf. MessagePool remote list).
+  uint32_t remote = remote_free_.exchange(kNil, std::memory_order_acquire);
+  while (remote != kNil) {
+    Rec& r = at(remote);
+    const uint32_t next = r.next;
+    r.next = free_;
+    free_ = remote;
+    remote = next;
+  }
+  if (free_ != kNil) {
+    recycled_.fetch_add(1, std::memory_order_relaxed);
+    const uint32_t idx = free_;
+    Rec& r = at(idx);
+    free_ = r.next;
+    r.next = kNil;
+    r.refs.store(1, std::memory_order_relaxed);
+    return idx;
+  }
+  const uint32_t idx = allocated_++;
+  RJOIN_CHECK(idx < kMaxSlabs * kSlabSize);
+  if ((idx & (kSlabSize - 1)) == 0) {
+    // Slab growth is capacity acquisition, not per-record traffic.
+    rjoin::stats::AllocScope scope(rjoin::stats::AllocPlane::kPoolCapacity);
+    slabs_[idx >> kSlabBits].store(new Rec[kSlabSize],
+                                   std::memory_order_release);
+    slabs_allocated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Rec& r = at(idx);
+  r.refs.store(1, std::memory_order_relaxed);
+  return idx;
+}
+
+void TuplePool::ReleaseRecord(uint32_t idx) {
+  released_.fetch_add(1, std::memory_order_relaxed);
+  Rec& r = at(idx);
+  uint32_t head = remote_free_.load(std::memory_order_relaxed);
+  do {
+    r.next = head;
+  } while (!remote_free_.compare_exchange_weak(
+      head, idx, std::memory_order_release, std::memory_order_relaxed));
+}
+
+TupleRef TuplePool::Make(std::string_view relation,
+                         const std::vector<sql::Value>& values,
+                         uint64_t pub_time, uint64_t seq_no,
+                         uint64_t tuple_id) {
+  const uint32_t rel = InternRelation(relation);
+  const uint32_t idx = Allocate();
+  Rec& r = at(idx);
+  r.pub_time = pub_time;
+  r.seq_no = seq_no;
+  r.tuple_id = tuple_id;
+  r.relation = rel;
+  r.arity = static_cast<uint16_t>(values.size());
+  ValueId* out = r.vals;
+  if (r.arity > kInlineArity) {
+    if (r.overflow_cap < r.arity) {
+      rjoin::stats::AllocScope scope(rjoin::stats::AllocPlane::kTuple);
+      r.overflow = std::make_unique<ValueId[]>(r.arity);
+      r.overflow_cap = r.arity;
+    }
+    out = r.overflow.get();
+  }
+  ValueInterner& vi = ValueInterner::Global();
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = vi.Intern(values[i]);
+  }
+  return TupleRef::AdoptRaw(idx);
+}
+
+TuplePool::Stats TuplePool::stats() const {
+  Stats s;
+  s.slabs_allocated = slabs_allocated_.load(std::memory_order_relaxed);
+  s.records_allocated = s.slabs_allocated * kSlabSize;
+  s.acquired = acquired_.load(std::memory_order_relaxed);
+  s.recycled = recycled_.load(std::memory_order_relaxed);
+  s.released = released_.load(std::memory_order_relaxed);
+  return s;
+}
+
+sql::TuplePtr TupleRef::Materialize() const {
+  const TuplePool::Rec& r = rec();
+  std::vector<sql::Value> values;
+  values.reserve(r.arity);
+  const ValueId* cols = r.columns();
+  ValueInterner& vi = ValueInterner::Global();
+  for (uint16_t i = 0; i < r.arity; ++i) {
+    values.push_back(vi.value(cols[i]));
+  }
+  return sql::MakeTuple(std::string(relation_name()), std::move(values),
+                        r.pub_time, r.seq_no, r.tuple_id);
+}
+
+}  // namespace rjoin::core

@@ -130,7 +130,7 @@ void Transport::FinishDirect(core::EnvelopeRef env) {
 }
 
 size_t Transport::MultiSend(
-    NodeIndex src, std::vector<std::pair<NodeId, core::MessageTask>> messages,
+    NodeIndex src, std::vector<std::pair<NodeId, core::MessageTask>>* messages,
     bool ric) {
   if (router_ != nullptr && !router_->InWorker()) {
     // One defer event carries the whole batch to src's shard as an intrusive
@@ -138,7 +138,7 @@ size_t Transport::MultiSend(
     // order, exactly as a serial sequence of Send calls would draw them.
     core::EnvelopeRef head;
     core::Envelope* tail = nullptr;
-    for (auto& [key, task] : messages) {
+    for (auto& [key, task] : *messages) {
       core::EnvelopeRef env = MakeRouted(src, key, std::move(task), ric,
                                          core::EnvelopeStage::kRoute);
       if (tail == nullptr) {
@@ -149,13 +149,15 @@ size_t Transport::MultiSend(
         tail = tail->link;
       }
     }
+    messages->clear();
     if (head) router_->Defer(src, std::move(head));
     return 0;
   }
   size_t hops = 0;
-  for (auto& [key, task] : messages) {
+  for (auto& [key, task] : *messages) {
     hops += Send(src, key, std::move(task), ric);
   }
+  messages->clear();
   return hops;
 }
 

@@ -139,10 +139,18 @@ class Transport : public core::EnvelopeDispatcher {
   /// hops across all messages (0 when deferred). Under the router the whole
   /// batch defers as one envelope chain — a single event on src's shard
   /// that draws emission seqs in batch order, exactly as sequential Send
-  /// calls would.
+  /// calls would. Drains `*messages` in place and clears it, keeping its
+  /// capacity — the publish path reuses one batch buffer forever.
+  size_t MultiSend(NodeIndex src,
+                   std::vector<std::pair<NodeId, core::MessageTask>>* messages,
+                   bool ric = false);
+
+  /// Convenience overload consuming the batch by value.
   size_t MultiSend(NodeIndex src,
                    std::vector<std::pair<NodeId, core::MessageTask>> messages,
-                   bool ric = false);
+                   bool ric = false) {
+    return MultiSend(src, &messages, ric);
+  }
 
   /// One-hop delivery to a node whose address is already known.
   void SendDirect(NodeIndex src, NodeIndex dst, core::MessageTask task,

@@ -1,0 +1,127 @@
+#include "stats/alloc_tracker.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Per-plane allocation counters, fed by a process-wide operator new
+// override. The counters and the thread_local tag are constant-initialized
+// so the override is safe during static initialization, before any rjoin
+// code runs. TSan/ASan still intercept the underlying malloc, so sanitizer
+// jobs keep full coverage.
+
+namespace rjoin::stats {
+namespace {
+
+std::atomic<uint64_t> g_alloc_counts[kNumAllocPlanes] = {};
+thread_local AllocPlane t_plane = AllocPlane::kOther;
+
+inline void CountAlloc() {
+  g_alloc_counts[static_cast<int>(t_plane)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+AllocCounts ReadAllocCounts() {
+  AllocCounts c;
+  for (int i = 0; i < kNumAllocPlanes; ++i) {
+    c.counts[i] = g_alloc_counts[i].load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+AllocScope::AllocScope(AllocPlane plane) : prev_(t_plane) {
+  t_plane = plane;
+}
+
+AllocScope::~AllocScope() { t_plane = prev_; }
+
+}  // namespace rjoin::stats
+
+namespace {
+
+void* TrackedAlloc(std::size_t size) {
+  rjoin::stats::CountAlloc();
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* TrackedAlignedAlloc(std::size_t size, std::size_t align) {
+  rjoin::stats::CountAlloc();
+  if (size == 0) size = 1;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = TrackedAlloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = TrackedAlloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = TrackedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = TrackedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return TrackedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return TrackedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -81,6 +81,11 @@ void PrintMessagePlaneSummary(std::ostream& os,
                               static_cast<double>(s.messages)
                         : 0.0)
      << "\n";
+  os << "data-plane heap allocs:  "
+     << (s.alloc_tuple + s.alloc_residual + s.alloc_message) << " (tuple "
+     << s.alloc_tuple << ", residual " << s.alloc_residual << ", message "
+     << s.alloc_message << "; pool capacity " << s.alloc_pool_capacity
+     << ", other " << s.alloc_other << ")\n";
   const uint64_t interns = s.interner_hits + s.interner_misses;
   os << "interned keys:           " << s.interned_keys << "\n";
   os << "interner hit rate:       "

@@ -80,6 +80,13 @@ struct MessagePlaneSummary {
   uint64_t answer_latency_p99 = 0;
   double stall_wall_seconds = 0.0;      ///< total time workers spent parked
   uint64_t stall_p99_us = 0;            ///< p99 single park, wall microsecs
+  // Per-subsystem heap-allocation counts (alloc_tracker.h planes), so an
+  // allocation regression is locatable: which plane started allocating.
+  uint64_t alloc_tuple = 0;     ///< tuple dictionaries, tuple records
+  uint64_t alloc_residual = 0;  ///< stored-query / residual records
+  uint64_t alloc_message = 0;   ///< per-envelope traffic
+  uint64_t alloc_other = 0;     ///< untagged (setup, reporting, answers)
+  uint64_t alloc_pool_capacity = 0;  ///< slab growth, table doubling
 };
 
 /// Prints the message-plane summary: messages dispatched, envelope heap

@@ -172,6 +172,7 @@ LoadSnapshot Experiment::Snapshot(size_t after_tuples) const {
     snap.storage.push_back(
         m.storage_current > 0 ? static_cast<uint64_t>(m.storage_current) : 0);
   }
+  snap.allocs = stats::ReadAllocCounts();
   return snap;
 }
 
@@ -202,8 +203,9 @@ ExperimentResult Experiment::Run() {
   {
     TupleGenerator warm(config_.workload, catalog_.get(),
                         config_.seed * 29 + 11);
-    for (const TupleGenerator::Batch& batch :
-         warm.NextBatch(config_.warmup_observations)) {
+    std::vector<TupleGenerator::Batch> batches;
+    warm.NextBatch(config_.warmup_observations, &batches);
+    for (const TupleGenerator::Batch& batch : batches) {
       RJOIN_CHECK(
           engine_->ObserveStreamHistoryBulk(batch.relation, batch.rows).ok());
     }
@@ -234,6 +236,9 @@ ExperimentResult Experiment::Run() {
   TupleGenerator tgen(config_.workload, catalog_.get(), config_.seed * 13 + 5);
   size_t next_checkpoint = 0;
   result.per_tuple.reserve(config_.num_tuples);
+  // One reused draw buffer: the streaming loop publishes from it by const
+  // reference, so the driver side of the stream allocates nothing per tuple.
+  TupleGenerator::Draw d;
   for (size_t i = 0; i < config_.num_tuples; ++i) {
     // Churn ops due within this publication slot enter the event plane
     // now, so topology mutations interleave with the stream instead of
@@ -243,8 +248,8 @@ ExperimentResult Experiment::Run() {
     }
     const dht::NodeIndex publisher =
         alive[placement_rng.NextBounded(alive.size())];
-    TupleGenerator::Draw d = tgen.Next();
-    auto t = engine_->PublishTuple(publisher, d.relation, std::move(d.values));
+    tgen.Next(&d);
+    auto t = engine_->PublishTuple(publisher, d.relation, d.values);
     RJOIN_CHECK(t.ok()) << t.status().ToString();
     if (config_.pipeline_stream) {
       // Streaming mode: advance one inter-arrival slot and keep cascades

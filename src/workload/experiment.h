@@ -15,6 +15,7 @@
 #include "sim/latency.h"
 #include "sim/simulator.h"
 #include "sql/schema.h"
+#include "stats/alloc_tracker.h"
 #include "stats/distribution.h"
 #include "stats/metrics.h"
 #include "workload/churn.h"
@@ -141,6 +142,10 @@ struct LoadSnapshot {
   std::vector<uint64_t> ric_messages;  ///< cumulative RIC traffic per node
   std::vector<uint64_t> qpl;           ///< cumulative QPL per node
   std::vector<uint64_t> storage;       ///< current stored items per node
+  /// Cumulative per-plane heap-allocation counters at the checkpoint, so a
+  /// bench can report steady-state allocs_per_tuple over a tail window
+  /// (between two checkpoints) instead of averaging in the cold ramp.
+  stats::AllocCounts allocs;
 };
 
 /// Cumulative totals sampled after each published tuple (Fig. 8).

@@ -32,31 +32,61 @@ TupleGenerator::TupleGenerator(const WorkloadParams& params,
 
 TupleGenerator::Draw TupleGenerator::Next() {
   Draw d;
+  Next(&d);
+  return d;
+}
+
+void TupleGenerator::Next(Draw* out) {
   const uint64_t rel_rank = relation_dist_.Sample(rng_);
-  d.relation = catalog_->relation_names()[rel_rank];
-  const sql::Schema* schema = catalog_->Find(d.relation);
-  d.values.reserve(schema->arity());
+  out->relation = catalog_->relation_names()[rel_rank];
+  const sql::Schema* schema = catalog_->Find(out->relation);
+  out->values.clear();
+  out->values.reserve(schema->arity());
   for (size_t i = 0; i < schema->arity(); ++i) {
-    d.values.push_back(
+    out->values.push_back(
         sql::Value::Int(static_cast<int64_t>(value_dist_.Sample(rng_))));
   }
-  return d;
 }
 
 std::vector<TupleGenerator::Batch> TupleGenerator::NextBatch(size_t n) {
   std::vector<Batch> batches;
-  for (size_t i = 0; i < n; ++i) {
-    Draw d = Next();
-    auto it = std::find_if(batches.begin(), batches.end(), [&](const Batch& b) {
-      return b.relation == d.relation;
-    });
-    if (it == batches.end()) {
-      batches.push_back(Batch{std::move(d.relation), {}});
-      it = std::prev(batches.end());
-    }
-    it->rows.push_back(std::move(d.values));
-  }
+  NextBatch(n, &batches);
   return batches;
+}
+
+void TupleGenerator::NextBatch(size_t n, std::vector<Batch>* out) {
+  std::vector<Batch>& batches = *out;
+  used_.assign(batches.size(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t rel_rank = relation_dist_.Sample(rng_);
+    const std::string& relation = catalog_->relation_names()[rel_rank];
+    size_t b = 0;
+    while (b < batches.size() && batches[b].relation != relation) ++b;
+    if (b == batches.size()) {
+      batches.push_back(Batch{relation, {}});
+      used_.push_back(0);
+    }
+    Batch& batch = batches[b];
+    // Refill an existing row slot when one is free; its value vector keeps
+    // its capacity, so a warm buffer draws without reallocating.
+    if (used_[b] == batch.rows.size()) batch.rows.emplace_back();
+    std::vector<sql::Value>& row = batch.rows[used_[b]++];
+    row.clear();
+    const sql::Schema* schema = catalog_->Find(relation);
+    row.reserve(schema->arity());
+    for (size_t a = 0; a < schema->arity(); ++a) {
+      row.push_back(
+          sql::Value::Int(static_cast<int64_t>(value_dist_.Sample(rng_))));
+    }
+  }
+  // Consumers see exactly the rows drawn this round: trim unused trailing
+  // slots and drop batches whose relation drew nothing.
+  for (size_t b = 0; b < batches.size(); ++b) {
+    batches[b].rows.resize(used_[b]);
+  }
+  batches.erase(std::remove_if(batches.begin(), batches.end(),
+                               [](const Batch& b) { return b.rows.empty(); }),
+                batches.end());
 }
 
 QueryGenerator::QueryGenerator(const WorkloadParams& params,

@@ -41,6 +41,11 @@ class TupleGenerator {
   };
   Draw Next();
 
+  /// Draw into a caller-owned buffer: the relation string and value vector
+  /// keep their capacity, so a streaming loop reusing one Draw never
+  /// allocates per tuple.
+  void Next(Draw* out);
+
   /// `n` draws grouped by relation (draw order preserved within each
   /// group) — the shape RJoinEngine::PublishBatch and
   /// ObserveStreamHistoryBulk consume. Groups appear in first-draw order.
@@ -50,12 +55,19 @@ class TupleGenerator {
   };
   std::vector<Batch> NextBatch(size_t n);
 
+  /// NextBatch into a caller-owned buffer: batch entries and their row
+  /// vectors are refilled slot by slot, so a warm buffer regenerates a
+  /// batch without reallocating row vectors. Starting from an empty buffer
+  /// produces exactly the returning form's output (first-draw order).
+  void NextBatch(size_t n, std::vector<Batch>* out);
+
  private:
   const WorkloadParams params_;
   const sql::Catalog* catalog_;
   Rng rng_;
   ZipfDistribution relation_dist_;
   ZipfDistribution value_dist_;
+  std::vector<size_t> used_;  ///< per-batch fill cursor (NextBatch scratch)
 };
 
 /// Generates k-way chain joins in the paper's shape:

@@ -44,10 +44,10 @@ struct Harness {
     std::vector<sql::Value> vals;
     vals.reserve(ints.size());
     for (int64_t v : ints) vals.push_back(sql::Value::Int(v));
-    auto t = engine.PublishTuple(node, rel, std::move(vals));
+    auto t = engine.PublishTuple(node, rel, vals);
     EXPECT_TRUE(t.ok()) << t.status().ToString();
     simulator.Run();
-    return *t;
+    return t->Materialize();
   }
 
   /// Advances the clock without events (stream inter-arrival gap).

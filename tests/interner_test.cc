@@ -351,11 +351,14 @@ TEST(SlabPoolTest, RecyclesThroughFreelist) {
 TEST(SlabPoolTest, FreeDropsOwnedResources) {
   SlabPool<AlttEntry> pool;
   const uint32_t idx = pool.Allocate();
-  auto tuple = sql::MakeTuple("R", {sql::Value::Int(1)}, 1, 1, 1);
-  std::weak_ptr<const sql::Tuple> weak = tuple;
+  TuplePool& tuples = TuplePool::Global();
+  const uint64_t released_before = tuples.stats().released;
+  TupleRef tuple =
+      tuples.Make("R", {sql::Value::Int(1)}, 1, 1, 1);
   pool.at(idx).value = AlttEntry{std::move(tuple), 5};
   pool.Free(idx);
-  EXPECT_TRUE(weak.expired()) << "Free must release the tuple reference";
+  EXPECT_EQ(tuples.stats().released, released_before + 1)
+      << "Free must release the tuple reference back to the pool";
 }
 
 // ------------------------------------- id stability across shard counts --

@@ -41,7 +41,8 @@ TEST(MessageTaskTest, KindTracksAlternative) {
 TEST(MessageTaskTest, ResetDropsPayload) {
   AnswerDeliver msg;
   msg.query_id = 7;
-  msg.row.push_back(sql::Value::Int(1));
+  msg.row_len = 1;
+  msg.row[0] = 42;
   MessageTask task(std::move(msg));
   EXPECT_EQ(task.kind(), MessageKind::kAnswerDeliver);
   task.Reset();

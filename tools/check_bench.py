@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the figure-3 throughput bench.
+
+Usage: check_bench.py FRESH_BENCH_JSON TRAJECTORY_DIR [--max-regression R]
+
+Compares a freshly produced BENCH_fig3_tuples.json against the most recent
+committed point in bench/trajectory/ whose provenance matches the fresh
+run's machine and knobs (hardware_threads, build_type, rjoin_scale,
+rjoin_shards) — cross-machine wall-clock numbers are not comparable, so
+only provenance-matched baselines gate.
+
+Fails (exit 1) when:
+  - tuples_per_sec regressed by more than --max-regression (default 10%);
+  - allocs_per_tuple increased at all (the zero-alloc hot path is a
+    ratchet: once the rewrite plane stops allocating, it must not start
+    again).
+
+When no committed point matches the fresh provenance (first run on a new
+machine, or older points predate provenance), the gate passes with a
+notice — it cannot distinguish a regression from a hardware change.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Provenance keys that must agree for wall-clock numbers to be comparable.
+MATCH_KEYS = ["hardware_threads", "build_type", "rjoin_scale",
+              "rjoin_shards"]
+
+ALLOCS_EPSILON = 1e-9
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def notice(msg):
+    print(f"check_bench: NOTICE: {msg}")
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    scalars = doc.get("scalars")
+    if not isinstance(scalars, dict):
+        fail(f"{path}: no scalars object")
+    for key in ("tuples_per_sec", "allocs_per_tuple"):
+        if key not in scalars:
+            fail(f"{path}: missing scalar '{key}'")
+    return doc
+
+
+def provenance_matches(fresh, baseline):
+    fp, bp = fresh.get("provenance"), baseline.get("provenance")
+    if not isinstance(fp, dict) or not isinstance(bp, dict):
+        return False
+    return all(fp.get(k) == bp.get(k) for k in MATCH_KEYS)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh_json", help="freshly produced BENCH_fig3_tuples.json")
+    ap.add_argument("trajectory_dir", help="bench/trajectory/ checkout")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="tolerated fractional tuples_per_sec drop")
+    args = ap.parse_args()
+
+    fresh = load(args.fresh_json)
+    name = os.path.basename(args.fresh_json)
+
+    # Trajectory points live in date-named subdirectories; lexicographic
+    # order is chronological (YYYY-MM-DD[-suffix]).
+    candidates = sorted(glob.glob(
+        os.path.join(args.trajectory_dir, "*", name)))
+    baseline = None
+    baseline_path = None
+    for path in reversed(candidates):
+        doc = load(path)
+        if provenance_matches(fresh, doc):
+            baseline, baseline_path = doc, path
+            break
+
+    if baseline is None:
+        notice(f"no provenance-matched baseline for {name} among "
+               f"{len(candidates)} trajectory points "
+               f"(keys compared: {MATCH_KEYS}); passing without a gate")
+        sys.exit(0)
+
+    fs, bs = fresh["scalars"], baseline["scalars"]
+    f_tps, b_tps = fs["tuples_per_sec"], bs["tuples_per_sec"]
+    f_apt, b_apt = fs["allocs_per_tuple"], bs["allocs_per_tuple"]
+    rel = os.path.relpath(baseline_path, args.trajectory_dir)
+    print(f"check_bench: baseline {rel}: "
+          f"tuples_per_sec {b_tps:.2f} -> {f_tps:.2f}, "
+          f"allocs_per_tuple {b_apt:.4f} -> {f_apt:.4f}")
+
+    if b_tps > 0 and f_tps < b_tps * (1.0 - args.max_regression):
+        fail(f"tuples_per_sec regressed {100 * (1 - f_tps / b_tps):.1f}% "
+             f"({b_tps:.2f} -> {f_tps:.2f}), more than the "
+             f"{100 * args.max_regression:.0f}% budget")
+    if f_apt > b_apt + ALLOCS_EPSILON:
+        fail(f"allocs_per_tuple increased ({b_apt:.6f} -> {f_apt:.6f}); "
+             f"the zero-alloc hot path is a ratchet")
+
+    print("check_bench: OK")
+
+
+if __name__ == "__main__":
+    main()
