@@ -142,6 +142,15 @@ class JsonReporter {
                             const stats::AllocCounts& end,
                             uint64_t window_tuples);
 
+  /// Same steady-state windowing for the route-cache counters: the
+  /// "route_cache_hit_rate" scalar then covers only the window between two
+  /// checkpoints, excluding the cold first-sight ramp (every key's first
+  /// route is a structural miss; what the cache is *for* is the steady
+  /// state). The whole-run rate is still emitted as
+  /// "route_cache_hit_rate_lifetime".
+  void SetSteadyStateRouteCache(const dht::RouteCache::Stats& begin,
+                                const dht::RouteCache::Stats& end);
+
   /// Running tuple total (RunRepeated snapshots it around each repeat).
   uint64_t tuples_processed() const { return tuples_processed_; }
 
@@ -185,6 +194,10 @@ class JsonReporter {
   uint64_t base_interner_misses_ = 0;
   uint64_t base_mailbox_batches_ = 0;
   uint64_t base_mailbox_envelopes_ = 0;
+  uint64_t base_route_cache_hits_ = 0;
+  uint64_t base_route_cache_misses_ = 0;
+  uint64_t base_coalesce_groups_ = 0;
+  uint64_t base_coalesce_payloads_ = 0;
   uint64_t base_sched_epochs_ = 0;
   uint64_t base_watermark_stalls_ = 0;
   uint64_t base_rendezvous_caps_ = 0;
@@ -199,6 +212,10 @@ class JsonReporter {
   /// unset and Write() falls back to the whole-run delta.
   stats::AllocCounts steady_allocs_delta_;
   uint64_t steady_allocs_tuples_ = 0;
+  /// Steady-state route-cache window (SetSteadyStateRouteCache); both
+  /// counters == 0 means unset and Write() falls back to the whole-run
+  /// delta for "route_cache_hit_rate".
+  dht::RouteCache::Stats steady_route_cache_delta_;
   uint64_t tuples_processed_ = 0;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<Chart> charts_;

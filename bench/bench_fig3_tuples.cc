@@ -43,6 +43,7 @@ int main() {
       const auto& tail = result.snapshots.back();
       json.SetSteadyStateAllocs(head.allocs, tail.allocs,
                                 tail.after_tuples - head.after_tuples);
+      json.SetSteadyStateRouteCache(head.route_cache, tail.route_cache);
     }
 
     // (a) incremental per-tuple traffic between snapshots.

@@ -14,6 +14,9 @@
 #include "core/engine.h"
 #include "core/interner.h"
 #include "core/key.h"
+#include "core/messages.h"
+#include "dht/route_cache.h"
+#include "sim/event_queue.h"
 #include "core/planner.h"
 #include "core/residual.h"
 #include "dht/chord_network.h"
@@ -106,6 +109,132 @@ void BM_ChordRoute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChordRoute)->Arg(256)->Arg(1024);
+
+// ------------------------------------------------------- routing plane --
+//
+// What the route cache buys per steady-state send: BM_RouteResolveUncached
+// is the O(log N) greedy finger walk every message paid before the cache;
+// BM_RouteResolveCached is the open-addressed probe a warm send pays now.
+// Both cycle the same 512-key working set from one source node.
+
+constexpr size_t kRouteKeys = 512;
+
+// SHA-1-hashed keys, like the index keys the engine routes on — spread over
+// the whole ring (NodeId::FromUint64 would pile every key next to ring
+// position zero and make all routes from the first ring node degenerate).
+std::vector<dht::NodeId> SpreadKeys() {
+  std::vector<dht::NodeId> keys;
+  keys.reserve(kRouteKeys);
+  for (size_t i = 0; i < kRouteKeys; ++i) {
+    keys.push_back(dht::NodeId::FromKey("route-key-" + std::to_string(i)));
+  }
+  return keys;
+}
+
+void BM_RouteResolveUncached(benchmark::State& state) {
+  auto net = dht::ChordNetwork::Create(static_cast<size_t>(state.range(0)),
+                                       1);
+  const auto alive = net->AliveNodes();
+  const dht::NodeIndex src = alive[alive.size() / 2];
+  const std::vector<dht::NodeId> keys = SpreadKeys();
+  std::vector<dht::NodeIndex> path;
+  size_t i = 0;
+  for (auto _ : state) {
+    net->RoutePath(src, keys[i++ % kRouteKeys], &path);
+    benchmark::DoNotOptimize(path.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteResolveUncached)->Arg(256)->Arg(1024);
+
+void BM_RouteResolveCached(benchmark::State& state) {
+  auto net = dht::ChordNetwork::Create(static_cast<size_t>(state.range(0)),
+                                       1);
+  const auto alive = net->AliveNodes();
+  const dht::NodeIndex src = alive[alive.size() / 2];
+  const uint64_t gen = net->topology_generation();
+  const std::vector<dht::NodeId> keys = SpreadKeys();
+  dht::RouteCache cache;
+  std::vector<dht::NodeIndex> path;
+  for (uint32_t k = 0; k < kRouteKeys; ++k) {
+    net->RoutePath(src, keys[k], &path);
+    cache.Insert(k, gen, path);
+  }
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(i++ % kRouteKeys, gen));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteResolveCached)->Arg(256)->Arg(1024);
+
+// -------------------------------------------------------- event pumps --
+//
+// Hold-model comparison of the old std::push_heap/pop_heap vector against
+// the calendar queue behind sim::EventQueue: with H events pending, each
+// iteration pops the earliest and reschedules it a small delay ahead (the
+// discrete-event steady state). The binary heap sifts O(log H) per
+// operation; the calendar queue stays O(1) as H grows.
+
+constexpr uint64_t kHoldSpread = 64;  // delay range, ticks (<< window size)
+
+void PrimeEnvelope(core::EnvelopeRef& env, Rng& rng, uint64_t& order) {
+  env->time = rng.NextBounded(kHoldSpread);
+  env->order = order++;
+}
+
+void BM_BinaryHeapHold(benchmark::State& state) {
+  const size_t pending = static_cast<size_t>(state.range(0));
+  struct HeapLater {
+    bool operator()(const core::EnvelopeRef& a,
+                    const core::EnvelopeRef& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->order > b->order;
+    }
+  };
+  core::MessagePool pool(1024);
+  std::vector<core::EnvelopeRef> heap;
+  heap.reserve(pending);
+  Rng rng(21);
+  uint64_t order = 0;
+  for (size_t i = 0; i < pending; ++i) {
+    core::EnvelopeRef env = pool.Acquire();
+    PrimeEnvelope(env, rng, order);
+    heap.push_back(std::move(env));
+    std::push_heap(heap.begin(), heap.end(), HeapLater{});
+  }
+  for (auto _ : state) {
+    std::pop_heap(heap.begin(), heap.end(), HeapLater{});
+    core::EnvelopeRef env = std::move(heap.back());
+    heap.pop_back();
+    env->time += 1 + rng.NextBounded(kHoldSpread - 1);
+    env->order = order++;
+    heap.push_back(std::move(env));
+    std::push_heap(heap.begin(), heap.end(), HeapLater{});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinaryHeapHold)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_CalendarQueueHold(benchmark::State& state) {
+  const size_t pending = static_cast<size_t>(state.range(0));
+  core::MessagePool pool(1024);
+  sim::EventQueue queue;
+  Rng rng(21);
+  uint64_t order = 0;
+  for (size_t i = 0; i < pending; ++i) {
+    core::EnvelopeRef env = pool.Acquire();
+    PrimeEnvelope(env, rng, order);
+    queue.Push(std::move(env));
+  }
+  for (auto _ : state) {
+    core::EnvelopeRef env = queue.Pop();
+    env->time += 1 + rng.NextBounded(kHoldSpread - 1);
+    queue.Push(std::move(env));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalendarQueueHold)->Arg(1000)->Arg(100000)->Arg(1000000);
 
 void BM_ParseQuery(benchmark::State& state) {
   const std::string text =

@@ -305,9 +305,12 @@ StatusOr<TupleRef> RJoinEngine::PublishTuple(
   // Procedure 1: index the tuple under 2k keys — one attribute-level and
   // one value-level key per attribute — with one multiSend. Keys are
   // interned once here; every later layer carries the u32 id and routes on
-  // the entry's cached ring identifier. The emission buffer is a reused
-  // member: MultiSend drains it in place, keeping its capacity.
-  std::vector<std::pair<dht::NodeId, MessageTask>>& batch = publish_batch_;
+  // the entry's cached ring identifier. MultiSendKeys coalesces the fan-out
+  // by responsible node (one wire message per destination) and resolves
+  // destinations through the publisher's route cache. The emission buffer
+  // is a reused member: the transport drains it in place, keeping its
+  // capacity.
+  std::vector<std::pair<KeyId, MessageTask>>& batch = publish_batch_;
   batch.reserve(2 * schema->arity());
   // Under attribute-level replication ([18]), each tuple's attribute-level
   // copy goes to exactly one shard of the replica set.
@@ -321,18 +324,18 @@ StatusOr<TupleRef> RJoinEngine::PublishTuple(
     attr_msg.key = interner_->WithShard(
         interner_->InternAttribute(relation, schema->attributes()[i]), shard);
     attr_msg.publisher = publisher;
-    const dht::NodeId& attr_id = interner_->ring_id(attr_msg.key);
-    batch.emplace_back(attr_id, MessageTask(std::move(attr_msg)));
+    const KeyId attr_key = attr_msg.key;
+    batch.emplace_back(attr_key, MessageTask(std::move(attr_msg)));
 
     TuplePublish value_msg;
     value_msg.tuple = t;
     value_msg.key = interner_->InternValue(relation, schema->attributes()[i],
                                            values[i]);
     value_msg.publisher = publisher;
-    const dht::NodeId& value_id = interner_->ring_id(value_msg.key);
-    batch.emplace_back(value_id, MessageTask(std::move(value_msg)));
+    const KeyId value_key = value_msg.key;
+    batch.emplace_back(value_key, MessageTask(std::move(value_msg)));
   }
-  transport_->MultiSend(publisher, &batch);
+  transport_->MultiSendKeys(publisher, &batch);
   return t;
 }
 
@@ -358,12 +361,8 @@ StatusOr<std::vector<TupleRef>> RJoinEngine::PublishBatch(
   // intern each (attribute, shard) pair once per batch instead of once per
   // tuple. Shards cycle with seq_no, exactly as sequential PublishTuple
   // calls would assign them.
-  struct AttrTarget {
-    KeyId key = kInvalidKeyId;
-    dht::NodeId id;
-  };
-  std::vector<std::vector<AttrTarget>> attr_targets(replication);
-  auto shard_targets = [&](uint32_t shard) -> const std::vector<AttrTarget>& {
+  std::vector<std::vector<KeyId>> attr_targets(replication);
+  auto shard_targets = [&](uint32_t shard) -> const std::vector<KeyId>& {
     auto& targets = attr_targets[shard];
     if (targets.empty()) {
       targets.reserve(k);
@@ -371,7 +370,7 @@ StatusOr<std::vector<TupleRef>> RJoinEngine::PublishBatch(
         KeyId key = interner_->InternAttribute(relation,
                                                schema->attributes()[i]);
         if (replication > 1) key = interner_->WithShard(key, shard);
-        targets.push_back(AttrTarget{key, interner_->ring_id(key)});
+        targets.push_back(key);
       }
     }
     return targets;
@@ -379,8 +378,8 @@ StatusOr<std::vector<TupleRef>> RJoinEngine::PublishBatch(
 
   std::vector<TupleRef> published;
   published.reserve(rows.size());
-  std::vector<std::pair<dht::NodeId, MessageTask>>& batch = publish_batch_;
-  batch.reserve(2 * k * rows.size());
+  std::vector<std::pair<KeyId, MessageTask>>& batch = publish_batch_;
+  batch.reserve(2 * k);
 
   for (const auto& row : rows) {
     TupleRef t = TuplePool::Global().Make(relation, row, now, ++global_seq_,
@@ -388,25 +387,29 @@ StatusOr<std::vector<TupleRef>> RJoinEngine::PublishBatch(
     if (config_.keep_history) history_.push_back(t.Materialize());
     const uint32_t shard =
         replication > 1 ? static_cast<uint32_t>(t->seq_no % replication) : 0;
-    const std::vector<AttrTarget>& targets = shard_targets(shard);
+    const std::vector<KeyId>& targets = shard_targets(shard);
     for (size_t i = 0; i < k; ++i) {
       TuplePublish attr_msg;
       attr_msg.tuple = t;
-      attr_msg.key = targets[i].key;
+      attr_msg.key = targets[i];
       attr_msg.publisher = publisher;
-      batch.emplace_back(targets[i].id, MessageTask(std::move(attr_msg)));
+      batch.emplace_back(targets[i], MessageTask(std::move(attr_msg)));
 
       TuplePublish value_msg;
       value_msg.tuple = t;
       value_msg.key = interner_->InternValue(relation, schema->attributes()[i],
                                              row[i]);
       value_msg.publisher = publisher;
-      const dht::NodeId& value_id = interner_->ring_id(value_msg.key);
-      batch.emplace_back(value_id, MessageTask(std::move(value_msg)));
+      const KeyId value_key = value_msg.key;
+      batch.emplace_back(value_key, MessageTask(std::move(value_msg)));
     }
+    // One MultiSendKeys per tuple: coalescing groups the 2k index messages
+    // of a *single* publication, so a batch publish stays message-for-
+    // message identical to the same rows published one PublishTuple at a
+    // time (the equivalence engine_batch_test asserts).
+    transport_->MultiSendKeys(publisher, &batch);
     published.push_back(std::move(t));
   }
-  transport_->MultiSend(publisher, &batch);
   return published;
 }
 

@@ -505,9 +505,9 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   KeyIdMap<uint64_t> key_load_;
 
   /// Reusable Procedure-1 emission buffer: PublishTuple/PublishBatch fill
-  /// it and MultiSend drains it in place, so a steady-state publish
+  /// it and MultiSendKeys drains it in place, so a steady-state publish
   /// performs no vector allocation. Driver-phase only (like publishing).
-  std::vector<std::pair<dht::NodeId, MessageTask>> publish_batch_;
+  std::vector<std::pair<KeyId, MessageTask>> publish_batch_;
 
   // ---- churn state ----
 

@@ -141,8 +141,10 @@ EnvelopeRef MessagePool::Acquire() {
   env->order = 0;
   env->dst = dht::kInvalidNode;
   env->emit_time = 0;
+  env->route_key_id = kInvalidKeyId;
   env->stage = EnvelopeStage::kDeliver;
   env->ric = false;
+  env->group = nullptr;
   return EnvelopeRef(env);
 }
 
@@ -152,6 +154,16 @@ void MessagePool::Release(Envelope* env) {
   // walk the chain before repurposing it.
   while (env != nullptr) {
     Envelope* next = env->link;
+    if (env->group != nullptr) {
+      // Coalesced delivery group still attached (teardown of an undelivered
+      // group head): splice the members — themselves link-chained — into the
+      // pending walk so each returns to its own origin pool exactly once.
+      Envelope* tail = env->group;
+      while (tail->link != nullptr) tail = tail->link;
+      tail->link = next;
+      next = env->group;
+      env->group = nullptr;
+    }
     RJOIN_DCHECK(env->origin != nullptr);
     env->task.Reset();  // free payload internals on the releasing thread
     MessagePool* pool = env->origin;

@@ -233,6 +233,10 @@ enum class EnvelopeStage : uint8_t {
   kDeliver = 0,  ///< dst/time final; dispatch hands the task to the engine
   kRoute,        ///< still needs the O(log N) route toward `route_key`
   kDirect,       ///< still needs the one-hop direct-send charge + latency
+  /// Head (or member) of a deferred MultiSendKeys batch: the whole link
+  /// chain is routed *together* by the transport's destination-coalescing
+  /// pass instead of one envelope at a time.
+  kRouteGroup,
 };
 
 struct Envelope {
@@ -254,11 +258,20 @@ struct Envelope {
 
   // --- routing stage (see EnvelopeStage) -----------------------------------
   dht::NodeId route_key;  ///< target identifier while stage != kDeliver
+  /// Interned id of route_key when the sender knew it (kInvalidKeyId
+  /// otherwise). Carries the route-cache key across a driver-phase defer so
+  /// the worker-side routing stage can hit the per-node route cache.
+  KeyId route_key_id = kInvalidKeyId;
   EnvelopeStage stage = EnvelopeStage::kDeliver;
   bool ric = false;  ///< charge traffic as RIC overhead
 
   // --- plumbing ------------------------------------------------------------
   Envelope* link = nullptr;   ///< MultiSend batch chain / pool freelist
+  /// Head of a destination-coalesced delivery group: extra payloads that
+  /// ride this envelope to the same dst (chained through their own `link`).
+  /// Only kDeliver envelopes carry one; the group shares this envelope's
+  /// (src, seq, time) identity and was charged as one wire message.
+  Envelope* group = nullptr;
   MessagePool* origin = nullptr;  ///< pool the storage belongs to
 };
 

@@ -1,11 +1,20 @@
 #include "dht/chord_network.h"
 
+#include <atomic>
 #include <cmath>
 #include <string>
 
 #include "util/logging.h"
 
 namespace rjoin::dht {
+
+void ChordNetwork::BumpGeneration() {
+  // One process-global counter (starting at 1) keeps generation stamps
+  // unique across every network in the process — required by the
+  // thread-local SuccessorCache, which outlives individual networks.
+  static std::atomic<uint64_t> g_generation{0};
+  generation_ = g_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 std::unique_ptr<ChordNetwork> ChordNetwork::Create(size_t n, uint64_t seed) {
   auto net = std::make_unique<ChordNetwork>();
@@ -43,7 +52,9 @@ StatusOr<NodeIndex> ChordNetwork::AddNode(NodeId id) {
   }
   const NodeIndex index = static_cast<NodeIndex>(nodes_.size());
   nodes_.push_back(std::make_unique<ChordNode>(index, id));
+  route_caches_.emplace_back();
   ring_.emplace(id, index);
+  BumpGeneration();
   return index;
 }
 
@@ -53,6 +64,7 @@ Status ChordNetwork::FailNode(NodeIndex node) {
   }
   nodes_[node]->set_alive(false);
   ring_.erase(nodes_[node]->id());
+  BumpGeneration();
   return Status::Ok();
 }
 
@@ -77,6 +89,7 @@ StatusOr<KeyRange> ChordNetwork::LeaveNode(NodeIndex node) {
 
   nodes_[node]->set_alive(false);
   ring_.erase(it);
+  BumpGeneration();
 
   // Graceful splice: the neighbors learn about the departure immediately
   // (the leaving node tells them), unlike a silent failure that heals
@@ -124,6 +137,7 @@ StatusOr<NodeIndex> ChordNetwork::JoinAndSplice(NodeId id,
 
 void ChordNetwork::Stabilize() {
   if (ring_.empty()) return;
+  BumpGeneration();
   // Walk the ring in id order to set successor/predecessor/successor-list.
   std::vector<NodeIndex> order;
   order.reserve(ring_.size());
@@ -164,7 +178,9 @@ StatusOr<NodeIndex> ChordNetwork::JoinViaBootstrap(NodeId id,
 
   const NodeIndex index = static_cast<NodeIndex>(nodes_.size());
   nodes_.push_back(std::make_unique<ChordNode>(index, id));
+  route_caches_.emplace_back();
   ring_.emplace(id, index);
+  BumpGeneration();
 
   ChordNode& nd = *nodes_[index];
   nd.set_successor(succ);
@@ -177,6 +193,7 @@ StatusOr<NodeIndex> ChordNetwork::JoinViaBootstrap(NodeId id,
 void ChordNetwork::StabilizeOnce(NodeIndex n) {
   ChordNode& nd = *nodes_[n];
   if (!nd.alive()) return;
+  BumpGeneration();
 
   // Skip dead successors using the successor list (Chord's robustness
   // mechanism); fall back to self if everything known is dead.
@@ -224,6 +241,7 @@ void ChordNetwork::StabilizeOnce(NodeIndex n) {
 void ChordNetwork::FixFingersOnce(NodeIndex n, int finger_index) {
   ChordNode& nd = *nodes_[n];
   if (!nd.alive()) return;
+  BumpGeneration();
   auto& fingers = nd.mutable_fingers();
   if (fingers.empty()) fingers.assign(NodeId::kBits, nd.successor());
   fingers[static_cast<size_t>(finger_index)] =

@@ -9,6 +9,7 @@
 
 #include "dht/chord_node.h"
 #include "dht/id.h"
+#include "dht/route_cache.h"
 #include "util/status.h"
 
 namespace rjoin::dht {
@@ -152,11 +153,36 @@ class ChordNetwork {
   /// Length of the successor list each node maintains.
   static constexpr size_t kSuccessorListLen = 8;
 
+  /// Monotone counter bumped by every mutation that can change routing
+  /// state (membership, successor/predecessor pointers, fingers). Route
+  /// caches stamp their entries with this; a mismatch invalidates them.
+  /// Generations are drawn from one process-global counter starting at 1,
+  /// so every topology state of every ChordNetwork in the process has a
+  /// unique stamp — a cache shared across networks (the thread-local
+  /// SuccessorCache) can never mistake one network's entry for another's,
+  /// and stamp 0 always means "never filled".
+  uint64_t topology_generation() const { return generation_; }
+
+  /// Node `i`'s route memo (created on first use). Only the thread that
+  /// owns node `i`'s sends may touch it — see RouteCache's threading note.
+  RouteCache& route_cache(NodeIndex i) {
+    if (route_caches_[i] == nullptr) {
+      route_caches_[i] = std::make_unique<RouteCache>();
+    }
+    return *route_caches_[i];
+  }
+
  private:
   NodeIndex ClosestPrecedingFinger(NodeIndex from, const NodeId& key) const;
 
+  void BumpGeneration();
+
   std::vector<std::unique_ptr<ChordNode>> nodes_;
   std::map<NodeId, NodeIndex> ring_;  // alive nodes only
+  // Parallel to nodes_; lazily populated. unique_ptr keeps growth cheap and
+  // slot addresses stable across the vector's own reallocation.
+  std::vector<std::unique_ptr<RouteCache>> route_caches_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace rjoin::dht

@@ -100,14 +100,7 @@ class Transport : public core::EnvelopeDispatcher {
  public:
   Transport(ChordNetwork* network, sim::Simulator* simulator,
             sim::LatencyModel* latency, stats::MetricsRegistry* metrics,
-            Rng rng)
-      : network_(network),
-        simulator_(simulator),
-        latency_(latency),
-        metrics_(metrics),
-        rng_(rng) {
-    simulator_->set_dispatcher(this);
-  }
+            Rng rng);
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
@@ -129,11 +122,11 @@ class Transport : public core::EnvelopeDispatcher {
               bool ric = false);
 
   /// Send() keyed by an interned key id: routes on the interner's cached
-  /// ring identifier — no SHA-1, no key text, anywhere on the path.
+  /// ring identifier — no SHA-1, no key text, anywhere on the path — and
+  /// memoizes the route in the sender's RouteCache, so a warm send resolves
+  /// its path in O(1) instead of an O(log N) finger walk.
   size_t SendKey(NodeIndex src, core::KeyId key, core::MessageTask task,
-                 bool ric = false) {
-    return Send(src, interner_->ring_id(key), std::move(task), ric);
-  }
+                 bool ric = false);
 
   /// The paper's multiSend(M, I): one message per identifier. Returns total
   /// hops across all messages (0 when deferred). Under the router the whole
@@ -144,6 +137,19 @@ class Transport : public core::EnvelopeDispatcher {
   size_t MultiSend(NodeIndex src,
                    std::vector<std::pair<NodeId, core::MessageTask>>* messages,
                    bool ric = false);
+
+  /// MultiSend keyed by interned key ids, with destination coalescing: the
+  /// batch is grouped by responsible node (resolved through the per-node
+  /// route cache) and each group travels as ONE wire message — one emission
+  /// seq, one route's worth of traffic charges and latency draws, one
+  /// delivery event — whose envelope carries the remaining payloads as a
+  /// `group` chain. Grouping is a pure function of the batch and the
+  /// topology, so serial and sharded runs coalesce identically. This is the
+  /// publication fan-out path (2k index messages per tuple).
+  size_t MultiSendKeys(
+      NodeIndex src,
+      std::vector<std::pair<core::KeyId, core::MessageTask>>* messages,
+      bool ric = false);
 
   /// Convenience overload consuming the batch by value.
   size_t MultiSend(NodeIndex src,
@@ -172,8 +178,28 @@ class Transport : public core::EnvelopeDispatcher {
 
   /// Charges traffic for an O(log N) route from src towards `key`,
   /// hop-by-hop at each forwarding node, without delivering a payload.
-  /// Returns the hop count.
+  /// Returns the hop count. Always recomputes: the charged source may live
+  /// on a foreign shard, whose route cache this thread must not touch.
   size_t ChargeRoute(NodeIndex src, const NodeId& key, bool ric);
+
+  /// Route-cache kill switch (RJOIN_ROUTE_CACHE=0 disables; default on).
+  /// With the cache off every send recomputes its path — the oracle the
+  /// cache must match bit-for-bit.
+  bool route_cache_enabled() const { return route_cache_enabled_; }
+  void set_route_cache_enabled(bool on) { route_cache_enabled_ = on; }
+
+  /// Process-wide destination-coalescing counters (all transports):
+  /// `groups` wire messages carried `payloads` application payloads.
+  struct CoalesceStats {
+    uint64_t groups = 0;
+    uint64_t payloads = 0;
+    double mean_width() const {
+      return groups == 0 ? 0.0
+                         : static_cast<double>(payloads) /
+                               static_cast<double>(groups);
+    }
+  };
+  static CoalesceStats AggregateCoalesce();
 
  private:
   /// Registry for the calling thread (shard delta under the router).
@@ -203,9 +229,40 @@ class Transport : public core::EnvelopeDispatcher {
 
   /// Serial-path send bodies (route/charge/schedule on the simulator).
   size_t SerialSend(NodeIndex src, const NodeId& key, core::MessageTask task,
-                    bool ric);
+                    bool ric, core::KeyId key_id = core::kInvalidKeyId);
   void SerialDeliver(NodeIndex dst, core::MessageTask task,
                      sim::SimTime delay);
+
+  /// A resolved forwarding tail: hops[0..count-1] are the nodes after the
+  /// source on the greedy route, hops[count-1] the responsible node; count
+  /// may be 0 when the source itself is responsible. Points into either the
+  /// sender's RouteCache entry or the thread's RouteScratch — consume
+  /// before the next resolve.
+  struct RouteView {
+    const NodeIndex* hops = nullptr;
+    uint32_t count = 0;
+    NodeIndex dst_or(NodeIndex src) const {
+      return count == 0 ? src : hops[count - 1];
+    }
+  };
+
+  /// Resolves the route src -> Successor(ring_id): cache hit when `key_id`
+  /// is interned, the cache is enabled, and the topology generation still
+  /// matches; otherwise one RoutePath walk, memoized for next time.
+  RouteView ResolveRoute(NodeIndex src, core::KeyId key_id,
+                         const NodeId& ring_id);
+
+  /// Resolves Successor(ring_id) through the thread's SuccessorCache
+  /// (destination resolution is sender-independent, so the fan-out's
+  /// grouping pass shares one memo across every node this thread runs).
+  /// Falls back to the ring search when the cache is disabled or the key
+  /// is not interned.
+  NodeIndex CachedSuccessorOf(core::KeyId key_id, const NodeId& ring_id);
+
+  /// Destination-coalesced emission of a kRouteGroup chain (serial inline,
+  /// router worker-phase, or dispatched deferred chain). Returns total wire
+  /// hops.
+  size_t CoalesceAndSend(core::EnvelopeRef chain);
 
   ChordNetwork* network_;
   sim::Simulator* simulator_;
@@ -215,6 +272,7 @@ class Transport : public core::EnvelopeDispatcher {
   DeliveryRouter* router_ = nullptr;
   core::KeyInterner* interner_ = &core::KeyInterner::Global();
   Rng rng_;
+  bool route_cache_enabled_;
 };
 
 }  // namespace rjoin::dht

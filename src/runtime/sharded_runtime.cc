@@ -119,7 +119,7 @@ ShardedRuntime::~ShardedRuntime() {
     core::Envelope* e = box.head.exchange(nullptr, std::memory_order_relaxed);
     if (e != nullptr) core::MessagePool::Release(e);
   }
-  for (auto& shard : shard_state_) shard->heap.clear();
+  for (auto& shard : shard_state_) shard->heap.Clear();
 }
 
 void ShardedRuntime::SetLinkLookahead(uint32_t src_shard, uint32_t dst_shard,
@@ -199,8 +199,7 @@ stats::MetricsRegistry* ShardedRuntime::ActiveMetrics() {
 // ---------------------------------------------------------- scheduling
 
 void ShardedRuntime::PushLocal(ShardState& shard, core::EnvelopeRef env) {
-  shard.heap.push_back(std::move(env));
-  std::push_heap(shard.heap.begin(), shard.heap.end(), EnvelopeLater{});
+  shard.heap.Push(std::move(env));
 }
 
 void ShardedRuntime::ScheduleEnvelope(core::EnvelopeRef env) {
@@ -381,11 +380,9 @@ void ShardedRuntime::RunShardEpoch(uint32_t self, ShardState& shard) {
     // frontier math guarantees the cap arrives before any shard could have
     // executed past it (see RequestRendezvousBy).
     uint64_t ran = 0;
-    while (!heap.empty() && heap.front()->time < in_bound &&
-           heap.front()->time < horizon_.load(std::memory_order_acquire)) {
-      std::pop_heap(heap.begin(), heap.end(), EnvelopeLater{});
-      core::EnvelopeRef env = std::move(heap.back());
-      heap.pop_back();
+    while (!heap.empty() && heap.PeekTime() < in_bound &&
+           heap.PeekTime() < horizon_.load(std::memory_order_acquire)) {
+      core::EnvelopeRef env = heap.Pop();
       ExecuteEnvelope(shard, std::move(env));
       // Decrement only after the event finished emitting: its sends were
       // counted in first, so pending can never dip to a false zero.
@@ -397,7 +394,7 @@ void ShardedRuntime::RunShardEpoch(uint32_t self, ShardState& shard) {
     // Monotone by construction; the release store orders it after every
     // mailbox push of the batch above.
     const sim::SimTime heap_min =
-        heap.empty() ? sim::kTimeMax : heap.front()->time;
+        heap.empty() ? sim::kTimeMax : heap.PeekTime();
     const sim::SimTime floor = std::min(heap_min, in_bound);
     if (floor > floors_[self].value.load(std::memory_order_relaxed)) {
       floors_[self].value.store(floor, std::memory_order_release);
@@ -486,7 +483,7 @@ void ShardedRuntime::InitFloors() {
   for (uint32_t s = 0; s < num_shards_; ++s) {
     const auto& heap = shard_state_[s]->heap;
     const sim::SimTime top =
-        heap.empty() ? sim::kTimeMax : heap.front()->time;
+        heap.empty() ? sim::kTimeMax : heap.PeekTime();
     if (top < min_all) {
       second = min_all;
       min_all = top;
@@ -498,7 +495,7 @@ void ShardedRuntime::InitFloors() {
   for (uint32_t s = 0; s < num_shards_; ++s) {
     const auto& heap = shard_state_[s]->heap;
     const sim::SimTime own =
-        heap.empty() ? sim::kTimeMax : heap.front()->time;
+        heap.empty() ? sim::kTimeMax : heap.PeekTime();
     sim::SimTime min_in = sim::kTimeMax;
     for (uint32_t q = 0; q < num_shards_; ++q) {
       if (q != s) min_in = std::min(min_in, LinkLookahead(q, s));
@@ -537,7 +534,7 @@ sim::SimTime ShardedRuntime::MinHeapTime() const {
   sim::SimTime min_time = sim::kTimeMax;
   for (const auto& shard : shard_state_) {
     if (!shard->heap.empty()) {
-      min_time = std::min(min_time, shard->heap.front()->time);
+      min_time = std::min(min_time, shard->heap.PeekTime());
     }
   }
   return min_time;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/messages.h"
+#include "sim/calendar_queue.h"
 #include "sim/latency.h"
 #include "sim/time.h"
 #include "stats/metrics.h"
@@ -354,7 +355,7 @@ class ShardedRuntime {
   };
 
   struct alignas(64) ShardState {
-    std::vector<core::EnvelopeRef> heap;  // push_heap/pop_heap, EnvelopeLater
+    sim::CalendarQueue<EnvelopeLater> heap;  // pending events, EventKey order
     sim::SimTime now = 0;
     sim::SimTime last_executed = 0;
     bool executed_any = false;

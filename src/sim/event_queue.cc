@@ -1,25 +1,16 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
 #include <utility>
 
 namespace rjoin::sim {
 
 void EventQueue::Push(core::EnvelopeRef env) {
   env->order = next_order_++;
-  heap_.push_back(std::move(env));
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-}
-
-core::EnvelopeRef EventQueue::Pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  core::EnvelopeRef env = std::move(heap_.back());
-  heap_.pop_back();
-  return env;
+  calendar_.Push(std::move(env));
 }
 
 void EventQueue::Clear() {
-  heap_.clear();
+  calendar_.Clear();
   next_order_ = 0;
 }
 

@@ -5,18 +5,21 @@
 #include <vector>
 
 #include "core/messages.h"
+#include "sim/calendar_queue.h"
 #include "sim/time.h"
 
 namespace rjoin::sim {
 
-/// Min-heap of scheduled envelopes ordered by (time, insertion order).
-/// Events with equal timestamps execute in insertion order (FIFO), which
-/// keeps runs fully deterministic. Envelopes are pooled (core::MessagePool)
-/// and moved in and out of the heap's flat vector, so pushing and popping a
-/// message performs no heap allocation in steady state — the old
-/// std::function-of-closure representation cost two to three allocations
-/// per message (closure box plus shared payload holder plus the
-/// priority_queue's copy-out).
+/// Pending-event set of the serial simulator, ordered by (time, insertion
+/// order). Events with equal timestamps execute in insertion order (FIFO),
+/// which keeps runs fully deterministic. Envelopes are pooled
+/// (core::MessagePool) and moved in and out of flat vectors, so pushing and
+/// popping a message performs no heap allocation in steady state.
+///
+/// Backed by a two-level calendar queue (sim/calendar_queue.h): O(1) push
+/// and pop in the steady state where events land within a 1024-tick window
+/// of the cursor, versus the O(log H) sift of the old std::push_heap /
+/// pop_heap vector at deep backlogs.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -27,14 +30,14 @@ class EventQueue {
   /// with the FIFO tie-break sequence.
   void Push(core::EnvelopeRef env);
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  bool empty() const { return calendar_.empty(); }
+  size_t size() const { return calendar_.size(); }
 
   /// Time of the earliest pending event. Requires !empty().
-  SimTime PeekTime() const { return heap_.front()->time; }
+  SimTime PeekTime() const { return calendar_.PeekTime(); }
 
   /// Removes and returns the earliest pending event. Requires !empty().
-  core::EnvelopeRef Pop();
+  core::EnvelopeRef Pop() { return calendar_.Pop(); }
 
   /// Discards all pending events (envelopes return to their pools).
   void Clear();
@@ -48,7 +51,7 @@ class EventQueue {
     }
   };
 
-  std::vector<core::EnvelopeRef> heap_;  // std::push_heap/pop_heap on Later
+  CalendarQueue<Later> calendar_;
   uint64_t next_order_ = 0;
 };
 

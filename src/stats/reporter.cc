@@ -94,6 +94,21 @@ void PrintMessagePlaneSummary(std::ostream& os,
                    static_cast<double>(interns)
              : 0.0)
      << " (" << interns << " interns)\n";
+  const uint64_t resolves = s.route_cache_hits + s.route_cache_misses;
+  os << "route cache hit rate:    "
+     << (resolves > 0
+             ? static_cast<double>(s.route_cache_hits) /
+                   static_cast<double>(resolves)
+             : 0.0)
+     << " (" << resolves << " resolves)\n";
+  os << "coalesced fanout width:  "
+     << (s.coalesce_groups > 0
+             ? static_cast<double>(s.coalesce_payloads) /
+                   static_cast<double>(s.coalesce_groups)
+             : 0.0)
+     << " (" << s.coalesce_groups << " wire messages, "
+     << s.coalesce_payloads << " payloads)\n";
+  os << "event queue depth p99:   " << s.queue_depth_p99 << "\n";
   os << "mailbox batches:         " << s.mailbox_batches << "\n";
   os << "mailbox batch width:     "
      << (s.mailbox_batches > 0

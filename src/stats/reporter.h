@@ -67,6 +67,13 @@ struct MessagePlaneSummary {
   uint64_t interner_misses = 0;  ///< first-sight inserts
   uint64_t mailbox_batches = 0;  ///< cross-shard (src, dst) chain takeovers
   uint64_t mailbox_envelopes = 0;  ///< envelopes those chains carried
+  // Routing plane (docs/routing.md): per-node route-cache effectiveness and
+  // destination coalescing of the publication fan-out.
+  uint64_t route_cache_hits = 0;    ///< sends resolved from a cached path
+  uint64_t route_cache_misses = 0;  ///< sends that walked RoutePath
+  uint64_t coalesce_groups = 0;     ///< wire messages MultiSendKeys emitted
+  uint64_t coalesce_payloads = 0;   ///< payloads those wire messages carried
+  uint64_t queue_depth_p99 = 0;     ///< p99 pending events at event-pump push
   uint64_t sched_epochs = 0;       ///< watermark rendezvous epochs run
   uint64_t watermark_stalls = 0;   ///< worker park episodes (perf signal)
   uint64_t rendezvous_caps = 0;    ///< epochs cut short by staged churn

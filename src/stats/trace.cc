@@ -216,12 +216,16 @@ void Tracer::RecordRouteHops(uint64_t hops) {
 void Tracer::RecordStallNanos(uint64_t ns) {
   TlsTraceHandle::Get()->hist.stall_ns.Record(ns);
 }
+void Tracer::RecordQueueDepth(uint64_t pending) {
+  TlsTraceHandle::Get()->hist.queue_depth.Record(pending);
+}
 
 void Tracer::HistogramSet::MergeFrom(const HistogramSet& other) {
   answer_latency.MergeFrom(other.answer_latency);
   rewrite_depth.MergeFrom(other.rewrite_depth);
   route_hops.MergeFrom(other.route_hops);
   stall_ns.MergeFrom(other.stall_ns);
+  queue_depth.MergeFrom(other.queue_depth);
 }
 
 Tracer::HistogramSet Tracer::AggregateHistograms() const {

@@ -91,12 +91,14 @@ class Tracer {
   static void RecordRewriteDepth(uint64_t bound);
   static void RecordRouteHops(uint64_t hops);
   static void RecordStallNanos(uint64_t ns);
+  static void RecordQueueDepth(uint64_t pending);
 
   struct HistogramSet {
     LogHistogram answer_latency;  // pubT of completing tuple -> AnswerDeliver
     LogHistogram rewrite_depth;   // bound tuples at each rewrite ship
     LogHistogram route_hops;      // per-message routing path length
     LogHistogram stall_ns;        // wall-clock park durations
+    LogHistogram queue_depth;     // pending events at each event-pump Push
     void MergeFrom(const HistogramSet& other);
   };
   HistogramSet AggregateHistograms() const;

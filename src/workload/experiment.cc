@@ -173,6 +173,7 @@ LoadSnapshot Experiment::Snapshot(size_t after_tuples) const {
         m.storage_current > 0 ? static_cast<uint64_t>(m.storage_current) : 0);
   }
   snap.allocs = stats::ReadAllocCounts();
+  snap.route_cache = dht::RouteCache::Aggregate();
   return snap;
 }
 

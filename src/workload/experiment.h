@@ -9,6 +9,7 @@
 
 #include "core/engine.h"
 #include "dht/chord_network.h"
+#include "dht/route_cache.h"
 #include "dht/transport.h"
 #include "runtime/shard_router.h"
 #include "runtime/sharded_runtime.h"
@@ -146,6 +147,10 @@ struct LoadSnapshot {
   /// bench can report steady-state allocs_per_tuple over a tail window
   /// (between two checkpoints) instead of averaging in the cold ramp.
   stats::AllocCounts allocs;
+  /// Cumulative route-cache counters at the checkpoint (process-wide, same
+  /// windowing idea: steady-state route_cache_hit_rate is the delta between
+  /// two checkpoints, excluding the cold first-sight ramp).
+  dht::RouteCache::Stats route_cache;
 };
 
 /// Cumulative totals sampled after each published tuple (Fig. 8).

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -306,6 +307,30 @@ TEST(ChurnRuntimeTest, MixedTraceMeetsAcceptanceBar) {
   ExpectMatchesOracle(s1);
   ExpectIdentical(s1, RunWith(cfg, 4));
   ExpectIdentical(s1, RunWith(cfg, 7));
+}
+
+TEST(ChurnRuntimeTest, RouteCacheOnOffIsBitIdenticalUnderChurn) {
+  // The route cache memoizes per-topology-generation paths; every churn op
+  // bumps the generation. The whole-run result surface — answer stream,
+  // traffic totals, handoff accounting — must be bit-identical with the
+  // cache killed (RJOIN_ROUTE_CACHE=0), at every shard count: the cache
+  // changes who computes a path, never the path.
+  workload::ExperimentConfig cfg = BaseChurnConfig();
+  workload::ChurnSpec churn;
+  churn.joins = 10;
+  churn.leaves = 10;
+  churn.spare_nodes = 5;
+  cfg.churn = churn;
+  const RunOutput on1 = RunWith(cfg, 1);
+  const RunOutput on4 = RunWith(cfg, 4);
+  ASSERT_EQ(setenv("RJOIN_ROUTE_CACHE", "0", 1), 0);
+  const RunOutput off1 = RunWith(cfg, 1);
+  const RunOutput off7 = RunWith(cfg, 7);
+  unsetenv("RJOIN_ROUTE_CACHE");
+  ExpectIdentical(on1, off1);
+  ExpectIdentical(on1, on4);
+  ExpectIdentical(on1, off7);
+  ExpectMatchesOracle(on1);
 }
 
 TEST(ChurnRuntimeTest, WindowedChurnHonorsAlttAcrossHandoff) {

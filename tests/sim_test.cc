@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -65,6 +67,104 @@ TEST(EventQueueTest, PoppedEnvelopesRecycleThroughThePool) {
   // other 99 are freelist hits — zero allocations in steady state.
   EXPECT_EQ(stats.envelopes_allocated, 1u);
   EXPECT_EQ(stats.recycled, 99u);
+}
+
+// -------------------------------------------- calendar-queue edge cases --
+//
+// The EventQueue is backed by a windowed calendar (sim/calendar_queue.h);
+// these tests force its off-window machinery: overflow migration, window
+// rebase on a past push, interleaved push/pop on the active bucket, and a
+// randomized shootout against an order-stamp sort oracle.
+
+TEST(CalendarQueueTest, FarFutureEventsMigrateFromOverflow) {
+  core::MessagePool pool;
+  EventQueue q;
+  std::vector<int> order;
+  // Spread far beyond one 1024-tick window: the tail sits in the overflow
+  // heap until the cursor reaches it.
+  for (int i = 9; i >= 0; --i) {
+    q.Push(ControlAt(pool, static_cast<SimTime>(i) * 700,
+                     [&order, i] { order.push_back(i); }));
+  }
+  EXPECT_EQ(q.size(), 10u);
+  while (!q.empty()) RunEnvelope(q.Pop());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(CalendarQueueTest, PushBehindTheCursorRebasesAndStaysOrdered) {
+  core::MessagePool pool;
+  EventQueue q;
+  std::vector<SimTime> popped;
+  auto note = [&popped](SimTime t) { return [&popped, t] { popped.push_back(t); }; };
+  q.Push(ControlAt(pool, 5000, note(5000)));
+  q.Push(ControlAt(pool, 5001, note(5001)));
+  RunEnvelope(q.Pop());  // cursor advances to 5000
+  // A bounded run can legally schedule behind the advanced cursor: the
+  // window rebases and ordering still holds.
+  q.Push(ControlAt(pool, 100, note(100)));
+  q.Push(ControlAt(pool, 4000, note(4000)));
+  while (!q.empty()) RunEnvelope(q.Pop());
+  EXPECT_EQ(popped, (std::vector<SimTime>{5000, 100, 4000, 5001}));
+}
+
+TEST(CalendarQueueTest, SameTickPushWhileDrainingKeepsFifo) {
+  core::MessagePool pool;
+  EventQueue q;
+  std::vector<int> order;
+  // Event 0 pushes two more events at its own tick while the bucket is
+  // actively draining; they must run after it, in push order.
+  q.Push(ControlAt(pool, 7, [&] {
+    order.push_back(0);
+    q.Push(ControlAt(pool, 7, [&] { order.push_back(1); }));
+    q.Push(ControlAt(pool, 7, [&] { order.push_back(2); }));
+  }));
+  q.Push(ControlAt(pool, 7, [&] { order.push_back(3); }));
+  while (!q.empty()) RunEnvelope(q.Pop());
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 2}));
+}
+
+TEST(CalendarQueueTest, RandomizedShootoutMatchesReferenceModel) {
+  core::MessagePool pool;
+  EventQueue q;
+  Rng rng(123);
+  // Reference model: (time, push sequence) pairs; each pop must deliver the
+  // model's minimum — the EventQueue contract is min-of-present with FIFO
+  // on ties, regardless of which calendar bucket or overflow path served it.
+  std::set<std::pair<SimTime, int>> ref;
+  std::vector<std::pair<SimTime, int>> popped;
+  int tag = 0;
+  // Mixed regime: clustered near-term times, a far-future tail past the
+  // 1024-tick window, duplicate ticks, and interleaved pops that drag the
+  // window forward (later cheap pushes then force rebases).
+  for (int round = 0; round < 50; ++round) {
+    const int pushes = 1 + static_cast<int>(rng.NextBounded(40));
+    for (int i = 0; i < pushes; ++i) {
+      const uint64_t r = rng.NextBounded(100);
+      const SimTime t = r < 80 ? rng.NextBounded(512)
+                       : r < 95 ? 2000 + rng.NextBounded(8192)
+                                : 100000 + rng.NextBounded(1000);
+      const int id = tag++;
+      ref.emplace(t, id);
+      q.Push(ControlAt(pool, t, [&popped, t, id] {
+        popped.emplace_back(t, id);
+      }));
+    }
+    const int pops = static_cast<int>(rng.NextBounded(20));
+    for (int i = 0; i < pops && !q.empty(); ++i) {
+      ASSERT_EQ(q.PeekTime(), ref.begin()->first);
+      RunEnvelope(q.Pop());
+      ASSERT_FALSE(popped.empty());
+      ASSERT_EQ(popped.back(), *ref.begin());
+      ref.erase(ref.begin());
+    }
+  }
+  while (!q.empty()) {
+    RunEnvelope(q.Pop());
+    ASSERT_EQ(popped.back(), *ref.begin());
+    ref.erase(ref.begin());
+  }
+  EXPECT_TRUE(ref.empty());
+  EXPECT_EQ(popped.size(), static_cast<size_t>(tag));
 }
 
 TEST(SimulatorTest, ClockAdvancesWithEvents) {

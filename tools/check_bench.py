@@ -11,9 +11,15 @@ only provenance-matched baselines gate.
 
 Fails (exit 1) when:
   - tuples_per_sec regressed by more than --max-regression (default 10%);
+  - messages_per_sec regressed by more than --max-regression — the routing
+    plane's own throughput, gated separately so a delivery-path regression
+    can't hide behind a tuple-plane win;
   - allocs_per_tuple increased at all (the zero-alloc hot path is a
     ratchet: once the rewrite plane stops allocating, it must not start
-    again).
+    again);
+  - route_cache_hit_rate dropped below --min-hit-rate (default 0.95) when
+    the fresh run reports the scalar. Baselines predating the route cache
+    lack it; those simply don't gate the hit rate.
 
 When no committed point matches the fresh provenance (first run on a new
 machine, or older points predate provenance), the gate passes with a
@@ -66,7 +72,10 @@ def main():
     ap.add_argument("fresh_json", help="freshly produced BENCH_fig3_tuples.json")
     ap.add_argument("trajectory_dir", help="bench/trajectory/ checkout")
     ap.add_argument("--max-regression", type=float, default=0.10,
-                    help="tolerated fractional tuples_per_sec drop")
+                    help="tolerated fractional tuples_per_sec / "
+                         "messages_per_sec drop")
+    ap.add_argument("--min-hit-rate", type=float, default=0.95,
+                    help="required route_cache_hit_rate when reported")
     args = ap.parse_args()
 
     fresh = load(args.fresh_json)
@@ -102,9 +111,29 @@ def main():
         fail(f"tuples_per_sec regressed {100 * (1 - f_tps / b_tps):.1f}% "
              f"({b_tps:.2f} -> {f_tps:.2f}), more than the "
              f"{100 * args.max_regression:.0f}% budget")
+    # messages_per_sec gates with the same budget, but only when both sides
+    # report it (the scalar arrived after the earliest trajectory points).
+    f_mps, b_mps = fs.get("messages_per_sec"), bs.get("messages_per_sec")
+    if f_mps is not None and b_mps is not None:
+        print(f"check_bench: messages_per_sec {b_mps:.2f} -> {f_mps:.2f}")
+        if b_mps > 0 and f_mps < b_mps * (1.0 - args.max_regression):
+            fail(f"messages_per_sec regressed "
+                 f"{100 * (1 - f_mps / b_mps):.1f}% "
+                 f"({b_mps:.2f} -> {f_mps:.2f}), more than the "
+                 f"{100 * args.max_regression:.0f}% budget")
     if f_apt > b_apt + ALLOCS_EPSILON:
         fail(f"allocs_per_tuple increased ({b_apt:.6f} -> {f_apt:.6f}); "
              f"the zero-alloc hot path is a ratchet")
+    # The route cache must stay effective on the steady-state figure; the
+    # threshold is absolute (not baseline-relative) so the first run that
+    # reports the scalar already gates.
+    f_hit = fs.get("route_cache_hit_rate")
+    if f_hit is not None:
+        print(f"check_bench: route_cache_hit_rate {f_hit:.4f} "
+              f"(floor {args.min_hit_rate:.2f})")
+        if f_hit < args.min_hit_rate:
+            fail(f"route_cache_hit_rate {f_hit:.4f} below the "
+                 f"{args.min_hit_rate:.2f} floor")
 
     print("check_bench: OK")
 

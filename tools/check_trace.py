@@ -30,6 +30,12 @@ REQUIRED_SCALARS = [
     "allocs_per_tuple",
     "interned_keys",
     "interner_hit_rate",
+    "route_cache_hit_rate",
+    "route_cache_hit_rate_lifetime",
+    "route_cache_resolves",
+    "coalesced_fanout_width",
+    "coalesced_groups",
+    "event_queue_depth_p99",
     "mailbox_batches",
     "mailbox_batch_width",
     "sched_epochs",
