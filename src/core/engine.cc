@@ -8,6 +8,7 @@
 #include <iterator>
 #include <map>
 
+#include "core/replication.h"
 #include "stats/alloc_tracker.h"
 #include "stats/trace.h"
 #include "util/hash.h"
@@ -107,6 +108,21 @@ std::vector<dht::NodeIndex>& RicNodeBuffer() {
   return buf;
 }
 
+/// Reusable per-thread replica target set (the mirror fan-out of
+/// docs/failures.md resolves its successor list allocation-free once warm).
+std::vector<dht::NodeIndex>& ReplicaTargetBuffer() {
+  static thread_local std::vector<dht::NodeIndex> buf;
+  return buf;
+}
+
+/// Reusable per-thread key set of the per-install mirror pass in
+/// OnStateHandoff (installed keys, deduplicated in ring order).
+std::vector<KeyId>& InstalledKeyBuffer() {
+  static thread_local std::vector<KeyId> buf;
+  buf.clear();
+  return buf;
+}
+
 }  // namespace
 
 RJoinEngine::RJoinEngine(EngineConfig config, const sql::Catalog* catalog,
@@ -125,6 +141,7 @@ RJoinEngine::RJoinEngine(EngineConfig config, const sql::Catalog* catalog,
   for (size_t i = 0; i < network_->num_total(); ++i) {
     states_.push_back(std::make_unique<NodeState>(config_.ric_epoch));
   }
+  crashed_.assign(network_->num_total(), 0);
   transport_->set_handler(this);
 
   if (config_.altt_delta != 0) {
@@ -186,15 +203,34 @@ void RJoinEngine::OnBarrier(sim::SimTime round_start) {
   bool churn_applied = false;
   {
     std::vector<std::pair<runtime::EventKey, ChurnOp>> ops;
+    std::vector<std::pair<runtime::EventKey, uint64_t>> ticks;
     for (ShardSink& sink : sinks_) {
       churn_.handoffs_installed += sink.churn.installed;
       churn_.handoffs_reforwarded += sink.churn.reforwarded;
       churn_.handoff_recovery_ticks += sink.churn.recovery_ticks;
       churn_.forwarded_messages += sink.churn.forwarded;
       sink.churn = ChurnSinkCounters{};
+      replication_.replica_updates += sink.replica.updates;
+      replication_.replica_keys += sink.replica.keys;
+      replication_.replica_bytes += sink.replica.bytes;
+      replication_.promotions_installed += sink.replica.promotions_installed;
+      replication_.promoted_records += sink.replica.promoted_records;
+      replication_.answers_lost += sink.replica.answers_lost;
+      sink.replica = ReplicaSinkCounters{};
+      ticks.insert(ticks.end(), sink.promotion_ticks.begin(),
+                   sink.promotion_ticks.end());
+      sink.promotion_ticks.clear();
       ops.insert(ops.end(), std::make_move_iterator(sink.churn_ops.begin()),
                  std::make_move_iterator(sink.churn_ops.end()));
       sink.churn_ops.clear();
+    }
+    if (!ticks.empty()) {
+      // Recovery samples merge in global EventKey order, so the series is
+      // identical for any shard count.
+      std::sort(ticks.begin(), ticks.end(), [](const auto& a, const auto& b) {
+        return a.first < b.first;
+      });
+      for (const auto& [key, t] : ticks) promotion_recovery_ticks_.push_back(t);
     }
     if (!ops.empty()) {
       std::sort(ops.begin(), ops.end(), [](const auto& a, const auto& b) {
@@ -431,15 +467,19 @@ Status RJoinEngine::ObserveStreamHistoryBulk(
   for (size_t i = 0; i < schema->arity(); ++i) {
     const KeyId ak = interner_->InternAttribute(relation,
                                                 schema->attributes()[i]);
-    NodeState& st = state(network_->SuccessorOf(interner_->ring_id(ak)));
+    const dht::NodeIndex owner = network_->SuccessorOf(interner_->ring_id(ak));
+    NodeState& st = state(owner);
     for (size_t r = 0; r < rows.size(); ++r) st.rates.Record(ak, now);
+    if (config_.replication > 1) WriteThroughRateReplica(owner, ak, now);
   }
   for (const auto& row : rows) {
     for (size_t i = 0; i < schema->arity(); ++i) {
       const KeyId vk =
           interner_->InternValue(relation, schema->attributes()[i], row[i]);
-      state(network_->SuccessorOf(interner_->ring_id(vk)))
-          .rates.Record(vk, now);
+      const dht::NodeIndex owner =
+          network_->SuccessorOf(interner_->ring_id(vk));
+      state(owner).rates.Record(vk, now);
+      if (config_.replication > 1) WriteThroughRateReplica(owner, vk, now);
     }
   }
   return Status::Ok();
@@ -458,10 +498,16 @@ Status RJoinEngine::ObserveStreamHistory(
   for (size_t i = 0; i < schema->arity(); ++i) {
     const KeyId ak = interner_->InternAttribute(relation,
                                                 schema->attributes()[i]);
-    state(network_->SuccessorOf(interner_->ring_id(ak))).rates.Record(ak, now);
+    const dht::NodeIndex ao = network_->SuccessorOf(interner_->ring_id(ak));
+    state(ao).rates.Record(ak, now);
     const KeyId vk =
         interner_->InternValue(relation, schema->attributes()[i], values[i]);
-    state(network_->SuccessorOf(interner_->ring_id(vk))).rates.Record(vk, now);
+    const dht::NodeIndex vo = network_->SuccessorOf(interner_->ring_id(vk));
+    state(vo).rates.Record(vk, now);
+    if (config_.replication > 1) {
+      WriteThroughRateReplica(ao, ak, now);
+      WriteThroughRateReplica(vo, vk, now);
+    }
   }
   return Status::Ok();
 }
@@ -510,15 +556,27 @@ void RJoinEngine::HandleMessage(dht::NodeIndex self, MessageTask&& task) {
       return;
     case MessageKind::kNodeJoin: {
       const NodeJoin& m = task.node_join();
-      StageOrApplyChurn(
-          ChurnOp{.is_join = true, .id = m.id, .bootstrap = m.bootstrap});
+      StageOrApplyChurn(ChurnOp{.kind = ChurnOp::Kind::kJoin,
+                                .id = m.id,
+                                .bootstrap = m.bootstrap});
       return;
     }
     case MessageKind::kNodeLeave:
-      StageOrApplyChurn(ChurnOp{.is_join = false, .node = task.node_leave().node});
+      StageOrApplyChurn(ChurnOp{.kind = ChurnOp::Kind::kLeave,
+                                .node = task.node_leave().node});
       return;
+    case MessageKind::kNodeCrash: {
+      const NodeCrash& m = task.node_crash();
+      StageOrApplyChurn(ChurnOp{.kind = ChurnOp::Kind::kCrash,
+                                .node = m.node,
+                                .take_successors = m.take_successors});
+      return;
+    }
     case MessageKind::kStateHandoff:
       OnStateHandoff(self, task.state_handoff());
+      return;
+    case MessageKind::kReplicaUpdate:
+      OnReplicaUpdate(self, task.replica_update());
       return;
     case MessageKind::kNone:
       break;
@@ -592,6 +650,15 @@ Status RJoinEngine::ScheduleLeave(sim::SimTime when, dht::NodeIndex node) {
   return ScheduleChurnEvent(when, dst, MessageTask(NodeLeave{node}));
 }
 
+Status RJoinEngine::ScheduleCrash(sim::SimTime when, dht::NodeIndex node,
+                                  uint32_t take_successors) {
+  // Same addressing rule as a leave: the kill notice travels in-band to the
+  // victim when it exists (node 0 otherwise) and is validated when applied.
+  const dht::NodeIndex dst = node < states_.size() ? node : 0;
+  return ScheduleChurnEvent(when, dst,
+                            MessageTask(NodeCrash{node, take_successors}));
+}
+
 Status RJoinEngine::ScheduleChurnEvent(sim::SimTime when, dht::NodeIndex dst,
                                        MessageTask task) {
   if (runtime_ != nullptr) {
@@ -638,10 +705,16 @@ void RJoinEngine::StageOrApplyChurn(ChurnOp op) {
 }
 
 void RJoinEngine::ApplyChurn(const ChurnOp& op) {
-  if (op.is_join) {
-    ApplyJoin(op.id, op.bootstrap);
-  } else {
-    ApplyLeave(op.node);
+  switch (op.kind) {
+    case ChurnOp::Kind::kJoin:
+      ApplyJoin(op.id, op.bootstrap);
+      return;
+    case ChurnOp::Kind::kLeave:
+      ApplyLeave(op.node);
+      return;
+    case ChurnOp::Kind::kCrash:
+      ApplyCrash(op.node, op.take_successors);
+      return;
   }
 }
 
@@ -670,6 +743,9 @@ void RJoinEngine::ApplyJoin(const dht::NodeId& id, dht::NodeIndex bootstrap) {
     EmitHandoff(old_owner, *joined,
                 dht::KeyRange{network_->node(pred).id(), id});
   }
+  // The joiner displaced a slot in its predecessors' successor sets: their
+  // mirrors must reach the new replica targets.
+  if (config_.replication > 1) RefreshReplicasAround(id);
 }
 
 void RJoinEngine::ApplyLeave(dht::NodeIndex node) {
@@ -692,12 +768,168 @@ void RJoinEngine::ApplyLeave(dht::NodeIndex node) {
   // alive node past the range's high end).
   const dht::NodeIndex new_owner = network_->SuccessorOf(range->high);
   EmitHandoff(node, new_owner, *range);
+  // The leaver's predecessors lost a replica target; re-aim their mirrors.
+  if (config_.replication > 1) RefreshReplicasAround(range->high);
+}
+
+void RJoinEngine::ApplyCrash(dht::NodeIndex node, uint32_t take_successors) {
+  if (node >= network_->num_total() || !network_->node(node).alive()) {
+    ++churn_.ops_rejected;
+    return;
+  }
+  // Victim set: the node plus its next take_successors alive successors —
+  // resolved before anything dies, so "correlated" means ring-adjacent at
+  // crash time.
+  std::vector<dht::NodeIndex> victims{node};
+  if (take_successors > 0) {
+    std::vector<dht::NodeIndex> adjacent;
+    network_->SuccessorsOf(node, take_successors, &adjacent);
+    victims.insert(victims.end(), adjacent.begin(), adjacent.end());
+  }
+
+  // Phase 1: every victim dies before any recovery starts. A correlated
+  // kill of a key's whole replica set must genuinely lose the data — a
+  // victim never gets to promote slices of a fellow victim.
+  std::vector<dht::KeyRange> orphaned;
+  for (dht::NodeIndex v : victims) {
+    auto range = network_->CrashNode(v);
+    if (!range.ok()) {
+      ++churn_.ops_rejected;  // e.g. the last alive node refuses to crash
+      continue;
+    }
+    DropAllState(v);
+    crashed_[v] = 1;
+    ++churn_.crashes_applied;
+    forwarding_armed_ = true;
+    if (stats::Tracer::On()) {
+      stats::Tracer::Record(stats::TraceCategory::kChurn, /*kind=*/2, v,
+                            network_->SuccessorOf(range->high), 0, Now());
+    }
+    orphaned.push_back(*range);
+  }
+
+  // Phase 2: per orphaned range, the surviving successor promotes whatever
+  // replica slices it holds. Stamped with the crash time, so the recovery
+  // metric spans detection (the generation bump at this barrier) through
+  // install.
+  const uint64_t crash_time = Now();
+  for (const dht::KeyRange& range : orphaned) {
+    PromoteReplicas(network_->SuccessorOf(range.high), range, crash_time);
+  }
+  if (config_.replication > 1) {
+    for (const dht::KeyRange& range : orphaned) {
+      RefreshReplicasAround(range.high);
+    }
+  }
+}
+
+void RJoinEngine::DropAllState(dht::NodeIndex node) {
+  NodeState& st = state(node);
+  st.queries.ForEach([&](KeyId key, BucketList& bucket) {
+    while (bucket.head != kNil) {
+      StoredQuery& sq = st.query_pool.at(bucket.head).value;
+      if (sq.residual.origin()->spec().distinct) {
+        st.distinct_fingerprints.Erase(StoredFingerprint(key, sq.residual));
+      }
+      Metrics().RemoveStore(node);
+      BucketUnlink(st.query_pool, bucket, kNil, bucket.head);
+    }
+  });
+  st.tuples.ForEach([&](KeyId, TupleBucket& bucket) {
+    for (uint32_t i = 0; i < bucket.size; ++i) Metrics().RemoveStore(node);
+    TupleBucketClear(st.tuple_chunks, bucket);
+  });
+  st.altt.ForEach([&](KeyId, BucketList& dq) {
+    while (dq.head != kNil) BucketUnlink(st.altt_pool, dq, kNil, dq.head);
+  });
+  st.replicas.reset();
+}
+
+void RJoinEngine::PromoteReplicas(dht::NodeIndex owner,
+                                  const dht::KeyRange& range,
+                                  uint64_t crash_time) {
+  if (config_.replication <= 1) return;
+  NodeState& st = state(owner);
+  if (st.replicas == nullptr) return;  // Never mirrored to: nothing survives.
+  const std::vector<KeyId> keys = KeysInRangeSorted(
+      st.replicas->slices, *interner_, range.low, range.high);
+  if (keys.empty()) return;
+
+  auto batch = std::make_unique<HandoffBatch>();
+  batch->from = owner;
+  batch->range_low = range.low;
+  batch->range_high = range.high;
+  batch->emitted_at = crash_time;
+  batch->promoted = true;
+  for (KeyId key : keys) {
+    ReplicaKeySlice* slice = st.replicas->slices.Find(key);
+    for (Residual& r : slice->queries) {
+      batch->queries.push_back(HandoffQuery{key, StoredQuery{std::move(r), {}}});
+    }
+    for (TupleRef& t : slice->tuples) {
+      batch->tuples.push_back(HandoffTuple{key, std::move(t)});
+    }
+    for (AlttEntry& e : slice->altt) {
+      batch->altt.push_back(HandoffAltt{key, std::move(e)});
+    }
+    if (slice->rate_current > 0 || slice->rate_previous > 0) {
+      batch->rates.push_back(RateSlice{key, slice->rate_epoch,
+                                       slice->rate_current,
+                                       slice->rate_previous});
+    }
+    // Extract, don't copy: a second orphaned range overlapping this key
+    // (correlated kills) must not promote the slice twice, and an older
+    // in-flight mirror from the dead owner must not resurrect it.
+    slice->Clear();
+    slice->version = crash_time;
+  }
+  if (batch->empty()) return;
+  ++replication_.promotions_emitted;
+  // The new owner IS the survivor: the promotion is a self-addressed
+  // handoff, so the install passes (probe pre-existing state, re-arm ALTT
+  // expiries, merge rates, re-forward keys that moved again) are exactly
+  // the graceful-leave code path.
+  transport_->SendDirect(owner, owner,
+                         MessageTask(StateHandoff{std::move(batch)}));
+}
+
+void RJoinEngine::RefreshReplicasAround(const dht::NodeId& position) {
+  // Nodes whose successor window shifted: the owner at `position` and its
+  // replication-1 alive ring predecessors. (The owner's own keys may also
+  // have changed hands — its mirrors refresh as installs arrive; this
+  // barrier-time pass re-aims the stale topology.)
+  dht::NodeIndex at = network_->SuccessorOf(position);
+  const size_t hops =
+      std::min<size_t>(config_.replication - 1, network_->num_alive() - 1);
+  MirrorAllKeys(at);
+  for (size_t i = 0; i < hops; ++i) {
+    at = network_->node(at).predecessor();
+    MirrorAllKeys(at);
+  }
+}
+
+void RJoinEngine::MirrorAllKeys(dht::NodeIndex node) {
+  NodeState& st = state(node);
+  stats::AllocScope plane(stats::AllocPlane::kOther);
+  std::vector<KeyId> keys;
+  st.queries.ForEach([&](KeyId key, const BucketList&) { keys.push_back(key); });
+  st.tuples.ForEach([&](KeyId key, const TupleBucket&) { keys.push_back(key); });
+  st.altt.ForEach([&](KeyId key, const BucketList&) { keys.push_back(key); });
+  st.rates.AppendTrackedKeys(&keys);
+  std::erase_if(keys, [&](KeyId k) {
+    return network_->SuccessorOf(interner_->ring_id(k)) != node;
+  });
+  SortKeysByRingId(&keys, *interner_);
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  if (keys.empty()) return;
+  for (KeyId key : keys) MirrorKey(node, key);
 }
 
 void RJoinEngine::GrowForNode(dht::NodeIndex index) {
   RJOIN_CHECK(index == states_.size())
       << "joins must append node indices sequentially";
   states_.push_back(std::make_unique<NodeState>(config_.ric_epoch));
+  crashed_.push_back(0);
   metrics_->Resize(states_.size());
   if (runtime_ != nullptr) {
     runtime_->GrowNodes(states_.size());
@@ -830,9 +1062,17 @@ void RJoinEngine::OnStateHandoff(dht::NodeIndex self, StateHandoff& msg) {
       slot->range_low = b.range_low;
       slot->range_high = b.range_high;
       slot->emitted_at = b.emitted_at;  // recovery measures the full trip
+      slot->promoted = b.promoted;  // a split promotion is still a promotion
     }
     return *slot;
   };
+
+  // Keys whose slice at `self` this batch changes (installed records or
+  // merged rates): each is re-mirrored below, so replicas catch up with the
+  // post-handoff owner — and a promoted slice that was itself stale gets
+  // overwritten at the next mutation of the key.
+  std::vector<KeyId>& touched = InstalledKeyBuffer();
+  uint64_t installed_records = 0;
 
   // Snapshot pre-handoff stored-query counts for every key that receives
   // tuples or ALTT entries: the moved-tuple trigger walk below must visit
@@ -899,6 +1139,8 @@ void RJoinEngine::OnStateHandoff(dht::NodeIndex self, StateHandoff& msg) {
       slice_for(owner).queries.push_back(std::move(hq));
       continue;
     }
+    touched.push_back(hq.key);
+    ++installed_records;
     InstallQuery(self, hq.key, std::move(hq.sq));
   }
 
@@ -910,6 +1152,8 @@ void RJoinEngine::OnStateHandoff(dht::NodeIndex self, StateHandoff& msg) {
       continue;
     }
     Metrics().AddQpl(self);
+    touched.push_back(ht.key);
+    ++installed_records;
     trigger_preexisting(ht.key, ht.tuple);
     {
       stats::AllocScope plane(stats::AllocPlane::kTuple);
@@ -929,6 +1173,8 @@ void RJoinEngine::OnStateHandoff(dht::NodeIndex self, StateHandoff& msg) {
     }
     if (ha.entry.expires < now) continue;  // Delta elapsed in flight.
     Metrics().AddQpl(self);
+    touched.push_back(ha.key);
+    ++installed_records;
     trigger_preexisting(ha.key, ha.entry.tuple);
     stats::AllocScope plane(stats::AllocPlane::kTuple);
     BucketList& dq = st.altt[ha.key];
@@ -943,18 +1189,41 @@ void RJoinEngine::OnStateHandoff(dht::NodeIndex self, StateHandoff& msg) {
       slice_for(owner).rates.push_back(rs);
       continue;
     }
+    touched.push_back(rs.key);
+    if (b.promoted) ++installed_records;
     st.rates.MergeSlice(rs.key, rs.epoch, rs.current, rs.previous);
   }
 
   ChurnSinkCounters counters;
-  counters.installed = 1;
-  counters.recovery_ticks = now >= b.emitted_at ? now - b.emitted_at : 0;
+  const uint64_t trip_ticks = now >= b.emitted_at ? now - b.emitted_at : 0;
+  if (b.promoted) {
+    // Promotions ride the handoff plane but count on their own ledger:
+    // their latency is the crash-recovery metric, not handoff recovery.
+    ReplicaSinkCounters promo;
+    promo.promotions_installed = 1;
+    promo.promoted_records = installed_records;
+    AddReplicaCounters(promo);
+    RecordPromotionTicks(trip_ticks);
+  } else {
+    counters.installed = 1;
+    counters.recovery_ticks = trip_ticks;
+  }
   for (auto& [owner, slice] : reforward) {
     ++counters.reforwarded;
     transport_->SendDirect(self, owner,
                            MessageTask(StateHandoff{std::move(slice)}));
   }
   AddChurnCounters(counters);
+
+  // Replication: the moved (or promoted) slices now live here — overwrite
+  // the stale copies at this node's successors so a later crash promotes
+  // current data, not the pre-churn snapshot.
+  if (config_.replication > 1 && !touched.empty()) {
+    SortKeysByRingId(&touched, *interner_);
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (KeyId key : touched) MirrorKey(self, key);
+    touched.clear();
+  }
 }
 
 void RJoinEngine::AddChurnCounters(const ChurnSinkCounters& delta) {
@@ -972,6 +1241,163 @@ void RJoinEngine::AddChurnCounters(const ChurnSinkCounters& delta) {
   churn_.handoffs_reforwarded += delta.reforwarded;
   churn_.handoff_recovery_ticks += delta.recovery_ticks;
   churn_.forwarded_messages += delta.forwarded;
+}
+
+void RJoinEngine::AddReplicaCounters(const ReplicaSinkCounters& delta) {
+  const int shard =
+      runtime_ != nullptr ? runtime::ShardedRuntime::CurrentShard() : -1;
+  if (shard >= 0) {
+    ReplicaSinkCounters& c = sinks_[shard].replica;
+    c.updates += delta.updates;
+    c.keys += delta.keys;
+    c.bytes += delta.bytes;
+    c.promotions_installed += delta.promotions_installed;
+    c.promoted_records += delta.promoted_records;
+    c.answers_lost += delta.answers_lost;
+    return;
+  }
+  replication_.replica_updates += delta.updates;
+  replication_.replica_keys += delta.keys;
+  replication_.replica_bytes += delta.bytes;
+  replication_.promotions_installed += delta.promotions_installed;
+  replication_.promoted_records += delta.promoted_records;
+  replication_.answers_lost += delta.answers_lost;
+}
+
+void RJoinEngine::RecordPromotionTicks(uint64_t ticks) {
+  const int shard =
+      runtime_ != nullptr ? runtime::ShardedRuntime::CurrentShard() : -1;
+  if (shard >= 0) {
+    sinks_[shard].promotion_ticks.emplace_back(runtime_->CurrentEventKey(),
+                                               ticks);
+    return;
+  }
+  promotion_recovery_ticks_.push_back(ticks);
+}
+
+void RJoinEngine::MirrorKey(dht::NodeIndex self, KeyId key) {
+  std::vector<dht::NodeIndex>& succs = ReplicaTargetBuffer();
+  network_->SuccessorsOf(self, config_.replication - 1, &succs);
+  if (succs.empty()) return;
+
+  // Mirror traffic lives on its own allocation plane: the zero-alloc
+  // budget of the publish/rewrite hot paths is accounted with replication
+  // off, where this function is never reached.
+  stats::AllocScope plane(stats::AllocPlane::kOther);
+  NodeState& st = state(self);
+  const uint64_t now = Now();
+  ReplicaSinkCounters counters;
+  for (dht::NodeIndex dst : succs) {
+    // One REPLACE snapshot per successor. Batches are move-only (pooled
+    // records inside), so each target gets its own copy of the slice.
+    auto batch = std::make_unique<HandoffBatch>();
+    batch->from = self;
+    batch->emitted_at = now;
+    batch->replica_keys.push_back(key);
+    if (const BucketList* bucket = st.queries.Find(key)) {
+      for (uint32_t cur = bucket->head; cur != kNil;
+           cur = st.query_pool.at(cur).next) {
+        const StoredQuery& sq = st.query_pool.at(cur).value;
+        // Bare residual copies: the ProjectionSet is not mirrored (see
+        // core/replication.h for why promotion stays answer-correct).
+        batch->queries.push_back(
+            HandoffQuery{key, StoredQuery{sq.residual, {}}});
+      }
+    }
+    if (TupleBucket* bucket = st.tuples.Find(key)) {
+      TupleBucketForEach(st.tuple_chunks, *bucket, [&](TupleRef& t) {
+        batch->tuples.push_back(HandoffTuple{key, t});
+      });
+    }
+    if (const BucketList* dq = st.altt.Find(key)) {
+      for (uint32_t cur = dq->head; cur != kNil;
+           cur = st.altt_pool.at(cur).next) {
+        const AlttEntry& e = st.altt_pool.at(cur).value;
+        if (e.expires < now) continue;  // Owner would expire it anyway.
+        batch->altt.push_back(HandoffAltt{key, AlttEntry{e.tuple, e.expires}});
+      }
+    }
+    RateSlice rs{key, 0, 0, 0};
+    if (st.rates.PeekKey(key, &rs.epoch, &rs.current, &rs.previous)) {
+      batch->rates.push_back(rs);
+    }
+    ++counters.updates;
+    ++counters.keys;
+    counters.bytes += batch->ApproxBytes();
+    transport_->SendDirect(self, dst,
+                           MessageTask(ReplicaUpdate{std::move(batch)}));
+  }
+  AddReplicaCounters(counters);
+}
+
+void RJoinEngine::OnReplicaUpdate(dht::NodeIndex self, ReplicaUpdate& msg) {
+  RJOIN_CHECK(msg.batch != nullptr);
+  if (!crashed_.empty() && crashed_[self]) return;  // Mail to the dead.
+  HandoffBatch& b = *msg.batch;
+  stats::AllocScope plane(stats::AllocPlane::kOther);
+  NodeState& st = state(self);
+  if (st.replicas == nullptr) st.replicas = std::make_unique<ReplicaStore>();
+
+  // REPLACE the listed slices, version-guarded: a refresh emitted after a
+  // churn barrier must not be overwritten by a slower pre-churn mirror.
+  // A mirror for a key this node *owns* is stale by construction (mirrors
+  // target the owner's successors, never the owner): ownership moved here
+  // after the mirror was emitted — e.g. a crashed owner's last update
+  // landing after the promotion — and installing it would resurrect
+  // records the promotion already extracted.
+  for (KeyId key : b.replica_keys) {
+    if (network_->SuccessorOf(interner_->ring_id(key)) == self) continue;
+    ReplicaKeySlice& slice = st.replicas->slices[key];
+    if (slice.version > b.emitted_at) continue;
+    slice.Clear();
+    slice.version = b.emitted_at;
+  }
+  auto slice_of = [&](KeyId key) -> ReplicaKeySlice* {
+    if (network_->SuccessorOf(interner_->ring_id(key)) == self) return nullptr;
+    ReplicaKeySlice* s = st.replicas->slices.Find(key);
+    return s != nullptr && s->version == b.emitted_at ? s : nullptr;
+  };
+  for (HandoffQuery& hq : b.queries) {
+    if (ReplicaKeySlice* s = slice_of(hq.key)) {
+      s->queries.push_back(std::move(hq.sq.residual));
+    }
+  }
+  for (HandoffTuple& ht : b.tuples) {
+    if (ReplicaKeySlice* s = slice_of(ht.key)) {
+      s->tuples.push_back(std::move(ht.tuple));
+    }
+  }
+  for (HandoffAltt& ha : b.altt) {
+    if (ReplicaKeySlice* s = slice_of(ha.key)) {
+      s->altt.push_back(std::move(ha.entry));
+    }
+  }
+  for (const RateSlice& rs : b.rates) {
+    if (ReplicaKeySlice* s = slice_of(rs.key)) {
+      s->rate_epoch = rs.epoch;
+      s->rate_current = rs.current;
+      s->rate_previous = rs.previous;
+    }
+  }
+}
+
+void RJoinEngine::WriteThroughRateReplica(dht::NodeIndex owner, KeyId key,
+                                          uint64_t now) {
+  RateSlice rs{key, 0, 0, 0};
+  if (!state(owner).rates.PeekKey(key, &rs.epoch, &rs.current, &rs.previous)) {
+    return;
+  }
+  std::vector<dht::NodeIndex>& succs = ReplicaTargetBuffer();
+  network_->SuccessorsOf(owner, config_.replication - 1, &succs);
+  for (dht::NodeIndex dst : succs) {
+    NodeState& st = state(dst);
+    if (st.replicas == nullptr) st.replicas = std::make_unique<ReplicaStore>();
+    ReplicaKeySlice& slice = st.replicas->slices[key];
+    slice.rate_epoch = rs.epoch;
+    slice.rate_current = rs.current;
+    slice.rate_previous = rs.previous;
+    slice.version = std::max(slice.version, now);
+  }
 }
 
 bool RJoinEngine::IsExpired(const Residual& r) const {
@@ -1249,6 +1675,10 @@ void RJoinEngine::OnNewTuple(dht::NodeIndex self, TuplePublish& msg) {
       BucketUnlink(st.altt_pool, dq, kNil, dq.head);
     }
   }
+
+  // Replication: every tuple delivery mutates the key's slice (at least
+  // the rate bucket) — push the refreshed snapshot to the successors.
+  if (config_.replication > 1) MirrorKey(self, msg.key);
 }
 
 void RJoinEngine::OnEval(dht::NodeIndex self, KeyId key, Residual&& residual,
@@ -1284,9 +1714,22 @@ void RJoinEngine::OnEval(dht::NodeIndex self, KeyId key, Residual&& residual,
   AppendStoredQuery(st, st.queries[key], std::move(sq));
   Metrics().AddStore(self);
   RecordKeyLoad(key);
+
+  // Replication: the slice gained a stored residual. (Probe-and-forget
+  // paths above change nothing durable, so they skip the mirror.)
+  if (config_.replication > 1) MirrorKey(self, key);
 }
 
 void RJoinEngine::OnAnswer(dht::NodeIndex self, AnswerDeliver& msg) {
+  if (!crashed_.empty() && crashed_[self]) {
+    // The query's owner crashed: nobody is listening. This is the answer
+    // loss the replication bench measures — graceful leavers, by contrast,
+    // keep collecting their answers (they left the overlay, not the app).
+    ReplicaSinkCounters lost;
+    lost.answers_lost = 1;
+    AddReplicaCounters(lost);
+    return;
+  }
   // End-to-end answer latency in virtual time: publication of the tuple
   // that completed the residual -> delivery of the answer at Owner(q).
   const uint64_t latency = Now() >= msg.pub_time ? Now() - msg.pub_time : 0;
@@ -1583,6 +2026,32 @@ void RJoinEngine::SweepWindows() {
         }
       }
       survivors.clear();
+    });
+  }
+  if (config_.replication <= 1) return;
+  // Replica slices age by the same rules, locally (no messages): a mirror
+  // is a point-in-time snapshot, and without this pass a promotion after a
+  // sweep would resurrect records the owner already dropped. (Queries are
+  // additionally re-filtered at install, so this is hygiene + memory.)
+  const uint64_t now = Now();
+  for (auto& stp : states_) {
+    NodeState& st = *stp;
+    if (st.replicas == nullptr) continue;
+    st.replicas->slices.ForEach([&](KeyId, ReplicaKeySlice& slice) {
+      std::erase_if(slice.queries,
+                    [&](const Residual& r) { return IsExpired(r); });
+      if (drop_tuples) {
+        std::erase_if(slice.tuples, [&](const TupleRef& t) {
+          const uint64_t now_seq = global_seq_ + 1;
+          const bool time_out = now > t->pub_time &&
+                                now - t->pub_time + 1 > max_window_span_;
+          const bool seq_out = now_seq > t->seq_no &&
+                               now_seq - t->seq_no + 1 > max_window_span_;
+          return time_out && seq_out;
+        });
+      }
+      std::erase_if(slice.altt,
+                    [&](const AlttEntry& e) { return e.expires < now; });
     });
   }
 }

@@ -84,6 +84,14 @@ struct EngineConfig {
   /// duplicating answers. 1 disables replication.
   uint32_t attr_replication = 1;
 
+  /// Successor-list replication factor r (docs/failures.md): every
+  /// state-mutating delivery at a key's owner mirrors the key's full slice
+  /// to the next r-1 ring successors as a ReplicaUpdate, and a silent crash
+  /// promotes the surviving slices at the successor. 1 disables the whole
+  /// subsystem (no replica stores, no mirror traffic — the single
+  /// `replication > 1` branch is the entire cost when off).
+  uint32_t replication = 1;
+
   /// RIC migration policy on churn (docs/churn.md): true moves the old
   /// owner's RateTracker buckets along with the key range (observations
   /// keep aging as if they had never moved); false resets them — the new
@@ -251,13 +259,24 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// forwarding to the current owner. Driver-phase only.
   Status ScheduleLeave(sim::SimTime when, dht::NodeIndex node);
 
+  /// Schedules a silent failure of `node` at virtual time `when`: no
+  /// goodbye, no handoff — the node's state dies with it, and the successor
+  /// promotes whatever replica slices it holds (docs/failures.md).
+  /// `take_successors` additionally crashes that many adjacent ring
+  /// successors in the same instant (correlated failure: with
+  /// take_successors >= replication - 1 every replica of some keys is gone
+  /// and answer loss is expected). Driver-phase only.
+  Status ScheduleCrash(sim::SimTime when, dht::NodeIndex node,
+                       uint32_t take_successors = 0);
+
   /// Counters of the churn subsystem. Emission-side counters advance at
   /// barriers (driver), install/forward counters merge from the shard
   /// sinks at barriers — all shard-count-invariant.
   struct ChurnStats {
     uint64_t joins_applied = 0;
     uint64_t leaves_applied = 0;
-    uint64_t ops_rejected = 0;  ///< join/leave requests that were invalid
+    uint64_t crashes_applied = 0;  ///< silent failures (no handoff emitted)
+    uint64_t ops_rejected = 0;  ///< join/leave/crash requests that were invalid
     uint64_t handoff_messages = 0;  ///< StateHandoff envelopes emitted
     uint64_t handoff_queries = 0;
     uint64_t handoff_tuples = 0;
@@ -270,6 +289,28 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
     uint64_t forwarded_messages = 0;  ///< mis-addressed payloads re-sent
   };
   const ChurnStats& churn_stats() const { return churn_; }
+
+  /// Counters of the successor-list replication subsystem
+  /// (docs/failures.md). Mirror-side counters advance on workers and merge
+  /// from the shard sinks at barriers; crash/promotion counters advance at
+  /// barriers (driver) — all shard-count-invariant.
+  struct ReplicationStats {
+    uint64_t replica_updates = 0;  ///< ReplicaUpdate envelopes sent
+    uint64_t replica_keys = 0;     ///< key slices shipped across all updates
+    uint64_t replica_bytes = 0;    ///< approximate mirrored payload bytes
+    uint64_t promotions_emitted = 0;    ///< promoted batches sent at crashes
+    uint64_t promotions_installed = 0;  ///< promoted batches installed
+    uint64_t promoted_records = 0;      ///< records recovered from replicas
+    uint64_t answers_lost = 0;  ///< answers addressed to crashed owners
+  };
+  const ReplicationStats& replication_stats() const { return replication_; }
+
+  /// Per-promotion recovery times (install time - crash time, virtual
+  /// ticks), in deterministic EventKey order — the input of the bench's
+  /// recovery_rounds_p99 scalar.
+  const std::vector<uint64_t>& promotion_recovery_ticks() const {
+    return promotion_recovery_ticks_;
+  }
 
   /// Nodes the engine hosts state for (grows with joins; includes departed
   /// nodes, which keep their index forever).
@@ -353,10 +394,12 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// One staged topology mutation, applied at a round barrier in EventKey
   /// order (immediately on the serial path).
   struct ChurnOp {
-    bool is_join = false;
+    enum class Kind { kJoin, kLeave, kCrash };
+    Kind kind = Kind::kLeave;
     dht::NodeId id;                                 ///< join ring position
     dht::NodeIndex bootstrap = dht::kInvalidNode;   ///< join entry point
-    dht::NodeIndex node = dht::kInvalidNode;        ///< leaving node
+    dht::NodeIndex node = dht::kInvalidNode;        ///< leaving/crashing node
+    uint32_t take_successors = 0;  ///< crash: adjacent successors to kill too
   };
 
   /// Worker-side churn counters, merged into churn_ at barriers.
@@ -367,6 +410,17 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
     uint64_t forwarded = 0;
   };
 
+  /// Worker-side replication counters, merged into replication_ at
+  /// barriers.
+  struct ReplicaSinkCounters {
+    uint64_t updates = 0;
+    uint64_t keys = 0;
+    uint64_t bytes = 0;
+    uint64_t promotions_installed = 0;
+    uint64_t promoted_records = 0;
+    uint64_t answers_lost = 0;
+  };
+
   /// Wraps a churn task into an envelope delivered to `dst` at `when`.
   Status ScheduleChurnEvent(sim::SimTime when, dht::NodeIndex dst,
                             MessageTask task);
@@ -375,6 +429,43 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   void ApplyChurn(const ChurnOp& op);
   void ApplyJoin(const dht::NodeId& id, dht::NodeIndex bootstrap);
   void ApplyLeave(dht::NodeIndex node);
+  /// Silent failure (docs/failures.md): crashes `node` plus the next
+  /// `take_successors` alive ring successors — all removed before any
+  /// recovery starts, so a correlated kill of a whole replica set really
+  /// loses the data — then, per orphaned range, promotes the surviving
+  /// replica slices at the new owner. Barrier/serial-path only.
+  void ApplyCrash(dht::NodeIndex node, uint32_t take_successors);
+  /// Destroys a crashed node's entire NodeState payload (stored queries,
+  /// tuples, ALTT entries, replica store) with metric and pool-balance
+  /// bookkeeping — nothing is emitted; the data is simply gone.
+  void DropAllState(dht::NodeIndex node);
+  /// Extracts the replica slices `owner` holds for keys in `range` into one
+  /// promoted HandoffBatch stamped with the crash time and self-delivers it
+  /// as a StateHandoff (the install passes of a graceful handoff double as
+  /// the promotion path). Extracted slices are cleared, so overlapping
+  /// correlated ranges never promote a slice twice.
+  void PromoteReplicas(dht::NodeIndex owner, const dht::KeyRange& range,
+                       uint64_t crash_time);
+  /// Re-mirrors the full owned key set of every node whose replica target
+  /// set changed around ring `position` (the node owning the position plus
+  /// its replication-1 alive predecessors) — called at the barrier that
+  /// applies a churn op, so replica placement tracks the new topology.
+  void RefreshReplicasAround(const dht::NodeId& position);
+  /// Ships `node`'s full owned key set to its current successor set as one
+  /// multi-key ReplicaUpdate per successor.
+  void MirrorAllKeys(dht::NodeIndex node);
+  /// Mirrors `key`'s full current slice at `self` (stored queries as bare
+  /// residuals, value tuples, live ALTT entries, the rate bucket) to the
+  /// next replication-1 successors — one single-key ReplicaUpdate each.
+  /// Callers gate on config_.replication > 1.
+  void MirrorKey(dht::NodeIndex self, KeyId key);
+  /// kReplicaUpdate handler: REPLACES the listed key slices in `self`'s
+  /// replica store, version-guarded by the batch's emission time.
+  void OnReplicaUpdate(dht::NodeIndex self, ReplicaUpdate& msg);
+  /// Warmup write-through: copies `owner`'s rate bucket for `key` straight
+  /// into its successors' replica slices (no messages — stream history
+  /// models traffic that already happened). Driver-phase only.
+  void WriteThroughRateReplica(dht::NodeIndex owner, KeyId key, uint64_t now);
   /// Grows every per-node table for a freshly joined node `index`.
   void GrowForNode(dht::NodeIndex index);
   /// Extracts `range` from `from`'s NodeState (ring-id order) and ships it
@@ -395,6 +486,12 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   /// Adds worker-side churn counters: into the shard sink on a worker
   /// (merged into churn_ at the barrier), straight into churn_ otherwise.
   void AddChurnCounters(const ChurnSinkCounters& delta);
+  /// Same discipline for replication counters.
+  void AddReplicaCounters(const ReplicaSinkCounters& delta);
+  /// Records one promotion install's recovery time: staged with the
+  /// current EventKey on a worker (merged in order at the barrier),
+  /// appended directly otherwise.
+  void RecordPromotionTicks(uint64_t ticks);
 
   /// Shared trigger step: try to bind `t` into the stored query `sq`
   /// (temporal check, predicate match, window admission, DISTINCT rule —
@@ -479,6 +576,10 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
     /// driver at the next barrier in global EventKey order.
     std::vector<std::pair<runtime::EventKey, ChurnOp>> churn_ops;
     ChurnSinkCounters churn;
+    ReplicaSinkCounters replica;
+    /// Per-promotion recovery times staged by this shard, merged into
+    /// promotion_recovery_ticks_ at barriers in global EventKey order.
+    std::vector<std::pair<runtime::EventKey, uint64_t>> promotion_ticks;
   };
 
   runtime::ShardedRuntime* runtime_ = nullptr;
@@ -512,6 +613,15 @@ class RJoinEngine : public dht::MessageHandler, public runtime::BarrierHook {
   // ---- churn state ----
 
   ChurnStats churn_;
+  ReplicationStats replication_;
+  std::vector<uint64_t> promotion_recovery_ticks_;
+  /// Crashed-node flags (indexed like states_; nodes that joined later are
+  /// appended false). A crashed node is gone for good: answers addressed to
+  /// it count as lost instead of delivering, and late ReplicaUpdates to it
+  /// drop. Graceful leavers are NOT marked — a leaver departs the overlay
+  /// but still collects its answers (the pre-existing churn semantics).
+  /// Written at barriers (workers parked), read by workers afterward.
+  std::vector<uint8_t> crashed_;
   /// Arms the per-message responsibility check (MaybeForward) the first
   /// time any churn is applied; before that, the hot path is untouched.
   /// Never disarmed: candidate tables keep stale responsible-node

@@ -69,6 +69,17 @@ struct HandoffBatch {
   std::vector<HandoffAltt> altt;
   std::vector<RateSlice> rates;
 
+  /// ReplicaUpdate reuse (docs/failures.md): the keys whose replica slices
+  /// this batch REPLACES at the receiver. Listed explicitly — not derived
+  /// from the records — so a slice that became empty at the owner still
+  /// clears the stale copy at the replica. Empty on real handoffs.
+  std::vector<KeyId> replica_keys;
+  /// True when this handoff is a replica promotion after a crash: the
+  /// receiver installs its own surviving replica slices as the new owner
+  /// (same install passes as a graceful handoff) and samples recovery
+  /// rounds separately.
+  bool promoted = false;
+
   bool empty() const {
     return queries.empty() && tuples.empty() && altt.empty() && rates.empty();
   }
@@ -88,6 +99,7 @@ struct HandoffBatch {
       bytes += 40 + 8 * (a.entry.tuple ? a.entry.tuple->arity : 0);
     }
     bytes += rates.size() * 32;
+    bytes += replica_keys.size() * 4;  // interned u32 key ids
     return bytes;
   }
 };

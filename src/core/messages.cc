@@ -33,6 +33,10 @@ const char* MessageKindName(MessageKind kind) {
       return "node_leave";
     case MessageKind::kStateHandoff:
       return "state_handoff";
+    case MessageKind::kReplicaUpdate:
+      return "replica_update";
+    case MessageKind::kNodeCrash:
+      return "node_crash";
   }
   return "unknown";
 }
@@ -46,6 +50,14 @@ StateHandoff::StateHandoff(std::unique_ptr<HandoffBatch> b)
 StateHandoff::StateHandoff(StateHandoff&&) noexcept = default;
 StateHandoff& StateHandoff::operator=(StateHandoff&&) noexcept = default;
 StateHandoff::~StateHandoff() = default;
+
+// ReplicaUpdate boxes the same batch type for the same reason.
+ReplicaUpdate::ReplicaUpdate() = default;
+ReplicaUpdate::ReplicaUpdate(std::unique_ptr<HandoffBatch> b)
+    : batch(std::move(b)) {}
+ReplicaUpdate::ReplicaUpdate(ReplicaUpdate&&) noexcept = default;
+ReplicaUpdate& ReplicaUpdate::operator=(ReplicaUpdate&&) noexcept = default;
+ReplicaUpdate::~ReplicaUpdate() = default;
 
 namespace {
 

@@ -45,6 +45,8 @@ enum class MessageKind : uint8_t {
   kNodeJoin,       ///< churn: a node joining the ring at a given position
   kNodeLeave,      ///< churn: a voluntary, graceful departure
   kStateHandoff,   ///< churn: NodeState slices moving to a new owner
+  kReplicaUpdate,  ///< replication: a refreshed per-key slice for a successor
+  kNodeCrash,      ///< failure injection: a silent kill — no handoff
 };
 
 const char* MessageKindName(MessageKind kind);
@@ -150,6 +152,35 @@ struct StateHandoff {
   std::unique_ptr<HandoffBatch> batch;
 };
 
+/// Successor-list replication: the full current slice of every key listed
+/// in the batch's `replica_keys`, pushed by the owner to one of its next
+/// r-1 successors after a state-mutating delivery. Reuses the boxed
+/// HandoffBatch wire shape (docs/failures.md), so the pooled Envelope does
+/// not grow for the replication path either. A receiver REPLACES its
+/// replica slice for each listed key — deltas and deletions never travel.
+struct ReplicaUpdate {
+  ReplicaUpdate();
+  explicit ReplicaUpdate(std::unique_ptr<HandoffBatch> b);
+  ReplicaUpdate(ReplicaUpdate&&) noexcept;
+  ReplicaUpdate& operator=(ReplicaUpdate&&) noexcept;
+  ReplicaUpdate(const ReplicaUpdate&) = delete;
+  ReplicaUpdate& operator=(const ReplicaUpdate&) = delete;
+  ~ReplicaUpdate();
+
+  std::unique_ptr<HandoffBatch> batch;
+};
+
+/// Failure injection: node `node` is killed silently — no goodbye, no
+/// handoff; its state survives only as replica slices at its successors.
+/// Staged and applied at a rendezvous like NodeJoin/NodeLeave.
+/// `take_successors` > 0 additionally kills that many adjacent ring
+/// successors in the same barrier (the correlated-kill worst case that
+/// defeats a replication factor of take_successors + 1).
+struct NodeCrash {
+  dht::NodeIndex node = dht::kInvalidNode;
+  uint32_t take_successors = 0;
+};
+
 /// Move-only tagged union of every payload kind. The alternative order
 /// must match MessageKind (see the static_asserts below).
 class MessageTask {
@@ -165,6 +196,8 @@ class MessageTask {
   MessageTask(NodeJoin&& p) : v_(std::move(p)) {}
   MessageTask(NodeLeave&& p) : v_(std::move(p)) {}
   MessageTask(StateHandoff&& p) : v_(std::move(p)) {}
+  MessageTask(ReplicaUpdate&& p) : v_(std::move(p)) {}
+  MessageTask(NodeCrash&& p) : v_(std::move(p)) {}
 
   MessageTask(MessageTask&&) noexcept = default;
   MessageTask& operator=(MessageTask&&) noexcept = default;
@@ -184,6 +217,8 @@ class MessageTask {
   NodeJoin& node_join() { return std::get<NodeJoin>(v_); }
   NodeLeave& node_leave() { return std::get<NodeLeave>(v_); }
   StateHandoff& state_handoff() { return std::get<StateHandoff>(v_); }
+  ReplicaUpdate& replica_update() { return std::get<ReplicaUpdate>(v_); }
+  NodeCrash& node_crash() { return std::get<NodeCrash>(v_); }
 
   /// Drops the payload (back to kNone), releasing whatever it owned.
   void Reset() { v_.emplace<std::monostate>(); }
@@ -192,7 +227,7 @@ class MessageTask {
   using Variant =
       std::variant<std::monostate, TuplePublish, QueryIndex, Rewrite,
                    RicRequest, RicReply, AnswerDeliver, Control, NodeJoin,
-                   NodeLeave, StateHandoff>;
+                   NodeLeave, StateHandoff, ReplicaUpdate, NodeCrash>;
 
   template <MessageKind K, typename T>
   static constexpr bool kMatches =
@@ -210,6 +245,8 @@ class MessageTask {
   static_assert(kMatches<MessageKind::kNodeJoin, NodeJoin>);
   static_assert(kMatches<MessageKind::kNodeLeave, NodeLeave>);
   static_assert(kMatches<MessageKind::kStateHandoff, StateHandoff>);
+  static_assert(kMatches<MessageKind::kReplicaUpdate, ReplicaUpdate>);
+  static_assert(kMatches<MessageKind::kNodeCrash, NodeCrash>);
 
   Variant v_;
 };

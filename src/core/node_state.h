@@ -312,6 +312,8 @@ void BucketUnlink(SlabPool<T>& pool, BucketList& bucket, uint32_t prev_idx,
   pool.Free(idx);
 }
 
+struct ReplicaStore;  // core/replication.h
+
 /// All RJoin state of one network node. Buckets are keyed by interned
 /// KeyId; a node only ever receives keys it is the successor of. Stored
 /// queries, ALTT entries, and value-level tuple chunks all live in
@@ -319,7 +321,10 @@ void BucketUnlink(SlabPool<T>& pool, BucketList& bucket, uint32_t prev_idx,
 /// cycles; pool capacity itself grows in geometric slabs).
 class NodeState {
  public:
-  explicit NodeState(uint64_t ric_epoch) : rates(ric_epoch) {}
+  // Out-of-line: `replicas` points at an incomplete type, so anything that
+  // may destroy it (the dtor, the ctor's unwind path) needs the definition.
+  explicit NodeState(uint64_t ric_epoch);
+  ~NodeState();
 
   /// Input and rewritten queries stored locally, by index key.
   KeyIdMap<BucketList> queries;
@@ -345,6 +350,13 @@ class NodeState {
 
   /// Cached RIC info (the candidate table, Section 7).
   CandidateTable ct;
+
+  /// Replica slices held for ring predecessors under successor-list
+  /// replication, created on the first ReplicaUpdate this node receives.
+  /// ReplicaStore stays an incomplete type here (core/replication.h) so the
+  /// replication surface is out of every NodeState user; null whenever
+  /// replication is off — the feature's whole cost when disabled.
+  std::unique_ptr<ReplicaStore> replicas;
 };
 
 }  // namespace rjoin::core

@@ -1,0 +1,63 @@
+#ifndef RJOIN_CORE_REPLICATION_H_
+#define RJOIN_CORE_REPLICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/key.h"
+#include "core/key_map.h"
+#include "core/node_state.h"
+#include "core/residual.h"
+#include "core/tuple_ref.h"
+
+namespace rjoin::core {
+
+// ---------------------------------------------------------------------------
+// Successor-list replication (docs/failures.md). Under a replication factor
+// r > 1, every state-mutating delivery at a key's owner pushes the key's
+// FULL current slice to the next r-1 ring successors as a ReplicaUpdate
+// (boxed HandoffBatch). A receiver REPLACES its stored copy — the protocol
+// never ships deltas or deletions, so a replica is always a consistent
+// point-in-time snapshot of the owner's slice, possibly stale by in-flight
+// updates. When the owner crashes silently, the surviving successor
+// promotes its slices through the normal handoff install passes.
+// ---------------------------------------------------------------------------
+
+/// A replica's copy of one key's NodeState slice. Plain flat copies of the
+/// owner's records: Residuals (not StoredQuery — the ProjectionSet is not
+/// mirrored; DISTINCT suppression after a promotion is covered by the
+/// owner-side answer-row fingerprints and the target-side stored-residual
+/// fingerprints), value-tuple handles in arrival order, ALTT entries with
+/// their original absolute expiry, and the key's rate bucket.
+struct ReplicaKeySlice {
+  /// Emission time of the last ReplicaUpdate applied; an older in-flight
+  /// update never overwrites a newer slice (sends are FIFO per (src, dst)
+  /// in virtual time, but a refresh after churn may overtake a pre-churn
+  /// mirror from the previous owner).
+  uint64_t version = 0;
+  std::vector<Residual> queries;
+  std::vector<TupleRef> tuples;
+  std::vector<AlttEntry> altt;
+  uint64_t rate_epoch = 0;
+  uint64_t rate_current = 0;
+  uint64_t rate_previous = 0;
+
+  void Clear() {
+    queries.clear();
+    tuples.clear();
+    altt.clear();
+    rate_epoch = rate_current = rate_previous = 0;
+  }
+};
+
+/// Everything one node holds on behalf of its ring predecessors. Created
+/// lazily (NodeState::replica_store()): with replication off, no node ever
+/// pays the map's footprint — the single `replication > 1` branch is the
+/// whole cost of the feature when disabled.
+struct ReplicaStore {
+  KeyIdMap<ReplicaKeySlice> slices;
+};
+
+}  // namespace rjoin::core
+
+#endif  // RJOIN_CORE_REPLICATION_H_

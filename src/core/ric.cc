@@ -58,6 +58,16 @@ bool RateTracker::ExtractKey(KeyId key, uint64_t* epoch, uint64_t* current,
   return true;
 }
 
+bool RateTracker::PeekKey(KeyId key, uint64_t* epoch, uint64_t* current,
+                          uint64_t* previous) const {
+  const Bucket* b = counts_.Find(key);
+  if (b == nullptr || (b->current == 0 && b->previous == 0)) return false;
+  *epoch = b->epoch;
+  *current = b->current;
+  *previous = b->previous;
+  return true;
+}
+
 void RateTracker::MergeSlice(KeyId key, uint64_t epoch, uint64_t current,
                              uint64_t previous) {
   Bucket incoming{epoch, current, previous};

@@ -86,6 +86,13 @@ class RateTracker {
   void MergeSlice(KeyId key, uint64_t epoch, uint64_t current,
                   uint64_t previous);
 
+  /// Read-only copy of `key`'s raw bucket (no roll, no zeroing). Returns
+  /// false when the key is untracked or empty. The replication mirror path
+  /// peeks the owner's bucket without disturbing it; the promoted owner
+  /// MergeSlices the copy later.
+  bool PeekKey(KeyId key, uint64_t* epoch, uint64_t* current,
+               uint64_t* previous) const;
+
   size_t tracked_keys() const { return counts_.size(); }
 
  private:

@@ -1,5 +1,6 @@
 #include "dht/chord_network.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <string>
@@ -68,13 +69,13 @@ Status ChordNetwork::FailNode(NodeIndex node) {
   return Status::Ok();
 }
 
-StatusOr<KeyRange> ChordNetwork::LeaveNode(NodeIndex node) {
+StatusOr<KeyRange> ChordNetwork::RemoveAndSplice(NodeIndex node) {
   if (node >= nodes_.size() || !nodes_[node]->alive()) {
     return Status::NotFound("no such alive node");
   }
   if (ring_.size() <= 1) {
     return Status::FailedPrecondition(
-        "the last alive node cannot leave: its key range has no owner");
+        "the last alive node cannot depart: its key range has no owner");
   }
   // Ring-order neighbors from the membership index (exact even when the
   // node-local pointers are stale).
@@ -91,17 +92,45 @@ StatusOr<KeyRange> ChordNetwork::LeaveNode(NodeIndex node) {
   ring_.erase(it);
   BumpGeneration();
 
-  // Graceful splice: the neighbors learn about the departure immediately
-  // (the leaving node tells them), unlike a silent failure that heals
-  // through stabilization rounds. Successor lists refresh by walking the
-  // (now exact) successor pointers; stale list entries elsewhere are
-  // alive-checked by every consumer.
+  // Splice the neighbor pointers exactly, then rebuild the successor list
+  // of the departed node's successor *and* of every ring-predecessor whose
+  // list referenced the departed node — up to kSuccessorListLen of them.
+  // Repairing only pred/succ (the pre-PR-10 behavior) left further
+  // predecessors with stale lists, which consumers tolerated via alive
+  // checks but which broke the ValidSuccessorLists invariant the
+  // replication protocol's target set depends on.
   nodes_[pred]->set_successor(pred == succ ? pred : succ);
   nodes_[succ]->set_predecessor(pred == succ ? succ : pred);
-  StabilizeOnce(pred);
   StabilizeOnce(succ);
-  RJOIN_DCHECK(RingConsistent());  // leave splice must keep the ring exact
+  RepairSuccessorListsAround(succ);
+  RJOIN_DCHECK(RingConsistent());  // the splice must keep the ring exact
   return orphaned;
+}
+
+StatusOr<KeyRange> ChordNetwork::LeaveNode(NodeIndex node) {
+  // Graceful splice: the neighbors learn about the departure immediately
+  // (the leaving node tells them); the caller hands the orphaned range's
+  // state to the new owner.
+  return RemoveAndSplice(node);
+}
+
+StatusOr<KeyRange> ChordNetwork::CrashNode(NodeIndex node) {
+  // Silent failure: same exact splice (a compressed stand-in for the
+  // stabilization rounds that would heal the ring), but the caller gets no
+  // handoff — only replicas of the orphaned range survive.
+  return RemoveAndSplice(node);
+}
+
+void ChordNetwork::RepairSuccessorListsAround(NodeIndex around) {
+  if (ring_.empty()) return;
+  RJOIN_CHECK(around < nodes_.size() && nodes_[around]->alive());
+  auto it = ring_.find(nodes_[around]->id());
+  RJOIN_CHECK(it != ring_.end());
+  const size_t reach = std::min(kSuccessorListLen, ring_.size() - 1);
+  for (size_t k = 0; k < reach; ++k) {
+    it = it == ring_.begin() ? std::prev(ring_.end()) : std::prev(it);
+    StabilizeOnce(it->second);
+  }
 }
 
 StatusOr<NodeIndex> ChordNetwork::JoinAndSplice(NodeId id,
@@ -124,12 +153,13 @@ StatusOr<NodeIndex> ChordNetwork::JoinAndSplice(NodeId id,
   nodes_[pred]->set_successor(index);
   nodes_[succ]->set_predecessor(index);
 
-  // Refresh the spliced nodes' successor lists and give the joiner real
+  // Refresh the joiner's successor list, plus the lists of every
+  // ring-predecessor that must now include it, and give the joiner real
   // fingers in-band (one full fix_fingers sweep); everyone else's fingers
   // repair lazily — stale-but-alive fingers still make monotone routing
   // progress, and dead ones are skipped.
   StabilizeOnce(index);
-  StabilizeOnce(pred);
+  RepairSuccessorListsAround(index);
   for (int b = 0; b < NodeId::kBits; ++b) FixFingersOnce(index, b);
   RJOIN_DCHECK(RingConsistent());  // join splice must keep the ring exact
   return index;
@@ -391,6 +421,34 @@ std::vector<NodeIndex> ChordNetwork::AliveNodes() const {
   out.reserve(ring_.size());
   for (const auto& [id, idx] : ring_) out.push_back(idx);
   return out;
+}
+
+void ChordNetwork::SuccessorsOf(NodeIndex node, size_t count,
+                                std::vector<NodeIndex>* out) const {
+  out->clear();
+  if (node >= nodes_.size() || !nodes_[node]->alive()) return;
+  auto it = ring_.find(nodes_[node]->id());
+  RJOIN_CHECK(it != ring_.end());
+  const size_t reach = std::min(count, ring_.size() - 1);
+  for (size_t k = 0; k < reach; ++k) {
+    it = std::next(it) == ring_.end() ? ring_.begin() : std::next(it);
+    out->push_back(it->second);
+  }
+}
+
+bool ChordNetwork::ValidSuccessorLists() const {
+  const std::vector<NodeIndex> order = AliveNodes();
+  const size_t n = order.size();
+  if (n == 0) return true;
+  const size_t len = std::min(kSuccessorListLen, n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& slist = nodes_[order[i]]->successor_list();
+    if (slist.size() != len) return false;
+    for (size_t k = 0; k < len; ++k) {
+      if (slist[k] != order[(i + k + 1) % n]) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace rjoin::dht

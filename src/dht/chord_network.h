@@ -65,6 +65,18 @@ class ChordNetwork {
   /// (its range would have no owner).
   [[nodiscard]] StatusOr<KeyRange> LeaveNode(NodeIndex node);
 
+  /// Silent failure with ring repair: removes the node like a crash — no
+  /// goodbye, nothing handed off — and returns the orphaned key range
+  /// (pred, node] so the layer above can promote whatever replicas of it
+  /// survive. The splice itself is identical to LeaveNode's: it stands in
+  /// for the stabilization rounds a real ring would run after detecting the
+  /// failure, compressed into the rendezvous that applies the crash (the
+  /// successor "detects" the crash through the topology-generation bump —
+  /// see docs/failures.md). Unlike FailNode, the ring stays exact, so
+  /// routing and the forwarding rule keep working without protocol rounds.
+  /// Refuses to crash the last alive node.
+  [[nodiscard]] StatusOr<KeyRange> CrashNode(NodeIndex node);
+
   /// In-band protocol join: resolves the successor from `bootstrap` with
   /// node-local routing (like JoinViaBootstrap), then immediately splices
   /// the new node into the ring — neighbors' successor/predecessor
@@ -150,6 +162,21 @@ class ChordNetwork {
   /// All alive node indices, in ring order.
   std::vector<NodeIndex> AliveNodes() const;
 
+  /// Ground truth: the next `count` alive successors of `node` in ring
+  /// order, excluding `node` itself (fewer when the ring is smaller).
+  /// Appends to a cleared `*out`. This is the replica target set of the
+  /// successor-list replication protocol (docs/failures.md).
+  void SuccessorsOf(NodeIndex node, size_t count,
+                    std::vector<NodeIndex>* out) const;
+
+  /// True iff every alive node's successor list equals its next
+  /// min(kSuccessorListLen, n-1) ring successors, in order — the invariant
+  /// the oracle Stabilize() establishes and every splice operation
+  /// (JoinAndSplice / LeaveNode / CrashNode) must now preserve. Raw
+  /// protocol joins (JoinViaBootstrap without splicing) intentionally
+  /// violate it until stabilization rounds run.
+  bool ValidSuccessorLists() const;
+
   /// Length of the successor list each node maintains.
   static constexpr size_t kSuccessorListLen = 8;
 
@@ -176,6 +203,16 @@ class ChordNetwork {
   NodeIndex ClosestPrecedingFinger(NodeIndex from, const NodeId& key) const;
 
   void BumpGeneration();
+
+  /// Shared splice body of LeaveNode/CrashNode: removes `node` from the
+  /// ring, repairs neighbor pointers and *every* successor list that held
+  /// it, returns the orphaned range.
+  StatusOr<KeyRange> RemoveAndSplice(NodeIndex node);
+
+  /// Rebuilds the successor lists of the up-to-kSuccessorListLen alive
+  /// ring-predecessors of `around` (the nodes whose lists reference the
+  /// ring segment that just changed) by running StabilizeOnce on each.
+  void RepairSuccessorListsAround(NodeIndex around);
 
   std::vector<std::unique_ptr<ChordNode>> nodes_;
   std::map<NodeId, NodeIndex> ring_;  // alive nodes only

@@ -12,7 +12,8 @@ std::vector<ChurnEvent> GenerateChurnTrace(const ChurnSpec& spec,
                                            sim::SimTime start,
                                            sim::SimTime span, uint64_t seed,
                                            size_t* resolved_joins,
-                                           size_t* resolved_leaves) {
+                                           size_t* resolved_leaves,
+                                           size_t* resolved_crashes) {
   size_t joins = spec.joins;
   size_t leaves = spec.leaves;
   if (joins == 0 && leaves == 0 && spec.rate > 0.0) {
@@ -21,68 +22,138 @@ std::vector<ChurnEvent> GenerateChurnTrace(const ChurnSpec& spec,
     joins = (total + 1) / 2;
     leaves = total / 2;
   }
-  // A leave needs a victim: spares exist from the start, joined nodes only
-  // after their join. Clamp to the supply.
+  // A removal needs a victim: spares exist from the start, joined nodes
+  // only after their join. Leaves claim the supply first, crashes take the
+  // remainder. Rejoin joins are excluded from the supply — a node that
+  // joins to replace a crash victim is not itself re-killed.
   leaves = std::min(leaves, spec.spare_nodes + joins);
+  size_t crashes =
+      spec.faults.has_value()
+          ? std::min(spec.faults->crashes, spec.spare_nodes + joins - leaves)
+          : 0;
   if (resolved_joins != nullptr) *resolved_joins = joins;
   if (resolved_leaves != nullptr) *resolved_leaves = leaves;
+  if (resolved_crashes != nullptr) *resolved_crashes = crashes;
+
+  const uint32_t correlated =
+      spec.faults.has_value() ? spec.faults->correlated : 0;
+  const bool crash_during_handoff =
+      spec.faults.has_value() && spec.faults->crash_during_handoff;
+  const bool crash_then_rejoin =
+      spec.faults.has_value() && spec.faults->crash_then_rejoin;
 
   std::vector<ChurnEvent> events;
-  const size_t total_ops = joins + leaves;
+  const size_t removals = leaves + crashes;
+  const size_t total_ops = joins + removals;
   if (total_ops == 0 || span == 0) return events;
 
-  Rng rng(seed * 0x9e3779b9u + 0xc424c1);
+  // Mixing the fault seed leaves fault-free traces bit-identical to the
+  // pre-FaultPlan generator.
+  uint64_t trace_seed = seed;
+  if (spec.faults.has_value() && spec.faults->seed != 0) {
+    trace_seed ^= spec.faults->seed * 0x9e3779b97f4a7c15ull;
+  }
+  Rng rng(trace_seed * 0x9e3779b9u + 0xc424c1);
   const sim::SimTime slot = std::max<sim::SimTime>(1, span / (total_ops + 1));
 
-  // Interleave joins and leaves across the evenly spaced slots. Leaves
-  // consume the victim sequence in order: spares first (leavable from the
+  // Interleave joins and removals across the evenly spaced slots. Removals
+  // consume the victim sequence in order: spares first (removable from the
   // start), then joined nodes — pushed past join_time + settle_ticks.
   std::vector<sim::SimTime> join_times;
   join_times.reserve(joins);
   size_t joins_emitted = 0;
   size_t leaves_emitted = 0;
+  size_t crashes_emitted = 0;
   size_t next_victim = 0;
+  sim::SimTime last_handoff_t = 0;  // time of the latest join/leave emitted
+  sim::SimTime max_t = 0;
+  std::vector<sim::SimTime> rejoin_times;  // crash times, for rejoin joins
   for (size_t op = 0; op < total_ops; ++op) {
     // Slot base time with a little seeded jitter (never before `start`).
     sim::SimTime t = start + (op + 1) * slot;
     t += rng.NextBounded(std::max<sim::SimTime>(1, slot / 2));
 
-    // Alternate join/leave while both remain; spill the leftovers.
+    // Alternate join/removal while both remain; spill the leftovers.
+    const size_t removals_emitted = leaves_emitted + crashes_emitted;
     const bool pick_join =
         joins_emitted < joins &&
-        (leaves_emitted >= leaves || op % 2 == 0 ||
-         // Leaves beyond the spare supply need an already-scheduled join.
+        (removals_emitted >= removals || op % 2 == 0 ||
+         // Removals beyond the spare supply need an already-scheduled join.
          (next_victim >= spec.spare_nodes &&
           next_victim - spec.spare_nodes >= joins_emitted));
 
     ChurnEvent e;
     e.time = t;
     if (pick_join) {
-      e.is_join = true;
-      e.join_id = dht::NodeId::FromKey("churn-join:" + std::to_string(seed) +
-                                       ":" + std::to_string(joins_emitted));
+      e.kind = ChurnOpKind::kJoin;
+      e.join_id = dht::NodeId::FromKey("churn-join:" +
+                                       std::to_string(trace_seed) + ":" +
+                                       std::to_string(joins_emitted));
       join_times.push_back(t);
       ++joins_emitted;
+      last_handoff_t = e.time;
     } else {
-      e.is_join = false;
+      // Within removals, leaves and crashes alternate (leave first).
+      const bool pick_crash =
+          crashes_emitted < crashes &&
+          (leaves_emitted >= leaves || removals_emitted % 2 == 1);
+      e.kind = pick_crash ? ChurnOpKind::kCrash : ChurnOpKind::kLeave;
       e.victim_slot = next_victim;
       if (next_victim >= spec.spare_nodes) {
-        // Victim is the (next_victim - spares)-th joined node: keep the
-        // leave at least settle_ticks after that join.
+        // Victim is the (next_victim - spares)-th joined node: it must
+        // exist, and a graceful leave additionally waits out the settle
+        // gap. A handoff-racing crash strikes right after the join
+        // instead, while that join's state transfer may be in flight.
         const sim::SimTime join_t =
             join_times[next_victim - spec.spare_nodes];
-        e.time = std::max<sim::SimTime>(e.time, join_t + spec.settle_ticks);
+        const uint64_t gap =
+            pick_crash && crash_during_handoff ? 1 : spec.settle_ticks;
+        e.time = std::max<sim::SimTime>(e.time, join_t + gap);
+      }
+      if (pick_crash) {
+        e.crash_successors = correlated;
+        if (crash_during_handoff && last_handoff_t != 0) {
+          // Race the previous operation's handoff: strike one tick after
+          // it was scheduled, while its StateHandoff is still in flight.
+          e.time = std::max<sim::SimTime>(last_handoff_t + 1,
+                                          next_victim >= spec.spare_nodes
+                                              ? join_times[next_victim -
+                                                           spec.spare_nodes] +
+                                                    1
+                                              : start + 1);
+        }
+        if (crash_then_rejoin) rejoin_times.push_back(e.time);
+        ++crashes_emitted;
+      } else {
+        ++leaves_emitted;
+        last_handoff_t = e.time;
       }
       ++next_victim;
-      ++leaves_emitted;
     }
+    max_t = std::max(max_t, e.time);
     events.push_back(e);
   }
 
-  std::sort(events.begin(), events.end(),
-            [](const ChurnEvent& a, const ChurnEvent& b) {
-              return a.time < b.time;
-            });
+  // Rejoin joins land after every slotted operation, keeping join order
+  // aligned with time order (victim-slot resolution depends on it). Each
+  // replaces a crash victim's share of the ring once the dust settles.
+  sim::SimTime rejoin_t = max_t;
+  for (sim::SimTime crash_t : rejoin_times) {
+    rejoin_t = std::max(rejoin_t + 1, crash_t + spec.settle_ticks);
+    ChurnEvent e;
+    e.time = rejoin_t;
+    e.kind = ChurnOpKind::kJoin;
+    e.join_id = dht::NodeId::FromKey("churn-join:" +
+                                     std::to_string(trace_seed) + ":" +
+                                     std::to_string(joins_emitted));
+    ++joins_emitted;
+    events.push_back(e);
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.time < b.time;
+                   });
   return events;
 }
 

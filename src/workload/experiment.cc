@@ -45,6 +45,17 @@ std::optional<ChurnSpec> ResolveChurnSpec(const ExperimentConfig& config) {
   return spec;
 }
 
+uint32_t ResolveReplication(uint32_t requested) {
+  // Clamp to the successor-list length: a mirror cannot reach farther than
+  // the ground-truth successor list the recovery path walks.
+  if (requested >= 1) return std::min<uint32_t>(requested, 8);
+  const char* env = std::getenv("RJOIN_REPLICATION");
+  if (env == nullptr || *env == '\0') return 1;
+  const long v = std::atol(env);
+  if (v <= 1) return 1;
+  return static_cast<uint32_t>(std::min<long>(v, 8));
+}
+
 double ExperimentResult::MsgsPerNodePerTuple() const {
   if (per_tuple.empty() || num_nodes == 0) return 0.0;
   const uint64_t tuple_msgs =
@@ -110,6 +121,7 @@ Experiment::Experiment(ExperimentConfig config)
   ecfg.charge_ric_messages = config_.charge_ric;
   ecfg.reuse_ric_info = config_.reuse_ric_info;
   ecfg.attr_replication = config_.attr_replication;
+  ecfg.replication = ResolveReplication(config_.replication);
   ecfg.keep_history = config_.keep_history;
   ecfg.seed = config_.seed ^ 0x5eed;
   // Observation epoch: roughly 16 tuple publications.
@@ -303,8 +315,9 @@ void Experiment::BuildChurnTrace(sim::SimTime stream_start) {
   const uint64_t seed = spec.seed != 0 ? spec.seed : config_.seed * 77 + 3;
   size_t joins = 0;
   size_t leaves = 0;
+  size_t crashes = 0;
   churn_trace_ = GenerateChurnTrace(spec, config_.num_tuples, stream_start,
-                                    span, seed, &joins, &leaves);
+                                    span, seed, &joins, &leaves, &crashes);
   churn_cursor_ = 0;
 }
 
@@ -321,7 +334,7 @@ void Experiment::ReleaseChurnUpTo(sim::SimTime until) {
          churn_trace_[churn_cursor_].time <= until;
        ++churn_cursor_) {
     const ChurnEvent& e = churn_trace_[churn_cursor_];
-    if (e.is_join) {
+    if (e.kind == ChurnOpKind::kJoin) {
       // Bootstrap at node 0: a participant, alive for the whole run.
       RJOIN_CHECK(engine_->ScheduleJoin(e.time, e.join_id, 0).ok());
     } else {
@@ -331,7 +344,12 @@ void Experiment::ReleaseChurnUpTo(sim::SimTime until) {
               : join_base +
                     static_cast<dht::NodeIndex>(e.victim_slot -
                                                 spec.spare_nodes);
-      RJOIN_CHECK(engine_->ScheduleLeave(e.time, victim).ok());
+      if (e.kind == ChurnOpKind::kCrash) {
+        RJOIN_CHECK(
+            engine_->ScheduleCrash(e.time, victim, e.crash_successors).ok());
+      } else {
+        RJOIN_CHECK(engine_->ScheduleLeave(e.time, victim).ok());
+      }
     }
   }
 }

@@ -51,6 +51,13 @@ struct ExperimentConfig {
   /// Attribute-level query replication factor ([18]; ablation knob).
   uint32_t attr_replication = 1;
 
+  /// Successor-list state replication factor r (docs/failures.md): every
+  /// state-mutating delivery mirrors its per-key slice to the next r-1
+  /// successors, and a silent crash promotes the replica at the new owner.
+  /// 0 (default) resolves from the RJOIN_REPLICATION environment variable;
+  /// when that is unset too, r = 1 (replication off, zero overhead).
+  uint32_t replication = 0;
+
   /// Same window for all queries (Fig. 7/8); nullopt = no windows.
   std::optional<sql::WindowSpec> window;
 
@@ -99,8 +106,9 @@ struct ExperimentConfig {
 
   uint64_t seed = 1;
 
-  /// Live topology churn while the tuple stream runs: joins and graceful
-  /// leaves scheduled as in-band events (see docs/churn.md). Unset, the
+  /// Live topology churn while the tuple stream runs: joins, graceful
+  /// leaves, and (via ChurnSpec::faults) silent crashes scheduled as
+  /// in-band events (see docs/churn.md, docs/failures.md). Unset, the
   /// RJOIN_CHURN environment variable (a rate in churn ops per tuple) can
   /// switch churn on; both unset = static topology, zero overhead. Spare
   /// nodes and joined nodes are excluded from query-owner/publisher
@@ -135,6 +143,11 @@ uint32_t ResolveShardCount(uint32_t requested);
 /// set, else one built from the RJOIN_CHURN environment variable (churn
 /// operations per published tuple; unset/0 = no churn).
 std::optional<ChurnSpec> ResolveChurnSpec(const ExperimentConfig& config);
+
+/// Resolves the replication factor an experiment will use: `requested` when
+/// >= 1 (clamped to [1, 8], the successor-list length), else the
+/// RJOIN_REPLICATION environment variable, else 1 (replication off).
+uint32_t ResolveReplication(uint32_t requested);
 
 /// Per-node load vectors captured at a checkpoint.
 struct LoadSnapshot {
@@ -229,7 +242,7 @@ class Experiment {
   void BuildChurnTrace(sim::SimTime stream_start);
 
   /// Schedules every pending trace event with time <= `until` as an
-  /// in-band NodeJoin/NodeLeave message.
+  /// in-band NodeJoin/NodeLeave/NodeCrash message.
   void ReleaseChurnUpTo(sim::SimTime until);
 
   ExperimentConfig config_;

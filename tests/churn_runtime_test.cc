@@ -437,7 +437,7 @@ TEST(ChurnTraceTest, GeneratorIsDeterministicAndClampsLeaves)
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].time, b[i].time);
-    EXPECT_EQ(a[i].is_join, b[i].is_join);
+    EXPECT_EQ(a[i].kind, b[i].kind);
     EXPECT_EQ(a[i].victim_slot, b[i].victim_slot);
   }
   // Times are ordered and inside the span (leaves may spill past the end

@@ -111,6 +111,44 @@ TEST(PoolBalanceTest, ChurnRunReturnsEveryPooledRecord) {
   EXPECT_EQ(msgs_after.outstanding(), msgs_before.outstanding());
 }
 
+TEST(PoolBalanceTest, CrashRunReturnsEveryPooledRecord) {
+  // Silent failures with replication on: replica slices hold extra TupleRef
+  // pins and mirror traffic rides pooled envelopes; crashes drop whole
+  // nodes' state and promotions re-install it. Every acquire must still
+  // balance — in the per-node slabs, the global tuple plane, and the
+  // envelope pool.
+  const TuplePool::Stats tuples_before = TuplePool::Global().stats();
+  const MessagePool::GlobalStats msgs_before = MessagePool::Aggregate();
+  {
+    workload::ExperimentConfig cfg;
+    cfg.num_nodes = 48;
+    cfg.num_queries = 40;
+    cfg.num_tuples = 120;
+    cfg.workload.num_relations = 4;
+    cfg.workload.num_attributes = 3;
+    cfg.workload.num_values = 8;
+    cfg.replication = 2;
+    workload::ChurnSpec churn;
+    churn.rate = 0.25;
+    churn.spare_nodes = 8;
+    workload::FaultPlan faults;
+    faults.crashes = 4;
+    churn.faults = faults;
+    cfg.churn = churn;
+    workload::Experiment experiment(cfg);
+    auto result = experiment.Run();
+    EXPECT_EQ(result.num_tuples, cfg.num_tuples);
+    const auto& cs = experiment.engine().churn_stats();
+    EXPECT_EQ(cs.crashes_applied, 4u);
+    EXPECT_GT(experiment.engine().replication_stats().replica_updates, 0u);
+    ExpectSlabPoolsBalanced(experiment.engine());
+  }
+  const TuplePool::Stats tuples_after = TuplePool::Global().stats();
+  EXPECT_EQ(tuples_after.outstanding(), tuples_before.outstanding());
+  const MessagePool::GlobalStats msgs_after = MessagePool::Aggregate();
+  EXPECT_EQ(msgs_after.outstanding(), msgs_before.outstanding());
+}
+
 // Engine-level harness (mirrors engine_features_test.cc) for scenarios
 // needing direct control over the clock and EngineConfig.
 struct Harness {

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate for the figure-3 throughput bench.
+"""CI perf-regression gate for the figure-3 throughput and failures benches.
 
 Usage: check_bench.py FRESH_BENCH_JSON TRAJECTORY_DIR [--max-regression R]
 
@@ -21,6 +21,19 @@ Fails (exit 1) when:
     the fresh run reports the scalar. Baselines predating the route cache
     lack it; those simply don't gate the hit rate.
 
+Given a BENCH_failures.json instead, the gate switches to the replication
+correctness schema:
+  - the scalar set must carry replication_msgs_per_sec, replica_bytes,
+    answer_loss_rate, and recovery_rounds_p99 (the trajectory schema of
+    bench/trajectory/README.md);
+  - answer_loss_rate (measured at replication factor 2 on the reference
+    fault trace) must be exactly 0 — one successor replica is the
+    configuration the recovery design guarantees single-kill completeness
+    for, so any loss is a correctness bug, not a perf regression;
+  - recovery_rounds_p99 must be positive (crashes promoted) and at most
+    --max-recovery-rounds (default 8) rendezvous rounds.
+These are absolute gates: no provenance-matched baseline is required.
+
 When no committed point matches the fresh provenance (first run on a new
 machine, or older points predate provenance), the gate passes with a
 notice — it cannot distinguish a regression from a hardware change.
@@ -37,6 +50,16 @@ MATCH_KEYS = ["hardware_threads", "build_type", "rjoin_scale",
               "rjoin_shards"]
 
 ALLOCS_EPSILON = 1e-9
+LOSS_EPSILON = 1e-12
+
+# Required scalar schema per bench JSON (basename); anything else gets the
+# fig3 defaults for backward compatibility.
+REQUIRED_SCALARS = {
+    "BENCH_fig3_tuples.json": ["tuples_per_sec", "allocs_per_tuple"],
+    "BENCH_failures.json": ["replication_msgs_per_sec", "replica_bytes",
+                            "answer_loss_rate", "recovery_rounds_p99"],
+}
+DEFAULT_REQUIRED = ["tuples_per_sec", "allocs_per_tuple"]
 
 
 def fail(msg):
@@ -54,10 +77,33 @@ def load(path):
     scalars = doc.get("scalars")
     if not isinstance(scalars, dict):
         fail(f"{path}: no scalars object")
-    for key in ("tuples_per_sec", "allocs_per_tuple"):
+    required = REQUIRED_SCALARS.get(os.path.basename(path), DEFAULT_REQUIRED)
+    for key in required:
         if key not in scalars:
             fail(f"{path}: missing scalar '{key}'")
     return doc
+
+
+def gate_failures(fresh, path, max_recovery_rounds):
+    """Absolute correctness gate for BENCH_failures.json."""
+    fs = fresh["scalars"]
+    loss = fs["answer_loss_rate"]
+    p99 = fs["recovery_rounds_p99"]
+    print(f"check_bench: {os.path.basename(path)}: "
+          f"answer_loss_rate={loss:.6f} recovery_rounds_p99={p99:.2f} "
+          f"replication_msgs_per_sec={fs['replication_msgs_per_sec']:.2f} "
+          f"replica_bytes={fs['replica_bytes']:.0f}")
+    if loss > LOSS_EPSILON:
+        fail(f"answer_loss_rate {loss:.6f} != 0 with replication_factor=2 "
+             f"on the reference fault trace; single-kill completeness is "
+             f"a correctness guarantee, not a budgeted metric")
+    if p99 <= 0:
+        fail("recovery_rounds_p99 is 0: the reference trace applied no "
+             "replica promotions, so the gate measured nothing")
+    if p99 > max_recovery_rounds:
+        fail(f"recovery_rounds_p99 {p99:.2f} exceeds the "
+             f"{max_recovery_rounds} rendezvous-round bound")
+    print("check_bench: OK")
 
 
 def provenance_matches(fresh, baseline):
@@ -76,10 +122,17 @@ def main():
                          "messages_per_sec drop")
     ap.add_argument("--min-hit-rate", type=float, default=0.95,
                     help="required route_cache_hit_rate when reported")
+    ap.add_argument("--max-recovery-rounds", type=float, default=8.0,
+                    help="bound on recovery_rounds_p99 for the failures "
+                         "bench")
     args = ap.parse_args()
 
     fresh = load(args.fresh_json)
     name = os.path.basename(args.fresh_json)
+
+    if name == "BENCH_failures.json":
+        gate_failures(fresh, args.fresh_json, args.max_recovery_rounds)
+        return
 
     # Trajectory points live in date-named subdirectories; lexicographic
     # order is chronological (YYYY-MM-DD[-suffix]).
